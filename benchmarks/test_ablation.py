@@ -1,0 +1,29 @@
+"""Ablations: placement, rescan margin, reinforcement, adaptive tuning.
+
+Shapes: the on-chip design performs at least comparably to off-chip (the
+paper chose on-chip for TLB access and cache feedback); the Figure 4(c)
+rescan margin reduces rescans; all variants still beat the baseline.
+"""
+
+from conftest import TIMING_BENCHMARKS, TIMING_SCALE, record
+
+from repro.experiments import ablation
+
+
+def test_ablation_variants(benchmark):
+    result = benchmark.pedantic(
+        ablation.run,
+        kwargs=dict(scale=TIMING_SCALE, benchmarks=TIMING_BENCHMARKS),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result)
+    means = result.extra["means"]
+    rescans = result.extra["rescans"]
+
+    for label, mean in means.items():
+        assert mean > 0.97, label  # no variant is a disaster
+    assert means["onchip (paper)"] > 1.0
+    # Figure 4(c): the margin-2 variant halves (at least reduces) rescans.
+    assert (rescans["rescan margin 2 (Fig 4c)"]
+            <= 0.7 * max(1, rescans["onchip (paper)"]))
+    assert rescans["no reinforcement"] == 0

@@ -1,0 +1,44 @@
+"""Figure 10: UL2 load-request distribution + per-benchmark speedups.
+
+Shapes: each benchmark's five categories sum to 1; the content prefetcher
+masks (fully or partially) a substantial fraction of the non-stride misses
+on the pointer-intensive benchmarks; the suite-average speedup is positive
+and individual speedups vary widely (paper: 1.4%-39.5%).
+"""
+
+from conftest import TIMING_SCALE, record
+
+import pytest
+
+from repro.experiments import fig10
+
+BENCHMARKS = (
+    "b2c", "quake", "rc3", "tpcc-2", "verilog-func", "slsb",
+    "specjbb-vsnet",
+)
+
+
+def test_fig10_distribution_and_speedups(benchmark):
+    result = benchmark.pedantic(
+        fig10.run,
+        kwargs=dict(scale=TIMING_SCALE, benchmarks=BENCHMARKS),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result)
+    distributions = result.extra["distributions"]
+    speedups = result.extra["speedups"]
+
+    for name, distribution in distributions.items():
+        assert sum(distribution.values()) == pytest.approx(1.0), name
+
+    # Content masks a real fraction of would-be misses on pointer code.
+    pointer_heavy = ("tpcc-2", "specjbb-vsnet", "verilog-func")
+    for name in pointer_heavy:
+        masked = (distributions[name]["cpf-full"]
+                  + distributions[name]["cpf-part"])
+        assert masked > 0.10, name
+
+    mean = result.extra["mean_speedup"]
+    assert mean > 1.0
+    # Wide per-benchmark spread, as in the paper.
+    assert max(speedups.values()) - min(speedups.values()) > 0.05

@@ -1,0 +1,30 @@
+"""Figure 11: Markov vs content prefetcher.
+
+Shapes: the equal-silicon Markov splits cannot pay back the UL2 capacity
+they consume (they land at or below baseline); markov_big — unbounded
+table, full cache — does no worse than the splits; the training-free
+content prefetcher beats every Markov configuration.
+"""
+
+from conftest import TIMING_BENCHMARKS, TIMING_SCALE, record
+
+from repro.experiments import fig11
+
+
+def test_fig11_markov_vs_content(benchmark):
+    result = benchmark.pedantic(
+        fig11.run,
+        kwargs=dict(scale=TIMING_SCALE, benchmarks=TIMING_BENCHMARKS),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result)
+    means = result.extra["means"]
+
+    assert means["content"] > 1.0
+    # Content dominates every Markov configuration.
+    for label in ("markov_1/8", "markov_1/2", "markov_big"):
+        assert means["content"] > means[label] + 0.02, label
+    # Splitting the cache for a STAB is a bad deal.
+    assert means["markov_1/2"] < 1.02
+    # markov_big (no cache sacrifice) is at least as good as the splits.
+    assert means["markov_big"] >= means["markov_1/2"] - 0.01

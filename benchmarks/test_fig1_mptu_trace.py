@@ -1,0 +1,29 @@
+"""Figure 1: the non-cumulative MPTU warm-up trace (4 MB-equivalent UL2).
+
+Shape: a distinct cold-start transient that decays to a steady state —
+for most benchmarks the peak of the first windows exceeds the steady tail.
+"""
+
+from conftest import FUNCTIONAL_SCALE, record
+
+from repro.experiments import fig1
+
+
+def test_fig1_warmup_transient(benchmark):
+    result = benchmark.pedantic(
+        fig1.run,
+        kwargs=dict(scale=FUNCTIONAL_SCALE, windows=24),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result)
+    traces = result.extra["mptu_traces"]
+    assert len(traces) == 6  # one per suite
+    transient_dominates = 0
+    for mptu_trace in traces.values():
+        assert len(mptu_trace) >= 12
+        head = max(mptu_trace[:4])
+        steady = fig1.steady_state_window(mptu_trace)
+        if head >= steady:
+            transient_dominates += 1
+    # The cold-start transient should be visible for most benchmarks.
+    assert transient_dominates >= 4

@@ -1,0 +1,34 @@
+"""Figure 7: adjusted coverage/accuracy vs compare.filter bits.
+
+Shapes: accuracy rises as compare bits grow (stricter matching); coverage
+peaks in the 8-compare-bit group and does not improve with more compare
+bits; within a compare-bit group, filter bits trade accuracy for coverage.
+"""
+
+from conftest import FUNCTIONAL_SCALE, record
+
+from repro.experiments import fig7
+
+SWEEP = (
+    (8, 0), (8, 4), (8, 8),
+    (10, 0), (10, 4),
+    (12, 0), (12, 4),
+)
+
+
+def test_fig7_compare_filter_tradeoff(benchmark):
+    result = benchmark.pedantic(
+        fig7.run, kwargs=dict(scale=FUNCTIONAL_SCALE, sweep=SWEEP),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result)
+    series = result.extra["series"]
+
+    # Accuracy rises with compare bits (at fixed 4 filter bits).
+    assert series["12.4"][1] > series["08.4"][1]
+    # Coverage does not improve as compare bits shrink the reachable range.
+    assert series["12.4"][0] <= series["08.4"][0] + 0.02
+    # Filter bits buy coverage in the all-zero region...
+    assert series["08.4"][0] > series["08.0"][0]
+    # ...at an accuracy cost when over-widened.
+    assert series["08.8"][1] <= series["08.4"][1] + 0.02

@@ -1,0 +1,34 @@
+"""Figure 8: adjusted coverage/accuracy vs align bits and scan step.
+
+Shapes: demanding 4-byte alignment (2 align bits) costs coverage on
+2-byte-packed heaps while buying accuracy; a 4-bit alignment requirement
+destroys coverage; a 4-byte scan step trades coverage for accuracy against
+the paper's chosen 2-byte step.
+"""
+
+from conftest import FUNCTIONAL_SCALE, record
+
+from repro.experiments import fig8
+
+SWEEP = ((0, 1), (1, 2), (2, 2), (4, 2), (1, 4))
+
+
+def test_fig8_align_step_tradeoff(benchmark):
+    result = benchmark.pedantic(
+        fig8.run, kwargs=dict(scale=FUNCTIONAL_SCALE, sweep=SWEEP),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result)
+    series = result.extra["series"]
+
+    # 2 align bits: more accuracy, less coverage than 1 align bit.
+    assert series["8.4.2.2"][1] >= series["8.4.1.2"][1] - 0.01
+    assert series["8.4.2.2"][0] <= series["8.4.1.2"][0] + 0.01
+    # 4 align bits (16-byte alignment) destroys coverage.
+    assert series["8.4.4.2"][0] < 0.5 * series["8.4.1.2"][0]
+    # 4-byte scan step: no worse accuracy, no better coverage than the
+    # 2-byte step (the unmapped-page walk filter already removes most of
+    # the junk a coarser step would have skipped, so the accuracy gain is
+    # mild at benchmark scale).
+    assert series["8.4.1.4"][1] >= series["8.4.1.2"][1] - 0.05
+    assert series["8.4.1.4"][0] <= series["8.4.1.2"][0] + 0.01

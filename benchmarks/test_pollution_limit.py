@@ -1,0 +1,22 @@
+"""Section 3.5's limit study: bad-prefetch injection.
+
+Shape: injecting junk prefetches on idle bus cycles costs a few percent of
+performance (paper: ~3% average) — never a gain, never a catastrophe.
+"""
+
+from conftest import TIMING_BENCHMARKS, TIMING_SCALE, record
+
+from repro.experiments import pollution
+
+
+def test_pollution_costs_a_few_percent(benchmark):
+    result = benchmark.pedantic(
+        pollution.run,
+        kwargs=dict(scale=TIMING_SCALE, benchmarks=TIMING_BENCHMARKS),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result)
+    mean = result.extra["mean_slowdown"]
+    assert 1.0 <= mean < 1.5
+    for name, slowdown in result.extra["slowdowns"].items():
+        assert slowdown >= 0.97, name  # injection never helps

@@ -1,0 +1,28 @@
+"""Extended sensitivity sweeps (not a paper figure).
+
+Shapes: the content prefetcher's gain grows with the memory latency it is
+hiding, and a brutally undersized cache blunts it (pollution).
+"""
+
+from conftest import TIMING_BENCHMARKS, TIMING_SCALE, record
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_shapes(benchmark):
+    result = benchmark.pedantic(
+        sensitivity.run,
+        kwargs=dict(
+            scale=TIMING_SCALE, benchmarks=TIMING_BENCHMARKS,
+            l2_sizes_kb=(128, 256, 1024),
+            bus_latencies=(115, 460, 920),
+        ),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result)
+    latency = result.extra["latency_series"]
+    l2 = result.extra["l2_series"]
+    # More latency to hide -> more gain.
+    assert latency[920] > latency[115] - 0.01
+    # A roomier cache does not hurt the content prefetcher.
+    assert l2[1024] >= l2[128] - 0.02

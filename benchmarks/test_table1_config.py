@@ -1,0 +1,15 @@
+"""Table 1: the machine configuration dump."""
+
+from conftest import record
+
+from repro.experiments import table1
+
+
+def test_table1_configuration(benchmark):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    record(benchmark, result)
+    values = dict(result.rows)
+    assert values["Core Frequency"] == "4000 MHz"
+    assert values["Misprediction Penalty"] == "28 cycles"
+    assert values["Bus latency"] == "460 processor cycles"
+    assert values["Line Size"] == "64 bytes"

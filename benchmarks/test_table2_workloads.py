@@ -1,0 +1,40 @@
+"""Table 2: instructions, µops, and L2 MPTU at 1 MB / 4 MB equivalents.
+
+Shapes: MPTU spans more than an order of magnitude across the suite; the
+Workstation netlist benchmarks are the most miss-intensive; growing the
+UL2 from the 1 MB to the 4 MB equivalent never increases MPTU and cuts it
+substantially for the capacity-bound Server benchmarks.
+"""
+
+from conftest import FUNCTIONAL_SCALE, record
+
+from repro.experiments import table2
+
+
+def test_table2_mptu_shapes(benchmark):
+    # Capacity effects need revisits of the working set, so this bench
+    # runs longer traces than the other functional drivers.
+    result = benchmark.pedantic(
+        table2.run, kwargs=dict(scale=3 * FUNCTIONAL_SCALE),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result)
+    mptu = result.extra["mptu"]
+    assert len(mptu) == 15
+
+    values_1mb = {name: pair[0] for name, pair in mptu.items()}
+    # Order-of-magnitude spread across the suite.
+    assert max(values_1mb.values()) > 10 * (min(values_1mb.values()) + 0.05)
+    # The netlist simulators are the miss monsters (paper: 7.6 and 24.1).
+    heaviest = max(values_1mb, key=values_1mb.get)
+    assert heaviest in ("verilog-gate", "verilog-func")
+    # A bigger cache never hurts, and the capacity-bound OLTP benchmarks
+    # lose a large fraction of their misses at 4 MB.
+    for name, (small, big) in mptu.items():
+        assert big <= small * 1.05 + 0.05, name
+    for name in ("tpcc-2", "tpcc-3"):
+        small, big = mptu[name]
+        assert big < 0.85 * small
+    # Fits-in-cache benchmarks barely move.
+    small, big = mptu["b2c"]
+    assert big >= 0.7 * small

@@ -1,0 +1,26 @@
+"""Table 3: the Markov prefetcher resource splits."""
+
+from conftest import record
+
+from repro.experiments import table3
+from repro.experiments.fig11 import MARKOV_CONFIGS
+
+
+def test_table3_resource_splits(benchmark):
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    record(benchmark, result)
+
+    full = MARKOV_CONFIGS["content"].ul2.size_bytes
+    half = MARKOV_CONFIGS["markov_1/2"]
+    eighth = MARKOV_CONFIGS["markov_1/8"]
+    # The 1/2 split: equal silicon between UL2 and STAB.
+    assert half.ul2.size_bytes == full // 2
+    assert half.markov.stab_size_bytes == full // 2
+    # The 1/8 split reallocates one way of the 8-way UL2.
+    assert eighth.ul2.associativity == 7
+    assert eighth.ul2.size_bytes == full * 7 // 8
+    assert eighth.markov.stab_size_bytes == full // 8
+    # markov_big is unbounded and keeps the full cache.
+    big = MARKOV_CONFIGS["markov_big"]
+    assert big.markov.unbounded
+    assert big.ul2.size_bytes == full

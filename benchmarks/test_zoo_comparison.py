@@ -1,0 +1,26 @@
+"""Extended comparison: the prefetcher zoo (not a paper figure).
+
+Shapes: any prefetching beats none; adding the content prefetcher on top
+of a sequential scheme adds pointer-miss coverage the sequential scheme
+cannot provide.
+"""
+
+from conftest import TIMING_BENCHMARKS, TIMING_SCALE, record
+
+from repro.experiments import zoo
+
+
+def test_zoo_composition(benchmark):
+    result = benchmark.pedantic(
+        zoo.run,
+        kwargs=dict(scale=TIMING_SCALE, benchmarks=TIMING_BENCHMARKS),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result)
+    means = result.extra["means"]
+    assert means["none"] == 1.0
+    assert means["stride"] > 1.0
+    assert means["stream"] > 1.0
+    # Content prefetching composes: it adds gain over its sequential base.
+    assert means["stride+content"] > means["stride"]
+    assert means["stream+content"] > means["stream"]

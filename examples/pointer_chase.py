@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Pointer-chase anatomy: watch prefetch chains and reinforcement work.
+
+Builds a single scattered linked list — the pure recursive data structure
+of Figure 3 — and walks it under several content-prefetcher configurations,
+printing how depth threshold, path reinforcement, and next-line width
+change the chain behaviour.  This is the paper's core mechanism in
+isolation, without the noise of a mixed workload.
+
+Run::
+
+    python examples/pointer_chase.py [nodes]
+"""
+
+import sys
+
+from repro.core.simulator import TimingSimulator
+from repro.experiments.common import model_machine
+from repro.stats.tables import render_table
+from repro.workloads.base import WorkloadContext
+from repro.workloads.kernels import ListTraversalKernel
+from repro.workloads.structures import build_linked_list
+
+
+def build_chase(nodes: int):
+    """One fully-scattered list: every link is a dependent memory hop."""
+    ctx = WorkloadContext("pointer-chase", seed=42)
+    lst = build_linked_list(
+        ctx, nodes,
+        payload_words=14,      # ~60-byte nodes, about one cache line
+        locality=0.0,          # fully shuffled: no stride pattern at all
+    )
+    ListTraversalKernel(
+        ctx, lst, payload_loads=2, work_per_node=16, mispredict_rate=0.0
+    ).emit()
+    return ctx.build()
+
+
+def main() -> None:
+    nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    workload = build_chase(nodes)
+    print("list of %d scattered nodes, %s uops"
+          % (nodes, "{:,}".format(workload.trace.uop_count)))
+
+    baseline = TimingSimulator(
+        model_machine().with_content(enabled=False), workload.memory
+    ).run(workload.trace)
+    print("baseline (stride only): %.0f cycles, %.1f cycles/node"
+          % (baseline.cycles, baseline.cycles / nodes))
+    print()
+
+    rows = []
+    for reinforcement in (False, True):
+        for depth in (1, 3, 9):
+            for next_lines in (0, 3):
+                config = model_machine().with_content(
+                    depth_threshold=depth,
+                    reinforcement=reinforcement,
+                    next_lines=next_lines,
+                )
+                result = TimingSimulator(config, workload.memory).run(
+                    workload.trace
+                )
+                rows.append([
+                    "depth %d" % depth,
+                    "on" if reinforcement else "off",
+                    "n%d" % next_lines,
+                    "%.3f" % result.speedup_over(baseline),
+                    result.content.issued,
+                    result.content.full_hits,
+                    result.content.partial_hits,
+                    result.rescans,
+                ])
+    print(render_table(
+        ["depth", "reinforce", "width", "speedup", "issued",
+         "full", "partial", "rescans"],
+        rows,
+        title="Chain behaviour on a pure pointer chase",
+    ))
+    print()
+    print("Things to notice (Sections 3.4 and 4.2.1):")
+    print(" * depth 1 barely helps: the chain cannot run ahead;")
+    print(" * without reinforcement, deeper chains cover more misses;")
+    print(" * reinforcement sustains chains without restart misses")
+    print("   (rescans > 0) and turns partial hits into full ones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: measure the content prefetcher on a Table 2 benchmark.
+
+Builds the ``specjbb-vsnet`` synthetic workload (a Java-runtime-like mix of
+object tables, young-generation lists and index trees), runs it on the
+stride-only baseline and on the stride+content machine, and prints the
+headline numbers the paper reports: speedup, prefetch accuracy, and the
+full-vs-partial latency-masking split.
+
+Run::
+
+    python examples/quickstart.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro import TimingSimulator, build_benchmark
+from repro.experiments.common import model_machine, warmup_uops_for
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "specjbb-vsnet"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.2
+
+    print("building workload %r (scale %.2f)..." % (benchmark, scale))
+    workload = build_benchmark(benchmark, scale=scale)
+    print(
+        "  %s uops, %.0f KB heap footprint"
+        % ("{:,}".format(workload.trace.uop_count),
+           workload.footprint_bytes / 1024)
+    )
+
+    config = model_machine()  # stride + tuned content prefetcher
+    baseline_config = config.with_content(enabled=False)
+    warmup = warmup_uops_for(workload.trace)
+
+    print("running stride-only baseline...")
+    baseline = TimingSimulator(baseline_config, workload.memory).run(
+        workload.trace, warmup
+    )
+    print("running stride + content prefetcher...")
+    enhanced = TimingSimulator(config, workload.memory).run(
+        workload.trace, warmup
+    )
+
+    content = enhanced.content
+    print()
+    print("baseline cycles:   %12.0f  (IPC %.2f)"
+          % (baseline.cycles, baseline.ipc))
+    print("with CDP cycles:   %12.0f  (IPC %.2f)"
+          % (enhanced.cycles, enhanced.ipc))
+    print("speedup:           %12.3f" % enhanced.speedup_over(baseline))
+    print()
+    print("content prefetches issued:  %6d" % content.issued)
+    print("  fully masked misses:      %6d" % content.full_hits)
+    print("  partially masked misses:  %6d" % content.partial_hits)
+    print("  accuracy:                 %6.1f%%" % (100 * content.accuracy))
+    print("  junk dropped (unmapped):  %6d" % content.dropped_unmapped)
+    print("unmasked UL2 misses: %d -> %d"
+          % (baseline.unmasked_l2_misses, enhanced.unmasked_l2_misses))
+    print()
+    print("UL2 load-request distribution (Figure 10 categories):")
+    for label, fraction in enhanced.load_request_distribution().items():
+        print("  %-9s %5.1f%%" % (label, 100 * fraction))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Run every experiment at publication scale and save the rendered output.
+
+Used to generate the numbers recorded in EXPERIMENTS.md.  Scales are per
+experiment: functional drivers afford longer traces than the timing sweeps.
+"""
+
+import json
+import sys
+import time
+
+from repro.experiments.runner import EXPERIMENTS
+
+SCALES = {
+    "table1": None,
+    "table3": None,
+    "fig1": 0.5,
+    "table2": 1.0,
+    "fig7": 0.3,
+    "fig8": 0.3,
+    "fig9": 0.3,
+    "tlb": 0.3,
+    "fig10": 0.4,
+    "fig11": 0.3,
+    "pollution": 0.3,
+    "ablation": 0.3,
+    "zoo": 0.3,
+    "sensitivity": 0.3,
+    "related": 0.2,
+    "fig2": None,
+    "fig3": None,
+}
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "experiment_results.txt"
+    extras = {}
+    with open(out_path, "w") as out:
+        for name, scale in SCALES.items():
+            run = EXPERIMENTS[name]
+            kwargs = {} if scale is None else {"scale": scale}
+            started = time.time()
+            result = run(**kwargs)
+            elapsed = time.time() - started
+            text = result.render()
+            banner = "=" * 72
+            block = "%s\n%s (scale=%s, %.1fs)\n%s\n%s\n\n" % (
+                banner, name, scale, elapsed, banner, text
+            )
+            out.write(block)
+            out.flush()
+            extras[name] = _jsonable(result.extra)
+            print("%-10s done in %6.1fs" % (name, elapsed), flush=True)
+    with open(out_path + ".json", "w") as handle:
+        json.dump(extras, handle, indent=1, default=str)
+    return 0
+
+
+def _jsonable(value):
+    try:
+        json.dumps(value)
+        return value
+    except TypeError:
+        if isinstance(value, dict):
+            return {str(k): _jsonable(v) for k, v in value.items()}
+        return str(value)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""repro — reproduction of "A Stateless, Content-Directed Data Prefetching
+Mechanism" (Cooksey, Jourdan & Grunwald, ASPLOS 2002).
+
+Quick start::
+
+    from repro import MachineConfig, TimingSimulator, build_benchmark
+
+    workload = build_benchmark("specjbb-vsnet", scale=0.25)
+    config = MachineConfig()  # stride + content prefetchers, paper tuning
+    result = TimingSimulator(config, workload.memory).run(workload.trace)
+
+    baseline_cfg = config.with_content(enabled=False)
+    baseline = TimingSimulator(baseline_cfg, workload.memory).run(
+        workload.trace
+    )
+    print("speedup: %.3f" % result.speedup_over(baseline))
+
+Package map:
+
+* :mod:`repro.params` — machine configuration (Table 1).
+* :mod:`repro.memory` — 32-bit address space with real byte contents.
+* :mod:`repro.cache`, :mod:`repro.tlb`, :mod:`repro.interconnect` — the
+  memory hierarchy (caches with per-line depth bits, DTLB + walker,
+  priority arbiters, bus).
+* :mod:`repro.prefetch` — stride, content-directed, and Markov
+  prefetchers; the virtual-address-matching heuristic.
+* :mod:`repro.core` — functional and timing simulators.
+* :mod:`repro.workloads` — synthetic stand-ins for the Table 2 suite.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+from repro.configio import load_machine_config, save_machine_config
+from repro.core.functional import FunctionalSimulator
+from repro.core.results import FunctionalResult, TimingResult
+from repro.core.simulator import TimingSimulator, run_pair
+from repro.params import (
+    BusConfig,
+    CacheConfig,
+    ContentConfig,
+    CoreConfig,
+    MachineConfig,
+    MarkovConfig,
+    StrideConfig,
+    TLBConfig,
+)
+from repro.prefetch import (
+    ContentPrefetcher,
+    MarkovPrefetcher,
+    StridePrefetcher,
+    VirtualAddressMatcher,
+)
+from repro.workloads.suite import benchmark_names, build_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BusConfig",
+    "CacheConfig",
+    "ContentConfig",
+    "ContentPrefetcher",
+    "CoreConfig",
+    "FunctionalResult",
+    "FunctionalSimulator",
+    "MachineConfig",
+    "MarkovConfig",
+    "MarkovPrefetcher",
+    "StrideConfig",
+    "StridePrefetcher",
+    "TLBConfig",
+    "TimingResult",
+    "TimingSimulator",
+    "VirtualAddressMatcher",
+    "benchmark_names",
+    "build_benchmark",
+    "load_machine_config",
+    "run_pair",
+    "save_machine_config",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Post-hoc analysis of simulation runs.
+
+* :class:`~repro.analysis.lifetimes.PrefetchLifetimeTracker` — attaches to
+  a timing simulation's observer hook and records every prefetch's
+  issue → fill → first-use (or never-used) lifecycle, yielding the chain
+  depth histogram and timeliness distributions behind Figures 9/10.
+* :mod:`repro.analysis.report` — renders one or more results as a
+  markdown report.
+"""
+
+from repro.analysis.lifetimes import LifetimeSummary, PrefetchLifetimeTracker
+from repro.analysis.multiseed import SeedStatistics, seed_sweep
+from repro.analysis.report import render_markdown_report
+
+__all__ = [
+    "LifetimeSummary",
+    "PrefetchLifetimeTracker",
+    "SeedStatistics",
+    "render_markdown_report",
+    "seed_sweep",
+]

@@ -1,0 +1,152 @@
+"""Prefetch lifetime tracking.
+
+Attach a :class:`PrefetchLifetimeTracker` to a
+:class:`~repro.core.simulator.TimingSimulator`'s memory system to record,
+for every prefetch issued:
+
+* the request depth and candidate kind at issue;
+* issue-to-fill latency (how long the memory system took);
+* fill-to-use distance (how far ahead of the demand stream it ran — the
+  timeliness the paper's full/partial classification summarises);
+* whether it was ever used at all.
+
+Example::
+
+    simulator = TimingSimulator(config, workload.memory)
+    tracker = PrefetchLifetimeTracker.attach(simulator)
+    simulator.run(workload.trace)
+    print(tracker.summary().describe())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LifetimeRecord", "LifetimeSummary", "PrefetchLifetimeTracker"]
+
+
+@dataclass
+class LifetimeRecord:
+    line_paddr: int
+    requester: object
+    depth: int
+    kind: str
+    issue_time: int
+    fill_time: int = -1
+    use_time: int = -1
+    full: bool = False
+
+    @property
+    def used(self) -> bool:
+        return self.use_time >= 0
+
+    @property
+    def fill_latency(self) -> int:
+        if self.fill_time < 0:
+            return -1
+        return self.fill_time - self.issue_time
+
+    @property
+    def lead_time(self) -> int:
+        """Fill-to-use distance; negative when the demand got there first."""
+        if self.use_time < 0 or self.fill_time < 0:
+            return -1
+        return self.use_time - self.fill_time
+
+
+@dataclass
+class LifetimeSummary:
+    total: int = 0
+    used: int = 0
+    full: int = 0
+    depth_histogram: dict = field(default_factory=dict)
+    kind_histogram: dict = field(default_factory=dict)
+    mean_fill_latency: float = 0.0
+    mean_lead_time: float = 0.0
+
+    @property
+    def use_rate(self) -> float:
+        return self.used / self.total if self.total else 0.0
+
+    def describe(self) -> str:
+        lines = [
+            "prefetches issued:   %d" % self.total,
+            "used:                %d (%.1f%%)"
+            % (self.used, 100 * self.use_rate),
+            "fully timely:        %d" % self.full,
+            "mean fill latency:   %.0f cycles" % self.mean_fill_latency,
+            "mean lead time:      %.0f cycles" % self.mean_lead_time,
+            "by depth:            %s" % dict(sorted(
+                self.depth_histogram.items()
+            )),
+            "by kind:             %s" % dict(sorted(
+                self.kind_histogram.items()
+            )),
+        ]
+        return "\n".join(lines)
+
+
+class PrefetchLifetimeTracker:
+    """Observer recording the lifecycle of every prefetch."""
+
+    def __init__(self) -> None:
+        self.records: list[LifetimeRecord] = []
+        self._open: dict[int, LifetimeRecord] = {}
+
+    @classmethod
+    def attach(cls, simulator) -> "PrefetchLifetimeTracker":
+        """Create a tracker and install it on *simulator*'s memory system."""
+        tracker = cls()
+        simulator.memsys.observer = tracker
+        return tracker
+
+    # -- observer callbacks (called by TimingMemorySystem) ----------------
+
+    def on_prefetch_issue(
+        self, line_paddr: int, requester, depth: int, kind: str, time: int
+    ) -> None:
+        record = LifetimeRecord(
+            line_paddr, requester, depth, kind, issue_time=time
+        )
+        self.records.append(record)
+        self._open[line_paddr] = record
+
+    def on_prefetch_fill(self, line_paddr: int, time: int) -> None:
+        record = self._open.get(line_paddr)
+        if record is not None and record.fill_time < 0:
+            record.fill_time = time
+
+    def on_prefetch_hit(self, line_paddr: int, time: int, full: bool) -> None:
+        record = self._open.pop(line_paddr, None)
+        if record is not None:
+            record.use_time = time
+            record.full = full
+
+    # -- aggregation ------------------------------------------------------
+
+    def summary(self) -> LifetimeSummary:
+        summary = LifetimeSummary(total=len(self.records))
+        fill_latencies = []
+        lead_times = []
+        for record in self.records:
+            summary.depth_histogram[record.depth] = (
+                summary.depth_histogram.get(record.depth, 0) + 1
+            )
+            summary.kind_histogram[record.kind] = (
+                summary.kind_histogram.get(record.kind, 0) + 1
+            )
+            if record.used:
+                summary.used += 1
+                if record.full:
+                    summary.full += 1
+                if record.lead_time >= 0:
+                    lead_times.append(record.lead_time)
+            if record.fill_latency >= 0:
+                fill_latencies.append(record.fill_latency)
+        if fill_latencies:
+            summary.mean_fill_latency = (
+                sum(fill_latencies) / len(fill_latencies)
+            )
+        if lead_times:
+            summary.mean_lead_time = sum(lead_times) / len(lead_times)
+        return summary

@@ -1,0 +1,82 @@
+"""Multi-seed statistics: are the speedups robust to workload randomness?
+
+Workload generation is seeded; a single seed gives one draw of structure
+layouts, probe sequences, and branch outcomes.  :func:`seed_sweep` runs a
+configuration across several seeds and reports mean, standard deviation,
+and a (normal-approximation) 95% confidence interval for the speedup —
+cheap rigor the original paper's single-trace methodology could not offer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.simulator import TimingSimulator
+from repro.params import MachineConfig
+from repro.workloads.suite import build_benchmark
+
+__all__ = ["SeedStatistics", "seed_sweep"]
+
+
+@dataclass
+class SeedStatistics:
+    benchmark: str
+    speedups: list
+
+    @property
+    def n(self) -> int:
+        return len(self.speedups)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.speedups) / self.n if self.n else 0.0
+
+    @property
+    def stdev(self) -> float:
+        if self.n < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((s - mean) ** 2 for s in self.speedups) / (self.n - 1)
+        return math.sqrt(variance)
+
+    @property
+    def confidence95(self) -> tuple:
+        """(low, high) of a normal-approximation 95% interval."""
+        if self.n < 2:
+            return (self.mean, self.mean)
+        half = 1.96 * self.stdev / math.sqrt(self.n)
+        return (self.mean - half, self.mean + half)
+
+    def describe(self) -> str:
+        low, high = self.confidence95
+        return "%s: %.3f +/- %.3f  [%.3f, %.3f]  (n=%d)" % (
+            self.benchmark, self.mean, self.stdev, low, high, self.n,
+        )
+
+
+def seed_sweep(
+    config: MachineConfig,
+    benchmark: str,
+    seeds=(1, 2, 3, 4, 5),
+    scale: float = 0.1,
+    baseline_config: MachineConfig | None = None,
+    warmup_fraction: float = 0.25,
+) -> SeedStatistics:
+    """Measure *config*'s speedup over the stride baseline across seeds."""
+    if baseline_config is None:
+        baseline_config = config.with_content(enabled=False).with_markov(
+            enabled=False
+        )
+    speedups = []
+    for seed in seeds:
+        workload = build_benchmark(benchmark, scale=scale, seed=seed)
+        warmup = int(workload.trace.uop_count * warmup_fraction)
+        baseline = TimingSimulator(baseline_config, workload.memory).run(
+            workload.trace, warmup
+        )
+        enhanced = TimingSimulator(config, workload.memory).run(
+            workload.trace, warmup
+        )
+        speedups.append(enhanced.speedup_over(baseline))
+    return SeedStatistics(benchmark=benchmark, speedups=speedups)

@@ -1,0 +1,84 @@
+"""Markdown report rendering for simulation results."""
+
+from __future__ import annotations
+
+__all__ = ["render_markdown_report", "save_markdown_report"]
+
+
+def _percent(value: float) -> str:
+    return "%.1f%%" % (100.0 * value)
+
+
+def render_markdown_report(
+    results: dict,
+    baselines: dict | None = None,
+    title: str = "Simulation report",
+) -> str:
+    """Render named :class:`TimingResult` runs as a markdown document.
+
+    Parameters
+    ----------
+    results:
+        Mapping of run label to :class:`TimingResult`.
+    baselines:
+        Optional mapping of the same labels to baseline results; when
+        present a speedup column is included.
+    """
+    lines = ["# %s" % title, ""]
+    header = ["run", "cycles", "IPC", "UL2 misses", "CDP issued",
+              "CDP accuracy", "full/partial"]
+    if baselines:
+        header.insert(3, "speedup")
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for label, result in results.items():
+        row = [
+            label,
+            "%.0f" % result.cycles,
+            "%.2f" % result.ipc,
+            str(result.unmasked_l2_misses),
+            str(result.content.issued),
+            _percent(result.content.accuracy),
+            "%d / %d" % (result.content.full_hits,
+                         result.content.partial_hits),
+        ]
+        if baselines:
+            baseline = baselines.get(label)
+            speedup = (
+                "%.3f" % result.speedup_over(baseline)
+                if baseline is not None else "-"
+            )
+            row.insert(3, speedup)
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    # Per-run distribution sections.
+    for label, result in results.items():
+        lines.append("## %s — UL2 load-request distribution" % label)
+        lines.append("")
+        distribution = result.load_request_distribution()
+        lines.append("| category | share |")
+        lines.append("|---|---|")
+        for category, fraction in distribution.items():
+            lines.append("| %s | %s |" % (category, _percent(fraction)))
+        lines.append("")
+        kinds = result.content.issued_by_kind
+        if kinds:
+            lines.append("### content prefetches by kind")
+            lines.append("")
+            lines.append("| kind | issued | useful | accuracy |")
+            lines.append("|---|---|---|---|")
+            for kind in sorted(kinds):
+                issued = kinds[kind]
+                useful = result.content.useful_by_kind.get(kind, 0)
+                lines.append("| %s | %d | %d | %s |" % (
+                    kind, issued, useful,
+                    _percent(useful / issued if issued else 0.0),
+                ))
+            lines.append("")
+    return "\n".join(lines)
+
+
+def save_markdown_report(results: dict, path: str, **kwargs) -> None:
+    """Render and write a report to *path*."""
+    with open(path, "w") as handle:
+        handle.write(render_markdown_report(results, **kwargs))

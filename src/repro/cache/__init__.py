@@ -1,0 +1,21 @@
+"""Set-associative cache models with per-line prefetch-depth state.
+
+The UL2's per-line *request depth* bits (2 bits per line, under 0.5 % space
+overhead) are what enable the paper's feedback-directed path reinforcement:
+a hit whose incoming depth is lower than the stored depth promotes the line
+and triggers a rescan (Section 3.4.2).
+"""
+
+from repro.cache.line import CacheLine, Requester
+from repro.cache.mshr import MSHRFile, MissStatus
+from repro.cache.prefetchbuffer import PrefetchBuffer
+from repro.cache.setassoc import SetAssociativeCache
+
+__all__ = [
+    "CacheLine",
+    "MSHRFile",
+    "MissStatus",
+    "PrefetchBuffer",
+    "Requester",
+    "SetAssociativeCache",
+]

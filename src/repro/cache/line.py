@@ -1,0 +1,92 @@
+"""Cache line metadata.
+
+A line records who brought it in (:class:`Requester`), its stored request
+depth (the reinforcement state of Section 3.4.2), and whether it has been
+referenced by a demand access since the fill (used for accuracy stats and
+pollution accounting).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Requester", "CacheLine"]
+
+
+class Requester(enum.IntEnum):
+    """Who issued the memory request that filled a line.
+
+    The integer order is the arbiter priority order of Section 3.5:
+    demand requests first, then stride prefetches ("favored ... because of
+    their higher accuracy"), then content prefetches, then Markov
+    prefetches (same class as content in our model, but kept distinct for
+    accounting).
+    """
+
+    DEMAND = 0
+    STRIDE = 1
+    CONTENT = 2
+    MARKOV = 3
+
+    @property
+    def is_prefetch(self) -> bool:
+        return self is not Requester.DEMAND
+
+
+class CacheLine:
+    """Metadata for one resident cache line."""
+
+    __slots__ = (
+        "tag",
+        "vaddr",
+        "requester",
+        "depth",
+        "referenced",
+        "dirty",
+        "fill_time",
+        "kind",
+    )
+
+    def __init__(
+        self,
+        tag: int,
+        vaddr: int,
+        requester: Requester = Requester.DEMAND,
+        depth: int = 0,
+        fill_time: int = 0,
+        kind: str = "",
+    ) -> None:
+        self.tag = tag
+        # The virtual line address is retained so the on-chip prefetcher can
+        # rescan resident lines (the L2 itself is physically indexed; the
+        # prefetcher works on virtual addresses via the DTLB).
+        self.vaddr = vaddr
+        self.requester = requester
+        self.depth = depth
+        self.referenced = False
+        self.dirty = False
+        self.fill_time = fill_time
+        # PrefetchKind name for prefetched lines ("chain", "next", ...).
+        self.kind = kind
+
+    @property
+    def was_prefetched(self) -> bool:
+        return self.requester.is_prefetch
+
+    def promote(self, depth: int, requester: Requester) -> None:
+        """Lower the stored request depth (reinforcement promotion).
+
+        "When any memory request hits in the cache, and has a request depth
+        less than the stored request depth in the matching cache line ...
+        the stored request depth of the prefetched cache line is updated
+        (promoted)."
+        """
+        if depth < self.depth:
+            self.depth = depth
+        if requester is Requester.DEMAND:
+            self.referenced = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CacheLine(tag=0x%x, req=%s, depth=%d, ref=%s)" % (
+            self.tag, self.requester.name, self.depth, self.referenced,
+        )

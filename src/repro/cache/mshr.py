@@ -1,0 +1,81 @@
+"""Miss-status holding registers: in-flight fill tracking.
+
+The paper's arbiters check "to see if a matching memory transaction is
+currently in-flight" before enqueueing a prefetch (dropped if so), and a
+demand load that encounters an in-flight *prefetch* for the same line
+promotes it to demand priority and depth — positive reinforcement plus a
+partially-masked miss (Section 3.5).  :class:`MSHRFile` is the structure
+both behaviours query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.line import Requester
+
+__all__ = ["MissStatus", "MSHRFile"]
+
+
+@dataclass
+class MissStatus:
+    """One in-flight line fill."""
+
+    line_paddr: int
+    line_vaddr: int
+    requester: Requester
+    depth: int
+    issue_time: int
+    fill_time: int
+    # Demand requests that arrived while this fill was in flight; each one
+    # is a partially-masked miss if the original request was a prefetch.
+    demand_waiters: int = 0
+    promoted: bool = False
+    extra: dict = field(default_factory=dict)
+
+    def promote_to_demand(self) -> None:
+        """A demand load matched this in-flight prefetch."""
+        self.demand_waiters += 1
+        if self.requester.is_prefetch and not self.promoted:
+            self.promoted = True
+            self.depth = 0
+
+
+class MSHRFile:
+    """Tracks fills in flight between the L2 and memory."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[int, MissStatus] = {}
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def __contains__(self, line_paddr: int) -> bool:
+        return line_paddr in self._inflight
+
+    def lookup(self, line_paddr: int) -> MissStatus | None:
+        return self._inflight.get(line_paddr)
+
+    def allocate(self, status: MissStatus) -> None:
+        if status.line_paddr in self._inflight:
+            raise ValueError(
+                "duplicate in-flight fill for line 0x%x" % status.line_paddr
+            )
+        self._inflight[status.line_paddr] = status
+        if len(self._inflight) > self.peak_occupancy:
+            self.peak_occupancy = len(self._inflight)
+
+    def complete(self, line_paddr: int) -> MissStatus:
+        """Retire the in-flight entry when its fill arrives."""
+        status = self._inflight.pop(line_paddr, None)
+        if status is None:
+            raise KeyError("no in-flight fill for line 0x%x" % line_paddr)
+        return status
+
+    def cancel(self, line_paddr: int) -> MissStatus | None:
+        """Drop an in-flight entry (squashed prefetch)."""
+        return self._inflight.pop(line_paddr, None)
+
+    def inflight_lines(self) -> list[int]:
+        return list(self._inflight)

@@ -1,0 +1,151 @@
+"""Set-associative cache with true-LRU replacement.
+
+Each set is an ``OrderedDict`` mapping tag to :class:`CacheLine`; moving a
+line to the end on access gives O(1) true LRU.  The cache is indexed by
+whatever address the caller passes (the L1 is virtually indexed, the UL2
+physically indexed — the caller chooses).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.cache.line import CacheLine, Requester
+from repro.params import CacheConfig
+
+__all__ = ["CacheStats", "SetAssociativeCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    fills: int = 0
+    prefetch_fills_by: dict = field(default_factory=dict)
+    useful_prefetches_by: dict = field(default_factory=dict)
+    polluting_evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def record_prefetch_fill(self, requester: Requester) -> None:
+        key = requester.name
+        self.prefetch_fills_by[key] = self.prefetch_fills_by.get(key, 0) + 1
+
+    def record_useful_prefetch(self, requester: Requester) -> None:
+        key = requester.name
+        self.useful_prefetches_by[key] = (
+            self.useful_prefetches_by.get(key, 0) + 1
+        )
+
+
+class SetAssociativeCache:
+    """A single cache level."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        self._num_sets = config.num_sets
+        self._line_shift = config.line_size.bit_length() - 1
+        self._sets: list[OrderedDict[int, CacheLine]] = [
+            OrderedDict() for _ in range(self._num_sets)
+        ]
+
+    # -- geometry -----------------------------------------------------------
+
+    def set_index(self, address: int) -> int:
+        return (address >> self._line_shift) % self._num_sets
+
+    def tag_of(self, address: int) -> int:
+        return address >> self._line_shift
+
+    # -- access -------------------------------------------------------------
+
+    def lookup(self, address: int, update_lru: bool = True) -> CacheLine | None:
+        """Access the cache; returns the line on a hit, ``None`` on a miss.
+
+        Counts towards hit/miss statistics.  Use :meth:`peek` for
+        non-architectural probes (e.g. the prefetcher checking whether a
+        candidate already resides in the cache).
+        """
+        self.stats.accesses += 1
+        cache_set = self._sets[self.set_index(address)]
+        tag = self.tag_of(address)
+        line = cache_set.get(tag)
+        if line is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if update_lru:
+            cache_set.move_to_end(tag)
+        return line
+
+    def peek(self, address: int) -> CacheLine | None:
+        """Probe without touching LRU state or statistics."""
+        return self._sets[self.set_index(address)].get(self.tag_of(address))
+
+    def fill(
+        self,
+        address: int,
+        vaddr: int | None = None,
+        requester: Requester = Requester.DEMAND,
+        depth: int = 0,
+        time: int = 0,
+        kind: str = "",
+    ) -> CacheLine | None:
+        """Insert the line containing *address*; returns the evicted line.
+
+        If the line is already resident its metadata is promoted instead of
+        being refilled (a prefetch that raced a demand fill, for example).
+        """
+        cache_set = self._sets[self.set_index(address)]
+        tag = self.tag_of(address)
+        existing = cache_set.get(tag)
+        if existing is not None:
+            existing.promote(depth, requester)
+            cache_set.move_to_end(tag)
+            return None
+        victim = None
+        if len(cache_set) >= self.config.associativity:
+            _, victim = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.was_prefetched and not victim.referenced:
+                self.stats.polluting_evictions += 1
+        line = CacheLine(
+            tag,
+            vaddr if vaddr is not None else address,
+            requester=requester,
+            depth=depth,
+            fill_time=time,
+            kind=kind,
+        )
+        cache_set[tag] = line
+        self.stats.fills += 1
+        if requester.is_prefetch:
+            self.stats.record_prefetch_fill(requester)
+        return victim
+
+    def invalidate(self, address: int) -> CacheLine | None:
+        """Remove and return the line containing *address*, if resident."""
+        cache_set = self._sets[self.set_index(address)]
+        return cache_set.pop(self.tag_of(address), None)
+
+    # -- introspection --------------------------------------------------------
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def contents(self) -> list[CacheLine]:
+        """All resident lines (test/debug helper)."""
+        return [line for s in self._sets for line in s.values()]
+
+    def lru_order(self, address: int) -> list[int]:
+        """Tags in the set of *address*, LRU first (test helper)."""
+        return list(self._sets[self.set_index(address)])

@@ -1,0 +1,97 @@
+"""Machine-configuration serialization (JSON).
+
+Lets experiment configurations live in version-controlled files::
+
+    config = load_machine_config("machines/paper.json")
+    save_machine_config(config.with_content(depth_threshold=5), "deep.json")
+
+The JSON layout mirrors the dataclass structure: one object per component,
+omitted fields take the Table 1 defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.params import (
+    BusConfig,
+    CacheConfig,
+    ContentConfig,
+    CoreConfig,
+    MachineConfig,
+    MarkovConfig,
+    StrideConfig,
+    TLBConfig,
+)
+
+__all__ = [
+    "machine_config_to_dict",
+    "machine_config_from_dict",
+    "save_machine_config",
+    "load_machine_config",
+]
+
+_COMPONENTS = {
+    "core": CoreConfig,
+    "l1d": CacheConfig,
+    "ul2": CacheConfig,
+    "dtlb": TLBConfig,
+    "bus": BusConfig,
+    "stride": StrideConfig,
+    "content": ContentConfig,
+    "markov": MarkovConfig,
+}
+
+
+def machine_config_to_dict(config: MachineConfig) -> dict:
+    """Convert a :class:`MachineConfig` to plain nested dicts."""
+    return {
+        name: dataclasses.asdict(getattr(config, name))
+        for name in _COMPONENTS
+    }
+
+
+def machine_config_from_dict(data: dict) -> MachineConfig:
+    """Build a :class:`MachineConfig` from (possibly partial) dicts.
+
+    Unknown component or field names raise ``ValueError`` — a silently
+    ignored typo in a config file is worse than an error.
+    """
+    kwargs = {}
+    unknown = set(data) - set(_COMPONENTS)
+    if unknown:
+        raise ValueError(
+            "unknown machine components: %s" % ", ".join(sorted(unknown))
+        )
+    for name, cls in _COMPONENTS.items():
+        if name not in data:
+            continue
+        fields = {f.name for f in dataclasses.fields(cls)}
+        component = data[name]
+        bad = set(component) - fields
+        if bad:
+            raise ValueError(
+                "unknown fields for %s: %s" % (name, ", ".join(sorted(bad)))
+            )
+        if name in ("l1d", "ul2"):
+            # CacheConfig has required fields; merge over the defaults.
+            defaults = dataclasses.asdict(getattr(MachineConfig(), name))
+            defaults.update(component)
+            component = defaults
+        kwargs[name] = cls(**component)
+    return MachineConfig(**kwargs)
+
+
+def save_machine_config(config: MachineConfig, path: str) -> None:
+    """Write *config* to *path* as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(machine_config_to_dict(config), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+def load_machine_config(path: str) -> MachineConfig:
+    """Read a machine configuration from a JSON file."""
+    with open(path) as handle:
+        return machine_config_from_dict(json.load(handle))

@@ -1,0 +1,25 @@
+"""Simulation engines.
+
+Two simulators share the same caches, prefetchers and workloads:
+
+* :class:`~repro.core.functional.FunctionalSimulator` — no timing; used for
+  warm-up/MPTU characterisation (Figure 1, Table 2) and for tuning the
+  pointer-recognition heuristic with coverage/accuracy (Figures 7 and 8),
+  exactly the role the paper assigns those metrics ("they are being used
+  strictly as a means of tuning the prefetch algorithm").
+* :class:`~repro.core.simulator.TimingSimulator` — the cycle-level model
+  (out-of-order core approximation + event-driven memory system) used for
+  all speedup results (Figure 9 onward).
+"""
+
+from repro.core.functional import FunctionalSimulator
+from repro.core.results import FunctionalResult, TimingResult
+from repro.core.simulator import TimingSimulator, run_pair
+
+__all__ = [
+    "FunctionalResult",
+    "FunctionalSimulator",
+    "TimingResult",
+    "TimingSimulator",
+    "run_pair",
+]

@@ -1,0 +1,244 @@
+"""Functional (untimed) cache simulator.
+
+Prefetches complete instantly here, so every covered miss is a "full" hit —
+which is exactly why the paper restricts coverage/accuracy to *tuning* the
+heuristic ("they ... should not be construed as providing any true insight
+into the performance").  This simulator serves three experiments:
+
+* Figure 1 / Table 2 — MPTU (demand L2 misses per 1000 µops), windowed and
+  aggregate, at 1 MB and 4 MB UL2 sizes;
+* Figures 7 and 8 — adjusted coverage/accuracy sweeps over the matcher's
+  compare/filter/align/step knobs.
+
+"Adjusted" means content prefetches the stride prefetcher would also have
+issued are subtracted (the paper isolates the content prefetcher's own
+contribution); we implement that with a non-mutating
+:meth:`StridePrefetcher.would_cover` probe at content-issue time.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.line import Requester
+from repro.core.results import FunctionalResult
+from repro.memory.backing import BackingMemory
+from repro.memory.pagetable import PageTable
+from repro.params import MachineConfig
+from repro.prefetch.base import PrefetchCandidate
+from repro.prefetch.content import ContentPrefetcher
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.trace.ops import BRANCH, COMPUTE, LOAD, Trace
+
+__all__ = ["FunctionalSimulator"]
+
+
+class FunctionalSimulator:
+    """Runs a trace through the cache hierarchy with zero-latency fills."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        memory: BackingMemory,
+        page_table: PageTable | None = None,
+        mptu_window_uops: int = 0,
+    ) -> None:
+        self.config = config
+        self.hier = CacheHierarchy(config, memory, page_table)
+        self.stride = StridePrefetcher(config.stride, config.line_size)
+        self.content = ContentPrefetcher(config.content, config.line_size)
+        self.markov = (
+            MarkovPrefetcher(config.markov, config.line_size)
+            if config.markov.enabled else None
+        )
+        self.result = FunctionalResult("run")
+        self.result.mptu_window_uops = mptu_window_uops
+        self._line_mask = ~(config.line_size - 1) & 0xFFFF_FFFF
+        # Lines the stride prefetcher has issued, and the subset of
+        # content-prefetched lines that overlap them (for the adjusted
+        # metrics of Figures 7/8).
+        self._stride_lines: set[int] = set()
+        self._content_overlap: set[int] = set()
+        # Prefetch fills whose issue was counted (i.e. happened after
+        # warm-up); only their hits count as useful, keeping coverage and
+        # accuracy consistent across the warm-up boundary.
+        self._counted_fills: set[int] = set()
+        self._window_misses = 0
+        self._window_uops = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Trace, warmup_uops: int = 0) -> FunctionalResult:
+        """Simulate *trace*; statistics exclude the first *warmup_uops*."""
+        result = self.result
+        result.name = trace.name
+        measuring = warmup_uops == 0
+        uops_seen = 0
+        for op in trace.ops:
+            kind = op[0]
+            if kind == COMPUTE:
+                uops_seen += op[1]
+                self._tick_window(op[1], measuring)
+            elif kind == BRANCH:
+                uops_seen += 1
+                self._tick_window(1, measuring)
+            else:
+                uops_seen += 1
+                self._tick_window(1, measuring)
+                is_load = kind == LOAD
+                self._access(op[1], op[2], is_load, measuring)
+                if measuring:
+                    if is_load:
+                        result.loads += 1
+                    else:
+                        result.stores += 1
+            if not measuring and uops_seen >= warmup_uops:
+                measuring = True
+        result.uops = max(0, trace.uop_count - warmup_uops)
+        result.instructions = trace.instruction_count
+        result.tlb_misses = self.hier.dtlb.stats.misses
+        return result
+
+    def _tick_window(self, uops: int, measuring: bool) -> None:
+        window = self.result.mptu_window_uops
+        if not window or not measuring:
+            return
+        self._window_uops += uops
+        while self._window_uops >= window:
+            self.result.mptu_trace.append(
+                1000.0 * self._window_misses / window
+            )
+            self._window_misses = 0
+            self._window_uops -= window
+
+    # ------------------------------------------------------------------
+
+    def _access(self, vaddr: int, pc: int, is_load: bool, measuring: bool) -> None:
+        result = self.result
+        if self.hier.l1.lookup(vaddr) is not None:
+            return
+        if measuring:
+            result.demand_l1_misses += 1
+        stride_candidates = self.stride.observe(pc, vaddr)
+        translation = self.hier.translate(vaddr)
+        paddr = translation.paddr
+        for candidate in stride_candidates:
+            self._prefetch(candidate, Requester.STRIDE, measuring)
+        if measuring:
+            result.l2_requests += 1
+        line = self.hier.l2.lookup(paddr)
+        line_v = vaddr & self._line_mask
+        if line is not None:
+            self._demand_hit(line, paddr, vaddr, measuring)
+        else:
+            if measuring:
+                result.demand_l2_misses += 1
+                self._window_misses += 1
+            self._counted_fills.discard(paddr & self._line_mask)
+            self.hier.l2.fill(paddr, vaddr=line_v, requester=Requester.DEMAND)
+            if self.markov is not None:
+                for candidate in self.markov.observe_miss(
+                    vaddr, bool(stride_candidates)
+                ):
+                    self._prefetch(candidate, Requester.MARKOV, measuring)
+            self._scan(line_v, vaddr, depth=0, measuring=measuring)
+        self.hier.l1.fill(vaddr, vaddr=line_v)
+
+    def _demand_hit(
+        self, line, paddr: int, vaddr: int, measuring: bool
+    ) -> None:
+        line_p = paddr & self._line_mask
+        if (
+            line.was_prefetched and not line.referenced and measuring
+            and line_p in self._counted_fills
+        ):
+            self._counted_fills.discard(line_p)
+            acct = self._accounting(line.requester)
+            acct.full_hits += 1
+            if (
+                line.requester is Requester.CONTENT
+                and line_p in self._content_overlap
+            ):
+                self.result.content_useful_overlap += 1
+        rescan = self.content.should_rescan(line.depth, 0)
+        line.promote(0, Requester.DEMAND)
+        if rescan:
+            self._scan(line.vaddr, vaddr, depth=0, measuring=measuring)
+
+    def _accounting(self, requester: Requester):
+        if requester is Requester.STRIDE:
+            return self.result.stride
+        if requester is Requester.MARKOV:
+            return self.result.markov
+        return self.result.content
+
+    # ------------------------------------------------------------------
+
+    def _prefetch(
+        self, candidate: PrefetchCandidate, requester: Requester,
+        measuring: bool,
+    ) -> None:
+        acct = self._accounting(requester)
+        line_v = candidate.vaddr & self._line_mask
+        paddr = self.hier.dtlb.peek(candidate.vaddr)
+        if paddr is None:
+            if (
+                requester is Requester.CONTENT
+                and self.config.content.placement == "offchip"
+            ):
+                acct.dropped_untranslated += 1
+                return
+            if not self.hier.page_table.is_mapped(candidate.vaddr):
+                if measuring:
+                    acct.dropped_unmapped += 1
+                return
+            translation = self.hier.translate(candidate.vaddr)
+            paddr = translation.paddr
+            if measuring:
+                self.result.prefetch_page_walks += 1
+        line_p = paddr & self._line_mask
+        if requester is Requester.STRIDE:
+            self._stride_lines.add(line_p)
+        resident = self.hier.l2.peek(line_p)
+        if resident is not None:
+            if self.content.should_rescan(resident.depth, candidate.depth):
+                resident.promote(candidate.depth, requester)
+                self._scan(
+                    resident.vaddr, candidate.vaddr, candidate.depth,
+                    measuring,
+                )
+            acct.dropped_resident += 1
+            return
+        if measuring:
+            acct.issued += 1
+            self._counted_fills.add(line_p)
+        else:
+            self._counted_fills.discard(line_p)
+        if requester is Requester.CONTENT:
+            if line_p in self._stride_lines:
+                self._content_overlap.add(line_p)
+                if measuring:
+                    self.result.content_issued_overlap += 1
+            else:
+                self._content_overlap.discard(line_p)
+        self.hier.l2.fill(
+            line_p,
+            vaddr=line_v,
+            requester=requester,
+            depth=self.content.clamp_depth(candidate.depth),
+        )
+        # Prefetch fills are themselves scanned (the recurrence component).
+        if requester is Requester.CONTENT:
+            self._scan(line_v, candidate.vaddr, candidate.depth, measuring)
+
+    def _scan(
+        self, line_vaddr: int, effective_vaddr: int, depth: int,
+        measuring: bool,
+    ) -> None:
+        if not self.config.content.enabled:
+            return
+        line_bytes = self.hier.read_line_bytes(line_vaddr)
+        for candidate in self.content.scan_fill(
+            line_vaddr, line_bytes, effective_vaddr, depth
+        ):
+            self._prefetch(candidate, Requester.CONTENT, measuring)

@@ -1,0 +1,622 @@
+"""Event-driven timing model of the memory system of Figure 6.
+
+The core (see :mod:`repro.core.cpu`) calls :meth:`TimingMemorySystem.load`
+and :meth:`~TimingMemorySystem.store` with the cycle at which each access
+executes; the memory system returns the access latency and, internally,
+advances an event queue that models:
+
+* the L1 (virtually indexed) and UL2 (physically indexed) caches;
+* the DTLB and hardware page walker (walk fills bypass the scanner);
+* the stride prefetcher observing L1 miss traffic;
+* the content prefetcher scanning a copy of all UL2 fill traffic and
+  issuing chained/width prefetches, with per-line depth bits, promotion,
+  and reinforcement rescans through the L2 port;
+* the optional Markov prefetcher observing UL2 demand misses;
+* a priority bus arbiter (demand > stride > content/markov; shallower
+  depth first) with squash-on-full and displace-for-demand semantics;
+* a serially-occupied front-side bus with a fixed fill latency.
+
+Timing approximations (documented in DESIGN.md): demand requests claim the
+bus at request time (which realises their top arbiter priority), and cache
+state queries slightly in the past are answered with present state — the
+event queue only moves forward.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.line import Requester
+from repro.cache.mshr import MissStatus, MSHRFile
+from repro.cache.prefetchbuffer import PrefetchBuffer
+from repro.core.results import PrefetchAccounting, TimingResult
+from repro.interconnect.arbiter import MemoryRequest, PriorityArbiter
+from repro.interconnect.bus import Bus, L2Port
+from repro.params import BusConfig, MachineConfig
+from repro.prefetch.base import PrefetchCandidate
+from repro.prefetch.content import ContentPrefetcher
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+__all__ = ["TimingMemorySystem"]
+
+_EV_FILL = 0
+_EV_BUS = 1
+
+# A fill_time of -1 marks an in-flight entry still queued at the bus
+# arbiter (not yet granted).
+_NOT_GRANTED = -1
+
+
+class TimingMemorySystem:
+    """The full memory side of the machine."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        hierarchy: CacheHierarchy,
+        stride: StridePrefetcher,
+        content: ContentPrefetcher,
+        markov: MarkovPrefetcher | None = None,
+        result: TimingResult | None = None,
+        adaptive=None,
+    ) -> None:
+        self.config = config
+        self.hier = hierarchy
+        self.stride = stride
+        self.content = content
+        self.markov = markov
+        self.adaptive = adaptive
+        self.result = result if result is not None else TimingResult("mem")
+        self.bus = Bus(config.bus, line_size=config.line_size)
+        self.l2_port = L2Port(config.bus.l2_throughput)
+        self.bus_arbiter = PriorityArbiter(
+            config.bus.bus_queue_size, name="bus"
+        )
+        self.mshr = MSHRFile()
+        # Optional dedicated prefetch buffer (fill_target="buffer").
+        self.prefetch_buffer = (
+            PrefetchBuffer(config.content.buffer_entries)
+            if config.content.fill_target == "buffer" else None
+        )
+        self.now = 0
+        self._events: list = []
+        self._seq = itertools.count()
+        self._bus_service_pending = False
+        self._line_mask = ~(config.line_size - 1) & 0xFFFF_FFFF
+        # L2-queue backlog limit: rescans are dropped once the port backlog
+        # (in accesses) exceeds the 128-entry L2 queue.
+        self._l2_queue_limit = (
+            config.bus.l2_queue_size * config.bus.l2_throughput
+        )
+        self.dropped_rescans = 0
+        # Section 3.5 limit study: when enabled, bad prefetches are
+        # injected whenever the bus is idle, forcing UL2 evictions.
+        self.inject_pollution = False
+        self.pollution_fills = 0
+        self._pollution_cursor = 0xE000_0000
+        # Injection is paced at Table 1's bus occupancy (one line per ~60
+        # cycles): the paper injected on idle cycles of *that* bus; the
+        # model machine's scaled-up bandwidth must not multiply the
+        # injection rate.
+        self._pollution_interval = max(
+            self.bus.occupancy, BusConfig().line_occupancy(config.line_size)
+        )
+        self._last_pollution = -10**9
+        # Optional observer (see repro.analysis): receives prefetch
+        # lifecycle callbacks.  Kept None in normal runs.
+        self.observer = None
+
+    # ------------------------------------------------------------------
+    # event machinery
+    # ------------------------------------------------------------------
+
+    def _post(self, time: int, kind: int, payload) -> None:
+        heapq.heappush(self._events, (time, next(self._seq), kind, payload))
+
+    def _advance(self, time: int) -> None:
+        events = self._events
+        while events and events[0][0] <= time:
+            ev_time, _, kind, payload = heapq.heappop(events)
+            if ev_time > self.now:
+                self.now = ev_time
+            if kind == _EV_FILL:
+                self._complete_fill(payload, ev_time)
+            else:
+                self._service_bus(ev_time)
+        if time > self.now:
+            self.now = time
+
+    def advance_to(self, time: int) -> None:
+        """Process all memory-system events up to *time*."""
+        self._advance(time)
+
+    def drain(self) -> int:
+        """Run all outstanding events; returns the final event time."""
+        while self._events:
+            self._advance(self._events[0][0])
+        return self.now
+
+    # ------------------------------------------------------------------
+    # demand path
+    # ------------------------------------------------------------------
+
+    def load(self, vaddr: int, pc: int, time: int) -> int:
+        """Execute a demand load at cycle *time*; returns its latency."""
+        return self._demand_access(vaddr, pc, time, is_load=True)
+
+    def store(self, vaddr: int, pc: int, time: int) -> int:
+        """Execute a demand store (write-allocate); returns fill latency."""
+        return self._demand_access(vaddr, pc, time, is_load=False)
+
+    def _demand_access(
+        self, vaddr: int, pc: int, time: int, is_load: bool
+    ) -> int:
+        self._advance(time)
+        if self.inject_pollution:
+            self._maybe_inject_pollution(time)
+        l1 = self.hier.l1
+        if l1.lookup(vaddr) is not None:
+            if not is_load:
+                # Stores that hit the L1 dirty the L2 copy too (the model
+                # has no separate L1 writeback path).
+                paddr = self.hier.dtlb.peek(vaddr)
+                if paddr is not None:
+                    resident = self.hier.l2.peek(paddr & self._line_mask)
+                    if resident is not None:
+                        resident.dirty = True
+            return l1.config.latency
+        self.result.demand_l1_misses += 1
+        # The stride prefetcher monitors all L1 miss traffic (Figure 6).
+        stride_candidates = self.stride.observe(pc, vaddr)
+        # Translation: the L2 is physically indexed.
+        walk_latency = 0
+        paddr = self.hier.dtlb.translate(vaddr)
+        if paddr is None:
+            self.result.demand_page_walks += 1
+            walk_latency, paddr = self._page_walk(vaddr, time, prefetch=False)
+        for candidate in stride_candidates:
+            self._issue_prefetch(candidate, Requester.STRIDE, time)
+        t_l2 = time + walk_latency
+        self.result.demand_l2_requests += 1
+        line_p = paddr & self._line_mask
+        line_v = vaddr & self._line_mask
+        slot = self.l2_port.reserve(t_l2)
+        line = self.hier.l2.lookup(paddr)
+        if line is not None:
+            return self._demand_l2_hit(
+                line, line_p, vaddr, time, slot, is_load
+            )
+        if self.prefetch_buffer is not None:
+            buffered = self.prefetch_buffer.promote(line_p)
+            if buffered is not None:
+                return self._demand_buffer_hit(
+                    buffered, line_p, vaddr, time, slot, is_load
+                )
+        status = self.mshr.lookup(line_p)
+        if status is not None:
+            return self._demand_mshr_hit(status, time, slot, is_load)
+        return self._demand_l2_miss(
+            line_p, line_v, vaddr, pc, time, slot,
+            bool(stride_candidates), is_load,
+        )
+
+    def _demand_l2_hit(
+        self, line, line_p: int, vaddr: int, time: int, slot: int,
+        is_load: bool,
+    ) -> int:
+        l2_latency = self.hier.l2.config.latency
+        latency = (slot - time) + self.hier.l1.config.latency + l2_latency
+        if is_load and line.was_prefetched and not line.referenced:
+            # A demand access found a prefetched line resident: the
+            # prefetch fully masked the would-be miss.
+            acct = self._accounting(line.requester)
+            if acct is not None:
+                acct.full_hits += 1
+                if line.kind:
+                    acct.record_useful_kind(line.kind)
+                if self.observer is not None:
+                    self.observer.on_prefetch_hit(line_p, time, full=True)
+                if self.adaptive is not None and line.requester is Requester.CONTENT:
+                    self.adaptive.record_outcome(True)
+        rescan = self.content.should_rescan(line.depth, 0)
+        line.promote(0, Requester.DEMAND)
+        if not is_load:
+            line.dirty = True
+        if rescan:
+            self._rescan(line.vaddr, line_p, vaddr, depth=0, time=slot)
+        self.hier.l1.fill(vaddr, vaddr=vaddr & self._line_mask)
+        return latency
+
+    def _demand_buffer_hit(
+        self, buffered, line_p: int, vaddr: int, time: int, slot: int,
+        is_load: bool,
+    ) -> int:
+        """Demand hit in the prefetch buffer: move the line into the UL2.
+
+        Costs one extra port slot for the transfer; otherwise L2-hit
+        latency — the buffer sits beside the cache.
+        """
+        transfer_slot = self.l2_port.reserve(slot)
+        latency = (
+            (transfer_slot - time) + self.hier.l1.config.latency
+            + self.hier.l2.config.latency
+        )
+        if is_load:
+            acct = self._accounting(buffered.requester)
+            if acct is not None:
+                acct.full_hits += 1
+                if buffered.kind:
+                    acct.record_useful_kind(buffered.kind)
+                if self.observer is not None:
+                    self.observer.on_prefetch_hit(
+                        line_p, transfer_slot, full=True
+                    )
+        victim = self.hier.l2.fill(
+            line_p, vaddr=buffered.vaddr, requester=buffered.requester,
+            depth=buffered.depth, time=transfer_slot, kind=buffered.kind,
+        )
+        resident = self.hier.l2.peek(line_p)
+        if resident is not None:
+            rescan = self.content.should_rescan(resident.depth, 0)
+            resident.promote(0, Requester.DEMAND)
+            if not is_load:
+                resident.dirty = True
+            if rescan:
+                self._rescan(
+                    resident.vaddr, line_p, vaddr, depth=0,
+                    time=transfer_slot,
+                )
+        self._write_back(victim, transfer_slot)
+        self.hier.l1.fill(vaddr, vaddr=vaddr & self._line_mask)
+        return latency
+
+    def _demand_mshr_hit(
+        self, status: MissStatus, time: int, slot: int, is_load: bool
+    ) -> int:
+        first_match = status.demand_waiters == 0
+        was_prefetch = status.requester.is_prefetch
+        if was_prefetch:
+            # The in-flight prefetch is promoted to demand priority; the
+            # depth reset (which keeps the chain alive when the fill is
+            # scanned) is part of the path-reinforcement mechanism of
+            # Figure 3 and is gated accordingly.
+            status.demand_waiters += 1
+            if not status.promoted:
+                status.promoted = True
+                if self.config.content.reinforcement:
+                    status.depth = 0
+        else:
+            status.demand_waiters += 1
+        if status.fill_time == _NOT_GRANTED:
+            # Still queued at the bus arbiter: the demand claims the bus
+            # itself (top priority); the queued prefetch earned nothing.
+            grant, fill = self.bus.grant(slot)
+            status.fill_time = fill
+            self._post(fill, _EV_FILL, status)
+            if is_load and first_match:
+                self.result.unmasked_l2_misses += 1
+            return (fill - time) + self.hier.l1.config.latency
+        # Granted and in flight: wait for the scheduled fill — a partially
+        # masked miss if the original request was a prefetch.
+        wait = max(0, status.fill_time - slot)
+        if is_load and first_match and was_prefetch:
+            acct = self._accounting(status.requester)
+            if acct is not None:
+                acct.partial_hits += 1
+                kind = status.extra.get("kind", "")
+                if kind:
+                    acct.record_useful_kind(kind)
+                if self.observer is not None:
+                    self.observer.on_prefetch_hit(
+                        status.line_paddr, slot, full=False
+                    )
+                if self.adaptive is not None and status.requester is Requester.CONTENT:
+                    self.adaptive.record_outcome(True)
+        return (slot - time) + self.hier.l1.config.latency + wait
+
+    def _demand_l2_miss(
+        self, line_p: int, line_v: int, vaddr: int, pc: int,
+        time: int, slot: int, stride_covered: bool, is_load: bool,
+    ) -> int:
+        if is_load:
+            self.result.unmasked_l2_misses += 1
+        grant, fill = self.bus.grant(slot)
+        status = MissStatus(
+            line_p, line_v, Requester.DEMAND, depth=0,
+            issue_time=slot, fill_time=fill,
+        )
+        status.extra["eff_vaddr"] = vaddr
+        status.extra["fill_l1"] = True
+        if not is_load:
+            status.extra["dirty"] = True
+        self.mshr.allocate(status)
+        self._post(fill, _EV_FILL, status)
+        if self.markov is not None:
+            for candidate in self.markov.observe_miss(vaddr, stride_covered):
+                self._issue_prefetch(candidate, Requester.MARKOV, time)
+        return (fill - time) + self.hier.l1.config.latency
+
+    def _maybe_inject_pollution(self, time: int) -> None:
+        """Inject a bad prefetch on an idle bus (the Section 3.5 study)."""
+        if self.bus.busy_at(time):
+            return
+        if time - self._last_pollution < self._pollution_interval:
+            return
+        self._last_pollution = time
+        line = self._pollution_cursor
+        self._pollution_cursor += self.config.line_size
+        if self._pollution_cursor >= 0xE000_0000 + (8 << 20):
+            self._pollution_cursor = 0xE000_0000
+        if line in self.mshr:
+            return
+        _, fill = self.bus.grant(time)
+        status = MissStatus(
+            line, line, Requester.CONTENT,
+            depth=self.config.content.depth_threshold,
+            issue_time=time, fill_time=fill,
+        )
+        status.extra["pollution"] = True
+        self.mshr.allocate(status)
+        self._post(fill, _EV_FILL, status)
+        self.pollution_fills += 1
+
+    # ------------------------------------------------------------------
+    # page walking
+    # ------------------------------------------------------------------
+
+    def _page_walk(
+        self, vaddr: int, time: int, prefetch: bool
+    ) -> tuple[int, int]:
+        """Walk the page table; returns ``(latency, paddr)``.
+
+        Walk fills go through the L2/bus for timing but bypass the content
+        prefetcher's scanner (Section 3.5).
+        """
+        table = self.hier.page_table
+        paddr = table.translate(vaddr)
+        latency = 0
+        for walk_addr in table.walk_addresses(vaddr):
+            walk_line = walk_addr & self._line_mask
+            slot = self.l2_port.reserve(time + latency)
+            if self.hier.l2.peek(walk_line) is not None:
+                latency = (slot - time) + self.hier.l2.config.latency
+            elif prefetch:
+                # Speculative walks yield to demand traffic: the PT read
+                # pays the full memory latency but does not claim a bus
+                # slot ahead of demand fills (it drains in arbiter slack).
+                latency = (slot - time) + self.bus.latency
+                self.hier.l2.fill(
+                    walk_line, vaddr=walk_line, time=slot + self.bus.latency
+                )
+            else:
+                grant, fill = self.bus.grant(slot)
+                latency = fill - time
+                self.hier.l2.fill(walk_line, vaddr=walk_line, time=fill)
+        self.hier.dtlb.insert(vaddr, paddr, prefetch=prefetch)
+        if prefetch:
+            self.result.prefetch_page_walks += 1
+        return latency, paddr
+
+    # ------------------------------------------------------------------
+    # prefetch path
+    # ------------------------------------------------------------------
+
+    def _accounting(self, requester: Requester) -> PrefetchAccounting | None:
+        if requester is Requester.STRIDE:
+            return self.result.stride
+        if requester is Requester.CONTENT:
+            return self.result.content
+        if requester is Requester.MARKOV:
+            return self.result.markov
+        return None
+
+    def _issue_prefetch(
+        self, candidate: PrefetchCandidate, requester: Requester, time: int
+    ) -> None:
+        acct = self._accounting(requester)
+        # Translate the candidate virtual address.
+        paddr = self.hier.dtlb.peek(candidate.vaddr)
+        if paddr is None:
+            if (
+                requester is Requester.CONTENT
+                and self.config.content.placement == "offchip"
+            ):
+                # Off-chip placement has no DTLB access (Section 3.2).
+                acct.dropped_untranslated += 1
+                return
+            if not self.hier.page_table.is_mapped(candidate.vaddr):
+                # The walk would find no valid PTE: a junk candidate into
+                # unmapped space.  Hardware drops the prefetch (demand
+                # accesses fault pages in; speculative ones cannot).
+                acct.dropped_unmapped += 1
+                return
+            self.result.prefetch_walk_required += 1
+            walk_latency, paddr = self._page_walk(
+                candidate.vaddr, time, prefetch=True
+            )
+            time += walk_latency
+        line_p = paddr & self._line_mask
+        line_v = candidate.vaddr & self._line_mask
+        if (
+            self.prefetch_buffer is not None
+            and line_p in self.prefetch_buffer
+        ):
+            acct.dropped_resident += 1
+            return
+        # Already resident: drop, but a lower-depth touch reinforces.
+        resident = self.hier.l2.peek(line_p)
+        if resident is not None:
+            if self.content.should_rescan(resident.depth, candidate.depth):
+                resident.promote(candidate.depth, requester)
+                self._rescan(
+                    resident.vaddr, line_p, candidate.vaddr,
+                    depth=candidate.depth, time=time,
+                )
+            acct.dropped_resident += 1
+            return
+        # Matching transaction in flight: drop (and, with reinforcement,
+        # reset its depth — Figure 3's "prefetch mem transaction found
+        # in-flight" case).
+        status = self.mshr.lookup(line_p)
+        if status is not None:
+            if (
+                self.config.content.reinforcement
+                and candidate.depth < status.depth
+            ):
+                status.depth = candidate.depth
+            acct.dropped_inflight += 1
+            return
+        request = MemoryRequest(
+            line_p, line_v, requester, candidate.depth, create_time=time
+        )
+        if not self.bus_arbiter.enqueue(request):
+            acct.squashed_queue_full += 1
+            return
+        acct.issued += 1
+        acct.record_issue_kind(candidate.kind.value)
+        if self.observer is not None:
+            self.observer.on_prefetch_issue(
+                line_p, requester, candidate.depth, candidate.kind.value,
+                time,
+            )
+        status = MissStatus(
+            line_p, line_v, requester, candidate.depth,
+            issue_time=time, fill_time=_NOT_GRANTED,
+        )
+        status.extra["eff_vaddr"] = candidate.trigger_vaddr or candidate.vaddr
+        status.extra["kind"] = candidate.kind.value
+        self.mshr.allocate(status)
+        self._schedule_bus_service(time)
+
+    def _schedule_bus_service(self, time: int) -> None:
+        if self._bus_service_pending:
+            return
+        self._bus_service_pending = True
+        self._post(max(time, self.bus.next_free), _EV_BUS, None)
+
+    def _service_bus(self, time: int) -> None:
+        self._bus_service_pending = False
+        if self.bus.busy_at(time):
+            self._schedule_bus_service(self.bus.next_free)
+            return
+        while True:
+            request = self.bus_arbiter.pop()
+            if request is None:
+                return
+            status = self.mshr.lookup(request.line_paddr)
+            if status is None or status.fill_time != _NOT_GRANTED:
+                # Cancelled, or a demand already claimed this line's fill.
+                continue
+            break
+        grant, fill = self.bus.grant(time)
+        status.fill_time = fill
+        self._post(fill, _EV_FILL, status)
+        if len(self.bus_arbiter):
+            self._schedule_bus_service(self.bus.next_free)
+
+    # ------------------------------------------------------------------
+    # fills and scans
+    # ------------------------------------------------------------------
+
+    def _complete_fill(self, status: MissStatus, time: int) -> None:
+        self.mshr.complete(status.line_paddr)
+        requester = status.requester
+        depth = status.depth
+        if status.promoted:
+            # Promoted fills insert at demand priority; their scan depth is
+            # status.depth, which the reinforcement gating may have reset.
+            requester = Requester.DEMAND
+        if (
+            self.prefetch_buffer is not None
+            and requester.is_prefetch
+        ):
+            self.prefetch_buffer.fill(
+                status.line_paddr, status.line_vaddr, requester,
+                self.content.clamp_depth(depth), time=time,
+                kind=status.extra.get("kind", ""),
+            )
+            victim = None
+        else:
+            victim = self.hier.l2.fill(
+                status.line_paddr,
+                vaddr=status.line_vaddr,
+                requester=requester,
+                depth=self.content.clamp_depth(depth),
+                time=time,
+                kind=status.extra.get("kind", ""),
+            )
+        if status.extra.get("dirty"):
+            resident = self.hier.l2.peek(status.line_paddr)
+            if resident is not None:
+                resident.dirty = True
+        self._write_back(victim, time)
+        if status.extra.get("pollution"):
+            return
+        acct = self._accounting(status.requester)
+        if acct is not None:
+            acct.completed += 1
+            if self.observer is not None:
+                self.observer.on_prefetch_fill(status.line_paddr, time)
+        if status.extra.get("fill_l1") or status.promoted:
+            self.hier.l1.fill(status.line_vaddr, vaddr=status.line_vaddr)
+        # A copy of all UL2 fill traffic goes to the content prefetcher.
+        effective = status.extra.get("eff_vaddr", status.line_vaddr)
+        self._scan(status.line_vaddr, effective, depth, time, rescan=False)
+
+    def _scan(
+        self, line_vaddr: int, effective_vaddr: int, depth: int,
+        time: int, rescan: bool,
+    ) -> None:
+        if not self.config.content.enabled:
+            return
+        slot = self.l2_port.reserve(time, is_rescan=rescan)
+        line_bytes = self.hier.read_line_bytes(line_vaddr)
+        candidates = self.content.scan_fill(
+            line_vaddr, line_bytes, effective_vaddr, depth, is_rescan=rescan
+        )
+        for candidate in candidates:
+            self._issue_prefetch(candidate, Requester.CONTENT, slot)
+
+    def _rescan(
+        self, line_vaddr: int, line_paddr: int, effective_vaddr: int,
+        depth: int, time: int,
+    ) -> None:
+        """Reinforcement rescan of a resident line (Section 3.4.2)."""
+        backlog = self.l2_port.next_free - time
+        if backlog > self._l2_queue_limit:
+            # Rescans can flood the cache read ports; past the L2 queue
+            # depth they are dropped rather than queued indefinitely.
+            self.dropped_rescans += 1
+            return
+        self.result.rescans += 1
+        self._scan(line_vaddr, effective_vaddr, depth, time, rescan=True)
+
+    def _write_back(self, victim, time: int) -> None:
+        """Write a dirty L2 victim back to memory (bus occupancy only)."""
+        if victim is None or not victim.dirty:
+            return
+        self.bus.grant(time)
+        self.result.writebacks += 1
+
+    # ------------------------------------------------------------------
+    # end-of-run bookkeeping
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Drain events and fold component stats into the result."""
+        self.drain()
+        self.result.bus_transfers = self.bus.stats.transfers
+        self.result.bus_queue_delay = self.bus.stats.total_queue_delay
+        self.result.l2_pollution_evictions = (
+            self.hier.l2.stats.polluting_evictions
+        )
+        for requester, acct in (
+            (Requester.STRIDE, self.result.stride),
+            (Requester.CONTENT, self.result.content),
+            (Requester.MARKOV, self.result.markov),
+        ):
+            fills = self.hier.l2.stats.prefetch_fills_by.get(requester.name, 0)
+            acct.evicted_unused = max(0, fills - acct.useful)

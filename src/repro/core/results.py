@@ -1,0 +1,213 @@
+"""Result containers and derived metrics for both simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PrefetchAccounting", "FunctionalResult", "TimingResult"]
+
+
+@dataclass
+class PrefetchAccounting:
+    """Per-prefetcher issue/usefulness/timeliness counters.
+
+    *Full* masking means the demand access found the prefetched line
+    resident in the UL2; *partial* means it matched the prefetch while the
+    fill was still in flight and waited for part of the memory latency
+    (Section 4.2.3 / Figure 10).
+    """
+
+    issued: int = 0
+    completed: int = 0
+    full_hits: int = 0
+    partial_hits: int = 0
+    dropped_resident: int = 0
+    dropped_inflight: int = 0
+    squashed_queue_full: int = 0
+    dropped_untranslated: int = 0
+    # Candidates whose page walk found no valid mapping (junk values that
+    # passed the matcher but point into unmapped space): the walk fails
+    # and the prefetch is dropped — the conservative-GC-style filtering
+    # the scheme inherits for free.
+    dropped_unmapped: int = 0
+    evicted_unused: int = 0
+    # Per-PrefetchKind breakdowns (kind name -> count): which flavour of
+    # candidate (chain / next-line / prev-line / ...) was issued and which
+    # earned a hit.  Drives the deeper-vs-wider analysis.
+    issued_by_kind: dict = field(default_factory=dict)
+    useful_by_kind: dict = field(default_factory=dict)
+
+    def record_issue_kind(self, kind: str) -> None:
+        self.issued_by_kind[kind] = self.issued_by_kind.get(kind, 0) + 1
+
+    def record_useful_kind(self, kind: str) -> None:
+        self.useful_by_kind[kind] = self.useful_by_kind.get(kind, 0) + 1
+
+    def kind_accuracy(self, kind: str) -> float:
+        issued = self.issued_by_kind.get(kind, 0)
+        if not issued:
+            return 0.0
+        return self.useful_by_kind.get(kind, 0) / issued
+
+    @property
+    def useful(self) -> int:
+        return self.full_hits + self.partial_hits
+
+    @property
+    def generated(self) -> int:
+        """Candidates the predictor generated (Equation 2's denominator).
+
+        Includes candidates dropped because their page walk failed — the
+        predictor did generate them; the memory system rejected them.
+        """
+        return self.issued + self.dropped_unmapped + self.dropped_untranslated
+
+    @property
+    def accuracy(self) -> float:
+        """Useful prefetches / prefetches issued."""
+        return self.useful / self.issued if self.issued else 0.0
+
+    @property
+    def generated_accuracy(self) -> float:
+        """Useful prefetches / candidates generated (Equation 2)."""
+        return self.useful / self.generated if self.generated else 0.0
+
+    @property
+    def full_fraction(self) -> float:
+        """Fraction of useful prefetches that fully masked the latency."""
+        return self.full_hits / self.useful if self.useful else 0.0
+
+
+@dataclass
+class FunctionalResult:
+    """Output of a functional (untimed) simulation."""
+
+    name: str
+    uops: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    demand_l1_misses: int = 0
+    demand_l2_misses: int = 0
+    l2_requests: int = 0
+    # Demand L2 misses that would have occurred with prefetching disabled
+    # is approximated as (observed misses + prefetch hits): every prefetch
+    # hit was a miss avoided.
+    stride: PrefetchAccounting = field(default_factory=PrefetchAccounting)
+    content: PrefetchAccounting = field(default_factory=PrefetchAccounting)
+    markov: PrefetchAccounting = field(default_factory=PrefetchAccounting)
+    # Content prefetches (and the hits they earned) that the stride
+    # prefetcher would also have issued — subtracted for Figure 7/8's
+    # "adjusted" metrics.
+    content_issued_overlap: int = 0
+    content_useful_overlap: int = 0
+    # Windowed miss counts for MPTU traces (Figure 1).
+    mptu_window_uops: int = 0
+    mptu_trace: list = field(default_factory=list)
+    tlb_misses: int = 0
+    prefetch_page_walks: int = 0
+
+    @property
+    def misses_without_prefetching(self) -> int:
+        return (
+            self.demand_l2_misses
+            + self.stride.useful
+            + self.content.useful
+            + self.markov.useful
+        )
+
+    @property
+    def mptu(self) -> float:
+        """Demand L2 misses per 1000 µops (the paper's MPTU metric)."""
+        return 1000.0 * self.demand_l2_misses / self.uops if self.uops else 0.0
+
+    def coverage(self, which: str = "content") -> float:
+        """Prefetch hits / misses-without-prefetching (Equation 1)."""
+        acct: PrefetchAccounting = getattr(self, which)
+        base = self.misses_without_prefetching
+        return acct.useful / base if base else 0.0
+
+    def accuracy(self, which: str = "content") -> float:
+        acct: PrefetchAccounting = getattr(self, which)
+        return acct.accuracy
+
+    @property
+    def adjusted_content_coverage(self) -> float:
+        """Content coverage minus hits the stride prefetcher duplicated."""
+        base = self.misses_without_prefetching
+        useful = max(0, self.content.useful - self.content_useful_overlap)
+        return useful / base if base else 0.0
+
+    @property
+    def adjusted_content_accuracy(self) -> float:
+        """Equation 2 over *generated* candidates, stride-adjusted.
+
+        The denominator counts every candidate the predictor produced,
+        including those the failing page walk rejected — that rejection
+        rate is precisely what the compare/filter knobs control.
+        """
+        generated = self.content.generated - self.content_issued_overlap
+        useful = max(0, self.content.useful - self.content_useful_overlap)
+        return useful / generated if generated > 0 else 0.0
+
+
+@dataclass
+class TimingResult:
+    """Output of a timing simulation."""
+
+    name: str
+    cycles: float = 0.0
+    uops: int = 0
+    instructions: int = 0
+    loads: int = 0
+    demand_l1_misses: int = 0
+    demand_l2_requests: int = 0
+    unmasked_l2_misses: int = 0
+    stride: PrefetchAccounting = field(default_factory=PrefetchAccounting)
+    content: PrefetchAccounting = field(default_factory=PrefetchAccounting)
+    markov: PrefetchAccounting = field(default_factory=PrefetchAccounting)
+    demand_page_walks: int = 0
+    prefetch_page_walks: int = 0
+    prefetch_walk_required: int = 0
+    rescans: int = 0
+    bus_transfers: int = 0
+    bus_queue_delay: int = 0
+    l2_pollution_evictions: int = 0
+    # Dirty L2 victims written back to memory (each consumes bus occupancy).
+    writebacks: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.uops / self.cycles if self.cycles else 0.0
+
+    def speedup_over(self, baseline: "TimingResult") -> float:
+        """Baseline cycles / our cycles (paper convention: >1 is faster)."""
+        if not self.cycles:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    @property
+    def distribution_denominator(self) -> int:
+        """UL2 load requests that would miss without prefetching."""
+        return (
+            self.unmasked_l2_misses
+            + self.stride.useful
+            + self.content.useful
+            + self.markov.useful
+        )
+
+    def load_request_distribution(self) -> dict:
+        """Figure 10's five stacked categories, as fractions summing to 1."""
+        denom = self.distribution_denominator
+        if not denom:
+            return {
+                "str-full": 0.0, "str-part": 0.0,
+                "cpf-full": 0.0, "cpf-part": 0.0, "ul2-miss": 0.0,
+            }
+        return {
+            "str-full": self.stride.full_hits / denom,
+            "str-part": self.stride.partial_hits / denom,
+            "cpf-full": self.content.full_hits / denom,
+            "cpf-part": self.content.partial_hits / denom,
+            "ul2-miss": self.unmasked_l2_misses / denom,
+        }

@@ -1,0 +1,98 @@
+"""Top-level timing simulator: wires a machine together and runs a trace."""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.cpu import OutOfOrderCore
+from repro.core.memsys import TimingMemorySystem
+from repro.core.results import TimingResult
+from repro.memory.backing import BackingMemory
+from repro.memory.pagetable import PageTable
+from repro.params import MachineConfig
+from repro.prefetch.adaptive import AdaptiveController
+from repro.prefetch.content import ContentPrefetcher
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.trace.ops import Trace
+
+__all__ = ["TimingSimulator"]
+
+
+class TimingSimulator:
+    """One simulated machine (config + memory image) ready to run a trace.
+
+    Parameters
+    ----------
+    config:
+        The machine description.  ``config.content.enabled`` switches the
+        content prefetcher, ``config.markov.enabled`` the Markov
+        prefetcher; the stride prefetcher is part of every baseline.
+    memory:
+        The backing memory image the workload was built into.  The
+        simulator never mutates it (stores are timing-only), so one image
+        can be shared across the many configurations of a sweep.
+    adaptive:
+        If ``True``, attach the runtime heuristic-tuning controller
+        (the paper's future-work extension).
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        memory: BackingMemory,
+        page_table: PageTable | None = None,
+        adaptive: bool = False,
+    ) -> None:
+        self.config = config
+        self.hierarchy = CacheHierarchy(config, memory, page_table)
+        self.stride = StridePrefetcher(config.stride, config.line_size)
+        self.content = ContentPrefetcher(config.content, config.line_size)
+        self.markov = (
+            MarkovPrefetcher(config.markov, config.line_size)
+            if config.markov.enabled else None
+        )
+        self.result = TimingResult("run")
+        controller = None
+        if adaptive:
+            controller = AdaptiveController(self.content)
+        self.adaptive = controller
+        self.memsys = TimingMemorySystem(
+            config,
+            self.hierarchy,
+            self.stride,
+            self.content,
+            markov=self.markov,
+            result=self.result,
+            adaptive=controller,
+        )
+        self.core = OutOfOrderCore(config.core, self.memsys)
+
+    def run(self, trace: Trace, warmup_uops: int = 0) -> TimingResult:
+        """Simulate *trace* and return the populated :class:`TimingResult`."""
+        self.result.name = trace.name
+        cycles = self.core.run(trace, warmup_uops=warmup_uops)
+        self.memsys.finalize()
+        self.result.cycles = cycles
+        self.result.uops = trace.uop_count - warmup_uops
+        self.result.instructions = trace.instruction_count
+        self.result.loads = self.core.loads_executed
+        return self.result
+
+
+def run_pair(
+    config: MachineConfig,
+    memory: BackingMemory,
+    trace: Trace,
+    warmup_uops: int = 0,
+) -> tuple[TimingResult, TimingResult]:
+    """Run *trace* with and without the content prefetcher.
+
+    Returns ``(baseline_result, content_result)`` where the baseline is the
+    stride-prefetcher-only machine the paper measures all speedups against.
+    Each run gets a fresh page table (cold caches/TLB) over the shared,
+    read-only memory image.
+    """
+    base_config = config.with_content(enabled=False)
+    baseline = TimingSimulator(base_config, memory).run(trace, warmup_uops)
+    enhanced = TimingSimulator(config, memory).run(trace, warmup_uops)
+    return baseline, enhanced

@@ -1,0 +1,26 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Every module exposes ``run(...) -> ExperimentResult`` returning the rows
+the paper reports (and a rendered text table).  ``python -m
+repro.experiments <id>`` runs one from the command line; the benchmark
+harness under ``benchmarks/`` runs scaled-down versions of all of them.
+
+| id          | paper artifact                                             |
+|-------------|------------------------------------------------------------|
+| ``table1``  | Table 1 — machine configuration                            |
+| ``fig1``    | Figure 1 — L2 MPTU warm-up trace (4 MB UL2)                |
+| ``table2``  | Table 2 — instructions, µops, MPTU @ 1 MB / 4 MB           |
+| ``fig7``    | Figure 7 — coverage/accuracy vs compare.filter bits        |
+| ``fig8``    | Figure 8 — coverage/accuracy vs align bits & scan step     |
+| ``fig9``    | Figure 9 — speedup: depth x width x reinforcement          |
+| ``tlb``     | Section 4.2.2 — speedup vs DTLB size                       |
+| ``fig10``   | Figure 10 — UL2 load-request distribution + speedups       |
+| ``table3``  | Table 3 — Markov STAB configurations                       |
+| ``fig11``   | Figure 11 — Markov vs content prefetcher speedups          |
+| ``pollution`` | Section 3.5 limit study — bad-prefetch injection          |
+| ``ablation``  | extensions: placement, rescan margin, adaptive tuning    |
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

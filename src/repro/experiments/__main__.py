@@ -1,0 +1,3 @@
+import sys
+from repro.experiments.runner import main
+sys.exit(main())

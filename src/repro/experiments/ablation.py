@@ -1,0 +1,90 @@
+"""Design-choice ablations beyond the paper's headline figures.
+
+Three studies the paper discusses qualitatively, quantified here:
+
+* **placement** — on-chip (DTLB access + cache feedback) vs off-chip
+  (candidates without a cached translation are dropped, Section 3.2);
+* **rescan margin** — Figure 4(b)'s rescan-on-any-lower-depth vs
+  Figure 4(c)'s margin-2 variant that halves the rescan count;
+* **adaptive tuning** — the Section 4.1 future-work runtime controller
+  that adjusts filter bits from observed accuracy;
+* **prefetch buffer** — filling a small dedicated buffer instead of the
+  UL2: pollution-immune, but far less capacity for running ahead (the
+  design the paper's direct-fill choice competes with).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    REPRESENTATIVES,
+    model_machine,
+    run_timing,
+    timing_speedups,
+)
+from repro.stats.metrics import arithmetic_mean
+from repro.workloads.suite import build_benchmark
+
+__all__ = ["run"]
+
+
+def run(
+    scale: float = 0.1,
+    benchmarks=REPRESENTATIVES,
+    seed: int = 1,
+) -> ExperimentResult:
+    base = model_machine()
+    baseline_cache: dict = {}
+    variants = {
+        "onchip (paper)": base,
+        "offchip": base.with_content(placement="offchip"),
+        "rescan margin 2 (Fig 4c)": base.with_content(rescan_margin=2),
+        "no reinforcement": base.with_content(reinforcement=False),
+        "prefetch buffer (32)": base.with_content(fill_target="buffer"),
+    }
+    rows = []
+    means = {}
+    rescans = {}
+    for label, config in variants.items():
+        speedups = timing_speedups(
+            config, benchmarks, scale, seed=seed,
+            baseline_cache=baseline_cache,
+        )
+        mean = arithmetic_mean(speedups.values())
+        means[label] = mean
+        # Re-run one benchmark to sample the rescan count for the margin
+        # comparison (timing_speedups does not expose per-run results).
+        sample = run_timing(
+            config, build_benchmark(benchmarks[0], scale=scale, seed=seed)
+        )
+        rescans[label] = sample.rescans
+        rows.append([
+            label, "%.4f" % mean, "%+.1f%%" % (100 * (mean - 1.0)),
+            str(sample.rescans),
+        ])
+    # Adaptive controller variant (runs through run_timing's adaptive path).
+    adaptive_speedups = []
+    for name in benchmarks:
+        workload = build_benchmark(name, scale=scale, seed=seed)
+        baseline = baseline_cache[name]
+        enhanced = run_timing(base, workload, adaptive=True)
+        adaptive_speedups.append(enhanced.speedup_over(baseline))
+    mean = arithmetic_mean(adaptive_speedups)
+    means["adaptive filter tuning"] = mean
+    rows.append([
+        "adaptive filter tuning", "%.4f" % mean,
+        "%+.1f%%" % (100 * (mean - 1.0)), "-",
+    ])
+    return ExperimentResult(
+        experiment_id="ablation",
+        title="Ablations: placement, rescan margin, adaptive tuning",
+        headers=["variant", "mean speedup", "gain", "rescans (sample)"],
+        rows=rows,
+        notes=(
+            "Expected: off-chip loses part of the gain (untranslatable "
+            "candidates dropped); margin 2 roughly halves rescans at "
+            "similar speedup; adaptive tuning tracks the hand-tuned "
+            "configuration."
+        ),
+        extra={"means": means, "rescans": rescans},
+    )

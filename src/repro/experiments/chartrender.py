@@ -1,0 +1,97 @@
+"""ASCII-chart rendering for experiment results (CLI ``--chart``)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.stats.charts import bar_chart, line_chart, stacked_bar
+
+__all__ = ["render_chart"]
+
+
+def _chart_fig1(result: ExperimentResult) -> str:
+    traces = result.extra["mptu_traces"]
+    return line_chart(
+        traces, title="MPTU vs retired uops (windowed)", height=10,
+    )
+
+
+def _chart_sweep(result: ExperimentResult) -> str:
+    series = result.extra["series"]
+    labels = list(series)
+    coverage = [series[label][0] for label in labels]
+    accuracy = [series[label][1] for label in labels]
+    header = "x-axis: " + " ".join(labels)
+    chart = line_chart(
+        {"coverage": coverage, "accuracy": accuracy},
+        title="adjusted coverage/accuracy across the sweep",
+    )
+    return chart + "\n" + header
+
+
+def _chart_fig9(result: ExperimentResult) -> str:
+    series = result.extra["series"]
+    width_labels = sorted(next(iter(series.values())))
+    data = {
+        label: [line[w] for w in width_labels]
+        for label, line in series.items()
+    }
+    chart = line_chart(data, title="speedup vs width", height=12)
+    return chart + "\nx-axis: " + " ".join(width_labels)
+
+
+def _chart_means(result: ExperimentResult, key: str, title: str) -> str:
+    return bar_chart(result.extra[key], baseline=1.0, title=title)
+
+
+def _chart_fig10(result: ExperimentResult) -> str:
+    return stacked_bar(
+        result.extra["distributions"],
+        title="UL2 load-request distribution",
+        legend={"str-full": "S", "str-part": "s", "cpf-full": "C",
+                "cpf-part": "c", "ul2-miss": "."},
+    )
+
+
+def _chart_tlb(result: ExperimentResult) -> str:
+    series = {str(k): v for k, v in result.extra["series"].items()}
+    return bar_chart(series, baseline=1.0, title="speedup vs DTLB entries")
+
+
+def _chart_sensitivity(result: ExperimentResult) -> str:
+    l2 = {"UL2 %d KB" % k: v for k, v in result.extra["l2_series"].items()}
+    lat = {"bus %d cyc" % k: v
+           for k, v in result.extra["latency_series"].items()}
+    return (
+        bar_chart(l2, baseline=1.0, title="speedup vs UL2 size")
+        + "\n\n"
+        + bar_chart(lat, baseline=1.0, title="speedup vs bus latency")
+    )
+
+
+def render_chart(result: ExperimentResult) -> str | None:
+    """Render an ASCII chart for *result*, or ``None`` if unsupported."""
+    experiment = result.experiment_id
+    if experiment == "fig1":
+        return _chart_fig1(result)
+    if experiment in ("fig7", "fig8"):
+        return _chart_sweep(result)
+    if experiment == "fig9":
+        return _chart_fig9(result)
+    if experiment == "fig10":
+        return _chart_fig10(result)
+    if experiment == "fig11":
+        return _chart_means(result, "means", "Markov vs content speedup")
+    if experiment == "zoo":
+        return _chart_means(result, "means", "prefetcher zoo speedup")
+    if experiment == "ablation":
+        return _chart_means(result, "means", "ablation variants")
+    if experiment == "pollution":
+        return bar_chart(
+            result.extra["slowdowns"], baseline=1.0,
+            title="slowdown from injected bad prefetches",
+        )
+    if experiment == "tlb":
+        return _chart_tlb(result)
+    if experiment == "sensitivity":
+        return _chart_sensitivity(result)
+    return None

@@ -1,0 +1,157 @@
+"""Shared experiment plumbing.
+
+Scaling: the paper runs 30 M-instruction LIT slices; pure-Python timing
+simulation cannot.  Every driver takes a ``scale`` factor applied to both
+workload footprint and trace length (defaults keep full runs in minutes and
+benchmark runs in seconds), and a ``benchmarks`` list defaulting to either
+the full Table 2 suite (functional experiments) or the one-per-suite
+representative subset (timing sweeps, mirroring Figure 1's selection).
+
+Warm-up: the paper discards the first 7.5 M of 30 M µops (Section 2.2);
+we correspondingly discard the first quarter of each trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.results import TimingResult
+from repro.core.simulator import TimingSimulator
+from repro.params import MachineConfig
+from repro.stats.tables import render_table
+from repro.trace.ops import Trace
+from repro.workloads.base import BuiltWorkload
+from repro.workloads.suite import REPRESENTATIVES, build_benchmark
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "MODEL_SILICON_SCALE",
+    "ExperimentResult",
+    "REPRESENTATIVES",
+    "model_machine",
+    "run_timing",
+    "timing_speedups",
+    "warmup_uops_for",
+]
+
+#: Default workload (trace-length) scale for command-line experiment runs.
+DEFAULT_SCALE = 0.25
+
+#: Fraction of each trace treated as warm-up (paper: 7.5 M of 30 M µops).
+WARMUP_FRACTION = 0.25
+
+#: The experiments run a 1/4-silicon model machine: caches are a quarter of
+#: Table 1's sizes (L1 8 KB, UL2 256 KB standing in for 1 MB, 1 MB for
+#: 4 MB) and workload footprints are sized against those.  Pure-Python
+#: simulation cannot execute 30 M-instruction slices, so instead of
+#: shrinking traces against full-size caches (which would make everything
+#: compulsory-miss-bound) we shrink the caches and footprints together —
+#: preserving the footprint/cache ratios that drive every result shape.
+#: Latencies, widths, queue sizes, and the DTLB stay at Table 1 values.
+MODEL_SILICON_SCALE = 4
+
+
+def model_machine(l2_equiv_mb: int = 1, **kwargs: object) -> MachineConfig:
+    """The experiments' model machine.
+
+    *l2_equiv_mb* selects the UL2 size in paper-equivalent megabytes
+    (1 -> 128 KB model UL2, 4 -> 512 KB).  Extra keyword arguments are
+    forwarded to :meth:`MachineConfig.replace`.
+
+    Bus *bandwidth* scales up by the same factor the caches scale down:
+    scaled workloads have ~8x the paper's misses-per-µop, so preserving
+    Table 1's bytes-per-cycle would saturate the bus on demand traffic
+    alone and mask every latency effect the paper studies.  Bus *latency*
+    stays at the full 460 cycles — memory latency is the paper's subject.
+    """
+    import dataclasses
+
+    from repro.params import KB, CacheConfig  # local to avoid cycle noise
+
+    base = MachineConfig()
+    l1 = CacheConfig(
+        base.l1d.size_bytes // MODEL_SILICON_SCALE,
+        base.l1d.associativity,
+        latency=base.l1d.latency,
+    )
+    ul2 = CacheConfig(
+        l2_equiv_mb * 1024 * KB // MODEL_SILICON_SCALE,
+        base.ul2.associativity,
+        latency=base.ul2.latency,
+    )
+    bus = dataclasses.replace(
+        base.bus,
+        bandwidth_bytes_per_cycle=(
+            base.bus.bandwidth_bytes_per_cycle * MODEL_SILICON_SCALE
+        ),
+    )
+    return base.replace(l1d=l1, ul2=ul2, bus=bus, **kwargs)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + metadata from one experiment."""
+
+    experiment_id: str
+    title: str
+    headers: list
+    rows: list
+    notes: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        text = render_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n\n" + self.notes
+        return text
+
+
+def warmup_uops_for(trace: Trace) -> int:
+    return int(trace.uop_count * WARMUP_FRACTION)
+
+
+def run_timing(
+    config: MachineConfig,
+    workload: BuiltWorkload,
+    adaptive: bool = False,
+    inject_pollution: bool = False,
+) -> TimingResult:
+    """Run one timing simulation with the standard warm-up discipline."""
+    simulator = TimingSimulator(
+        config, workload.memory, adaptive=adaptive
+    )
+    if inject_pollution:
+        simulator.memsys.inject_pollution = True
+    return simulator.run(workload.trace, warmup_uops_for(workload.trace))
+
+
+def timing_speedups(
+    config: MachineConfig,
+    benchmarks,
+    scale: float,
+    seed: int = 1,
+    baseline_config: MachineConfig | None = None,
+    baseline_cache: dict | None = None,
+) -> dict:
+    """Per-benchmark speedups of *config* over the stride-only baseline.
+
+    *baseline_cache* (keyed by benchmark name) lets sweeps reuse baseline
+    runs across configurations — the baseline machine never changes within
+    a sweep.
+    """
+    if baseline_config is None:
+        baseline_config = config.with_content(enabled=False).with_markov(
+            enabled=False
+        )
+    speedups = {}
+    for name in benchmarks:
+        workload = build_benchmark(name, scale=scale, seed=seed)
+        if baseline_cache is not None and name in baseline_cache:
+            baseline = baseline_cache[name]
+        else:
+            baseline = run_timing(baseline_config, workload)
+            if baseline_cache is not None:
+                baseline_cache[name] = baseline
+        enhanced = run_timing(config, workload)
+        speedups[name] = enhanced.speedup_over(baseline)
+    return speedups

@@ -1,0 +1,75 @@
+"""Figure 2 — the virtual-address-matching bit layout, rendered.
+
+The paper's Figure 2 shows where the compare, filter, and align bits sit
+within the 32-bit effective address and candidate word.  This driver
+renders the same diagram for any :class:`ContentConfig` — useful when
+tuning non-default configurations with ``examples/tune_matcher.py``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.params import ContentConfig
+
+__all__ = ["bit_layout", "run"]
+
+
+def bit_layout(config: ContentConfig | None = None) -> str:
+    """ASCII rendering of Figure 2 for *config* (default: paper tuning)."""
+    if config is None:
+        config = ContentConfig()
+    bits = config.address_bits
+    row = []
+    for bit in range(bits - 1, -1, -1):
+        if bit >= bits - config.compare_bits:
+            row.append("C")
+        elif bit >= bits - config.compare_bits - config.filter_bits:
+            row.append("F")
+        elif bit < config.align_bits:
+            row.append("A")
+        else:
+            row.append(".")
+    cells = " ".join(row)
+    ruler = " ".join(
+        "%d" % (bit % 10) for bit in range(bits - 1, -1, -1)
+    )
+    legend = (
+        "C = compare bits (%d): candidate must match the effective "
+        "address\n"
+        "F = filter bits (%d): non-zero (non-one) bit required in the "
+        "all-zeros (all-ones) region\n"
+        "A = align bits (%d): must be zero\n"
+        ". = don't care; scan step %d byte(s)"
+        % (config.compare_bits, config.filter_bits, config.align_bits,
+           config.scan_step)
+    )
+    return "bit  %s\n     %s\n\n%s" % (ruler, cells, legend)
+
+
+def run(config: ContentConfig | None = None) -> ExperimentResult:
+    if config is None:
+        config = ContentConfig()
+    rows = [
+        ["compare bits", config.compare_bits,
+         "bits %d..%d" % (config.address_bits - 1,
+                          config.address_bits - config.compare_bits)],
+        ["filter bits", config.filter_bits,
+         "bits %d..%d" % (
+             config.address_bits - config.compare_bits - 1,
+             config.address_bits - config.compare_bits
+             - config.filter_bits,
+         ) if config.filter_bits else "-"],
+        ["align bits", config.align_bits,
+         "bits %d..0" % (config.align_bits - 1)
+         if config.align_bits else "-"],
+        ["scan step", config.scan_step, "bytes"],
+        ["prefetchable range", 1 << (config.address_bits
+                                     - config.compare_bits), "bytes"],
+    ]
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Figure 2: virtual address matching bit positions",
+        headers=["field", "width/value", "position"],
+        rows=rows,
+        notes=bit_layout(config),
+    )

@@ -1,0 +1,96 @@
+"""Figure 9 — speedup: prefetch depth vs previous/next-line width.
+
+The central timing sweep of Section 4.2.1.  Axes:
+
+* width: (prev, next) line counts ``p0.n0 p0.n1 p0.n2 p0.n3 p0.n4 p1.n0
+  p1.n1`` (the paper's horizontal axis);
+* depth threshold: 3, 5, 9;
+* path reinforcement: off ("nr") and on ("reinf").
+
+Expected shapes (Section 4.2.1's findings):
+
+1. without reinforcement, deeper is better (depth 9 > 5 > 3): a terminated
+   chain needs a demand miss to restart;
+2. with reinforcement the ordering *reverses* — depth 3 wins, because
+   chains never die and shallow thresholds limit bad speculation and
+   rescan pressure;
+3. previous-line prefetching does not pay on average (recurrence pointers
+   point at node starts);
+4. the best configuration is reinforcement + depth 3 + p0.n3.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    REPRESENTATIVES,
+    model_machine,
+    timing_speedups,
+)
+from repro.stats.metrics import arithmetic_mean
+
+__all__ = ["WIDTHS", "DEPTHS", "run", "best_configuration"]
+
+WIDTHS = ((0, 0), (0, 1), (0, 2), (0, 3), (0, 4), (1, 0), (1, 1))
+DEPTHS = (3, 5, 9)
+
+
+def run(
+    scale: float = 0.1,
+    benchmarks=REPRESENTATIVES,
+    widths=WIDTHS,
+    depths=DEPTHS,
+    seed: int = 1,
+) -> ExperimentResult:
+    baseline_cache: dict = {}
+    base_config = model_machine()
+    series: dict = {}
+    rows = []
+    for reinforcement in (False, True):
+        for depth in depths:
+            label = "depth.%d-%s" % (
+                depth, "reinf" if reinforcement else "nr"
+            )
+            line = {}
+            for prev_lines, next_lines in widths:
+                config = base_config.with_content(
+                    depth_threshold=depth,
+                    reinforcement=reinforcement,
+                    prev_lines=prev_lines,
+                    next_lines=next_lines,
+                )
+                speedups = timing_speedups(
+                    config, benchmarks, scale, seed=seed,
+                    baseline_cache=baseline_cache,
+                )
+                width_label = "p%d.n%d" % (prev_lines, next_lines)
+                line[width_label] = arithmetic_mean(speedups.values())
+            series[label] = line
+            rows.append(
+                [label] + ["%.4f" % line[w] for w in sorted(line)]
+            )
+    width_labels = sorted(
+        {"p%d.n%d" % width for width in widths}
+    )
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Figure 9: Speedup — prefetch depth vs next-line count",
+        headers=["series"] + width_labels,
+        rows=rows,
+        notes=(
+            "Expected: without reinforcement deeper wins; with "
+            "reinforcement depth 3 wins; prev-line does not pay; best is "
+            "reinf + depth 3 + p0.n3."
+        ),
+        extra={"series": series},
+    )
+
+
+def best_configuration(result: ExperimentResult) -> tuple:
+    """(series label, width label, speedup) of the sweep's maximum."""
+    best = None
+    for label, line in result.extra["series"].items():
+        for width_label, value in line.items():
+            if best is None or value > best[2]:
+                best = (label, width_label, value)
+    return best

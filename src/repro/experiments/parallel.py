@@ -1,0 +1,67 @@
+"""Multiprocess sweep execution.
+
+Timing simulations are single-threaded Python; sweeps over benchmarks are
+embarrassingly parallel.  :func:`parallel_speedups` is a drop-in for
+:func:`repro.experiments.common.timing_speedups` that farms each
+benchmark's baseline+enhanced pair out to a worker process.
+
+Workers rebuild the workload from its (name, scale, seed) key — the
+builders are deterministic, and each process keeps its own image cache, so
+nothing large crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.params import MachineConfig
+
+__all__ = ["parallel_speedups"]
+
+
+def _run_benchmark_pair(args) -> tuple:
+    """Worker: one benchmark's baseline and enhanced runs."""
+    (name, scale, seed, config, baseline_config, warmup_fraction) = args
+    from repro.core.simulator import TimingSimulator
+    from repro.workloads.suite import build_benchmark
+
+    workload = build_benchmark(name, scale=scale, seed=seed)
+    warmup = int(workload.trace.uop_count * warmup_fraction)
+    baseline = TimingSimulator(baseline_config, workload.memory).run(
+        workload.trace, warmup
+    )
+    enhanced = TimingSimulator(config, workload.memory).run(
+        workload.trace, warmup
+    )
+    return name, enhanced.speedup_over(baseline)
+
+
+def parallel_speedups(
+    config: MachineConfig,
+    benchmarks,
+    scale: float,
+    seed: int = 1,
+    baseline_config: MachineConfig | None = None,
+    processes: int | None = None,
+    warmup_fraction: float = 0.25,
+) -> dict:
+    """Per-benchmark speedups, computed across worker processes.
+
+    Returns the same ``{benchmark: speedup}`` mapping as
+    :func:`timing_speedups`.  With ``processes=1`` (or a single
+    benchmark) everything runs in-process — useful for debugging.
+    """
+    if baseline_config is None:
+        baseline_config = config.with_content(enabled=False).with_markov(
+            enabled=False
+        )
+    jobs = [
+        (name, scale, seed, config, baseline_config, warmup_fraction)
+        for name in benchmarks
+    ]
+    if processes == 1 or len(jobs) <= 1:
+        results = [_run_benchmark_pair(job) for job in jobs]
+    else:
+        with multiprocessing.Pool(processes=processes) as pool:
+            results = pool.map(_run_benchmark_pair, jobs)
+    return dict(results)

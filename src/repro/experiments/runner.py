@@ -1,0 +1,119 @@
+"""Command-line entry point: ``python -m repro.experiments <id> [...]``.
+
+Examples::
+
+    repro-experiments table1
+    repro-experiments fig9 --scale 0.2
+    repro-experiments all --scale 0.1 --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablation,
+    fig1,
+    fig2,
+    fig3,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    pollution,
+    related,
+    sensitivity,
+    table1,
+    table2,
+    table3,
+    tlbsweep,
+    zoo,
+)
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "table2": table2.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "tlb": tlbsweep.run,
+    "fig10": fig10.run,
+    "table3": table3.run,
+    "fig11": fig11.run,
+    "pollution": pollution.run,
+    "ablation": ablation.run,
+    "zoo": zoo.run,
+    "sensitivity": sensitivity.run,
+    "related": related.run,
+}
+
+# Experiments whose run() takes no scale (configuration dumps).
+_UNSCALED = {"table1", "table3", "fig2", "fig3"}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id, or 'all'",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale factor (default: per-experiment)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="workload build seed"
+    )
+    parser.add_argument(
+        "--out", type=str, default=None,
+        help="also append rendered output to this file",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="render an ASCII chart of the result where supported",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    output_chunks = []
+    for name in names:
+        run = EXPERIMENTS[name]
+        kwargs = {}
+        if name not in _UNSCALED:
+            kwargs["seed"] = args.seed
+            if args.scale is not None:
+                kwargs["scale"] = args.scale
+        started = time.time()
+        result = run(**kwargs)
+        elapsed = time.time() - started
+        text = result.render()
+        if args.chart:
+            from repro.experiments.chartrender import render_chart
+
+            chart = render_chart(result)
+            if chart:
+                text += "\n\n" + chart
+        text += "\n\n[%s completed in %.1fs]\n" % (name, elapsed)
+        print(text)
+        output_chunks.append(text)
+    if args.out:
+        with open(args.out, "a") as handle:
+            handle.write("\n".join(output_chunks))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

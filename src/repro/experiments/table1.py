@@ -1,0 +1,30 @@
+"""Table 1 — the 4-GHz system configuration.
+
+A configuration dump rather than a measurement: it verifies that the
+default :class:`MachineConfig` encodes the paper's machine, and renders it
+in Table 1's layout.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.params import MachineConfig
+
+__all__ = ["run"]
+
+
+def run(config: MachineConfig | None = None) -> ExperimentResult:
+    if config is None:
+        config = MachineConfig()
+    rows = [
+        line.split("  ", 1)
+        for line in config.describe().splitlines()
+    ]
+    rows = [[name.strip(), value.strip()] for name, value in rows]
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Table 1: Performance model: 4-GHz system configuration",
+        headers=["Parameter", "Value"],
+        rows=rows,
+        extra={"config": config},
+    )

@@ -1,0 +1,55 @@
+"""Section 4.2.2 — the contribution of TLB prefetching.
+
+Doubles the DTLB from 64 to 1024 entries.  The paper observes the content
+prefetcher's speedup barely moves (12.6% -> 12.3%), concluding (a) TLB
+prefetching is a minor contributor — the content prefetcher cannot be
+replaced by a bigger TLB — and (b) speculative walks are not polluting the
+TLB (pollution would make speedups *rise* with size).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    REPRESENTATIVES,
+    model_machine,
+    timing_speedups,
+)
+from repro.stats.metrics import arithmetic_mean
+
+__all__ = ["TLB_SIZES", "run"]
+
+TLB_SIZES = (64, 128, 256, 512, 1024)
+
+
+def run(
+    scale: float = 0.1,
+    benchmarks=REPRESENTATIVES,
+    sizes=TLB_SIZES,
+    seed: int = 1,
+) -> ExperimentResult:
+    rows = []
+    series = {}
+    for entries in sizes:
+        config = model_machine().with_dtlb(entries=entries)
+        baseline_config = config.with_content(enabled=False)
+        speedups = timing_speedups(
+            config, benchmarks, scale, seed=seed,
+            baseline_config=baseline_config,
+        )
+        mean = arithmetic_mean(speedups.values())
+        series[entries] = mean
+        rows.append([str(entries), "%.4f" % mean,
+                     "%.1f%%" % (100 * (mean - 1.0))])
+    return ExperimentResult(
+        experiment_id="tlb",
+        title="Section 4.2.2: Content-prefetcher speedup vs DTLB size",
+        headers=["DTLB entries", "mean speedup", "gain"],
+        rows=rows,
+        notes=(
+            "Expected: nearly flat, with at most a small decline as the "
+            "TLB grows — TLB prefetching is a minor contributor and the "
+            "content prefetcher is not replaceable by a larger TLB."
+        ),
+        extra={"series": series},
+    )

@@ -1,0 +1,12 @@
+"""Arbiters and front-side-bus/DRAM models (Figure 6, Section 3.5)."""
+
+from repro.interconnect.arbiter import ArbiterStats, MemoryRequest, PriorityArbiter
+from repro.interconnect.bus import Bus, L2Port
+
+__all__ = [
+    "ArbiterStats",
+    "Bus",
+    "L2Port",
+    "MemoryRequest",
+    "PriorityArbiter",
+]

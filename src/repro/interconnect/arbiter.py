@@ -1,0 +1,158 @@
+"""Priority-based request arbiters.
+
+Section 3.5: "The L2 and bus arbiters maintain a strict, priority-based
+ordering of requests.  Demand requests are given the highest priority,
+while stride prefetcher requests are favored over content prefetcher
+requests because of their higher accuracy."  Within the content prefetcher,
+depth provides the priority ("this depth element provides a means for
+assigning a priority to each memory request").
+
+Overflow behaviour, also per Section 3.5:
+
+* a prefetch arriving at a full arbiter is **squashed** (no retry);
+* a demand arriving at a full arbiter **dequeues the lowest-priority
+  prefetch** and takes its place — no demand request is ever stalled by
+  queued prefetches.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cache.line import Requester
+
+__all__ = ["MemoryRequest", "ArbiterStats", "PriorityArbiter"]
+
+
+@dataclass
+class MemoryRequest:
+    """One line-granular memory request flowing through the arbiters."""
+
+    line_paddr: int
+    line_vaddr: int
+    requester: Requester
+    depth: int = 0
+    create_time: int = 0
+    pc: int = 0
+    # Page-walk fills bypass the content prefetcher's scanner.
+    scannable: bool = True
+
+    def priority_key(self) -> tuple:
+        """Lower tuples are higher priority."""
+        return (int(self.requester), self.depth, self.create_time)
+
+
+@dataclass
+class ArbiterStats:
+    enqueued: int = 0
+    granted: int = 0
+    squashed_full: int = 0
+    displaced_by_demand: int = 0
+    duplicates_dropped: int = 0
+    peak_occupancy: int = 0
+    squashed_by_requester: dict = field(default_factory=dict)
+
+    def record_squash(self, requester: Requester) -> None:
+        key = requester.name
+        self.squashed_by_requester[key] = (
+            self.squashed_by_requester.get(key, 0) + 1
+        )
+
+
+class PriorityArbiter:
+    """Bounded priority queue of :class:`MemoryRequest`."""
+
+    def __init__(self, capacity: int, name: str = "arbiter") -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self.stats = ArbiterStats()
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def full(self) -> bool:
+        return self._live >= self.capacity
+
+    def pending_lines(self) -> set:
+        return {req.line_paddr for _, _, req in self._heap if req is not None}
+
+    def contains_line(self, line_paddr: int) -> bool:
+        return any(
+            req is not None and req.line_paddr == line_paddr
+            for _, _, req in self._heap
+        )
+
+    # -- enqueue -------------------------------------------------------------
+
+    def enqueue(self, request: MemoryRequest) -> bool:
+        """Add a request; returns ``False`` if it was squashed.
+
+        Duplicate line addresses are dropped (the in-flight check of
+        Section 3.5 extends to queued requests).
+        """
+        if self.contains_line(request.line_paddr):
+            self.stats.duplicates_dropped += 1
+            return False
+        if self.full:
+            if request.requester is Requester.DEMAND:
+                if not self._displace_lowest_prefetch():
+                    # Queue entirely full of demands: model as an unbounded
+                    # demand queue (a real machine would stall the core; the
+                    # timing cost shows up as queueing delay instead).
+                    pass
+                else:
+                    self.stats.displaced_by_demand += 1
+            else:
+                self.stats.squashed_full += 1
+                self.stats.record_squash(request.requester)
+                return False
+        heapq.heappush(
+            self._heap, (request.priority_key(), next(self._seq), request)
+        )
+        self._live += 1
+        self.stats.enqueued += 1
+        if self._live > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = self._live
+        return True
+
+    def _displace_lowest_prefetch(self) -> bool:
+        """Remove the lowest-priority prefetch (lazy deletion)."""
+        victim_index = None
+        victim_key = None
+        for index, (key, _, req) in enumerate(self._heap):
+            if req is None or not req.requester.is_prefetch:
+                continue
+            if victim_key is None or key > victim_key:
+                victim_key = key
+                victim_index = index
+        if victim_index is None:
+            return False
+        key, seq, _ = self._heap[victim_index]
+        self._heap[victim_index] = (key, seq, None)
+        self._live -= 1
+        return True
+
+    # -- dequeue -------------------------------------------------------------
+
+    def pop(self) -> MemoryRequest | None:
+        """Remove and return the highest-priority request, if any."""
+        while self._heap:
+            _, _, request = heapq.heappop(self._heap)
+            if request is not None:
+                self._live -= 1
+                self.stats.granted += 1
+                return request
+        return None
+
+    def peek(self) -> MemoryRequest | None:
+        while self._heap and self._heap[0][2] is None:
+            heapq.heappop(self._heap)
+        return self._heap[0][2] if self._heap else None

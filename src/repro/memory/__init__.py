@@ -1,0 +1,37 @@
+"""Simulated 32-bit memory substrate.
+
+The content-directed prefetcher scans the *bytes* of filled cache lines for
+pointer-shaped values, so unlike most trace-driven cache simulators this
+package models real memory contents: workloads allocate linked data
+structures through :class:`~repro.memory.allocator.HeapAllocator` into a
+sparse byte-addressable :class:`~repro.memory.backing.BackingMemory`, and a
+two-level :class:`~repro.memory.pagetable.PageTable` provides
+virtual-to-physical translation for the physically-indexed L2.
+"""
+
+from repro.memory.address import (
+    AddressSpace,
+    line_base,
+    line_index,
+    page_base,
+    page_offset,
+)
+from repro.memory.allocator import AllocationError, HeapAllocator
+from repro.memory.backing import BackingMemory
+from repro.memory.layout import MemoryLayout, Region
+from repro.memory.pagetable import PageTable, TranslationError
+
+__all__ = [
+    "AddressSpace",
+    "AllocationError",
+    "BackingMemory",
+    "HeapAllocator",
+    "MemoryLayout",
+    "PageTable",
+    "Region",
+    "TranslationError",
+    "line_base",
+    "line_index",
+    "page_base",
+    "page_offset",
+]

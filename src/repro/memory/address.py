@@ -1,0 +1,79 @@
+"""Address arithmetic helpers for a 32-bit address space.
+
+Functions here are deliberately tiny and free-standing: they are on the
+hottest paths of the simulator (every cache access uses them), so they avoid
+object construction entirely.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ADDRESS_MASK",
+    "AddressSpace",
+    "line_base",
+    "line_index",
+    "page_base",
+    "page_index",
+    "page_offset",
+]
+
+ADDRESS_BITS = 32
+ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+
+
+def line_base(address: int, line_size: int = 64) -> int:
+    """Base address of the cache line containing *address*."""
+    return address & ~(line_size - 1) & ADDRESS_MASK
+
+
+def line_index(address: int, line_size: int = 64) -> int:
+    """Ordinal index of the line containing *address*."""
+    return (address & ADDRESS_MASK) // line_size
+
+
+def page_base(address: int, page_size: int = 4096) -> int:
+    """Base address of the page containing *address*."""
+    return address & ~(page_size - 1) & ADDRESS_MASK
+
+
+def page_index(address: int, page_size: int = 4096) -> int:
+    """Virtual page number of *address*."""
+    return (address & ADDRESS_MASK) // page_size
+
+
+def page_offset(address: int, page_size: int = 4096) -> int:
+    """Offset of *address* within its page."""
+    return address & (page_size - 1)
+
+
+class AddressSpace:
+    """Convenience bundle of line/page geometry for one machine.
+
+    Keeps the shift/mask constants pre-computed so the hot paths are a
+    single AND or shift.
+    """
+
+    __slots__ = ("line_size", "page_size", "_line_mask", "_page_mask")
+
+    def __init__(self, line_size: int = 64, page_size: int = 4096) -> None:
+        if line_size & (line_size - 1):
+            raise ValueError("line_size must be a power of two")
+        if page_size & (page_size - 1):
+            raise ValueError("page_size must be a power of two")
+        self.line_size = line_size
+        self.page_size = page_size
+        self._line_mask = ~(line_size - 1) & ADDRESS_MASK
+        self._page_mask = ~(page_size - 1) & ADDRESS_MASK
+
+    def line(self, address: int) -> int:
+        return address & self._line_mask
+
+    def page(self, address: int) -> int:
+        return address & self._page_mask
+
+    def same_line(self, a: int, b: int) -> bool:
+        return (a & self._line_mask) == (b & self._line_mask)
+
+    def same_page(self, a: int, b: int) -> bool:
+        return (a & self._page_mask) == (b & self._page_mask)

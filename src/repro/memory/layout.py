@@ -1,0 +1,103 @@
+"""Virtual address-space layout.
+
+Section 3.3 of the paper exploits the fact that "most virtual data addresses
+tend to share common high-order bits" — a property of how operating systems
+lay out process address spaces.  This module models that layout: named
+regions (code, static data, heap, stack) placed at realistic 32-bit bases.
+
+The default layout mirrors a classic IA-32 Linux/Windows process:
+
+* a low static-data region at ``0x0010_0000`` — addresses whose upper
+  compare bits are all zeros, the region where the paper's *filter bits*
+  decide between small integers and genuine pointers (Section 3.3);
+* code at ``0x0804_8000``;
+* heap at ``0x0840_0000``, spanning up to 64 MB so the prefetchable range
+  implied by the compare-bit count actually truncates it;
+* stack growing down from ``0xBFFF_F000``.
+
+The heap base keeps the paper's tuned 8 compare bits meaningful: heap
+pointers share the top byte ``0x08`` while stack addresses (top byte
+``0xBF``) do not match heap-triggered scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Region", "MemoryLayout"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous named region of the virtual address space."""
+
+    name: str
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise ValueError("region base/size must be non-negative/positive")
+        if self.base + self.size > 1 << 32:
+            raise ValueError("region %s exceeds the 32-bit space" % self.name)
+
+    @property
+    def end(self) -> int:
+        """One past the last valid address."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+class MemoryLayout:
+    """The set of regions making up one simulated process image."""
+
+    DEFAULT_HEAP_BASE = 0x0840_0000
+    DEFAULT_HEAP_SIZE = 0x0400_0000  # 64 MB
+    DEFAULT_STACK_TOP = 0xBFFF_F000
+    DEFAULT_STACK_SIZE = 0x0010_0000  # 1 MB
+    DEFAULT_CODE_BASE = 0x0804_8000
+    DEFAULT_CODE_SIZE = 0x0020_0000  # 2 MB
+    DEFAULT_STATIC_BASE = 0x0010_0000
+    DEFAULT_STATIC_SIZE = 0x0010_0000  # 1 MB
+
+    def __init__(
+        self,
+        heap_base: int = DEFAULT_HEAP_BASE,
+        heap_size: int = DEFAULT_HEAP_SIZE,
+        stack_top: int = DEFAULT_STACK_TOP,
+        stack_size: int = DEFAULT_STACK_SIZE,
+        code_base: int = DEFAULT_CODE_BASE,
+        code_size: int = DEFAULT_CODE_SIZE,
+        static_base: int = DEFAULT_STATIC_BASE,
+        static_size: int = DEFAULT_STATIC_SIZE,
+    ) -> None:
+        self.static = Region("static", static_base, static_size)
+        self.code = Region("code", code_base, code_size)
+        self.heap = Region("heap", heap_base, heap_size)
+        self.stack = Region("stack", stack_top - stack_size, stack_size)
+        self._regions = (self.static, self.code, self.heap, self.stack)
+        self._check_disjoint()
+
+    def _check_disjoint(self) -> None:
+        ordered = sorted(self._regions, key=lambda r: r.base)
+        for lower, upper in zip(ordered, ordered[1:]):
+            if lower.end > upper.base:
+                raise ValueError(
+                    "regions %s and %s overlap" % (lower.name, upper.name)
+                )
+
+    @property
+    def regions(self) -> tuple:
+        return self._regions
+
+    def region_of(self, address: int) -> Region | None:
+        """Return the region containing *address*, or ``None``."""
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def is_mapped(self, address: int) -> bool:
+        return self.region_of(address) is not None

@@ -1,0 +1,115 @@
+"""Two-level page table with hardware page-walker address generation.
+
+The paper's processor model "uses a hardware TLB page-walk, which accesses
+page table structures in memory to fill TLB misses", and — crucially — all
+page-walk fill traffic *bypasses* the content prefetcher, because page
+tables are dense arrays of pointers that would cause "a combinational
+explosion of highly speculative prefetches" (Section 3.5).
+
+We model an IA-32-style two-level table: a page directory of 1024 entries,
+each pointing at a page table of 1024 entries, each mapping one 4 KB page.
+The directory and tables live in a reserved low area of *physical* memory,
+so a walk issues two physical reads whose line addresses the cache hierarchy
+sees as ordinary (non-scannable) fills.
+
+Physical frames are assigned to virtual pages on first touch, in touch
+order.  This keeps physical indexing of the UL2 realistic (two virtually
+distant pages can conflict in the L2) while staying deterministic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TranslationError", "PageTable"]
+
+_ENTRY_BYTES = 4
+_ENTRIES_PER_TABLE = 1024
+
+
+class TranslationError(Exception):
+    """Raised when asked to translate an address outside any mapped page."""
+
+
+class PageTable:
+    """Lazy first-touch two-level page table.
+
+    Parameters
+    ----------
+    page_size:
+        4096 for the paper's configuration.
+    table_base:
+        Physical base of the page-directory / page-table area.
+    frame_base:
+        Physical address where data frames start being handed out.
+    """
+
+    def __init__(
+        self,
+        page_size: int = 4096,
+        table_base: int = 0x0000_1000,
+        frame_base: int = 0x0100_0000,
+    ) -> None:
+        if page_size & (page_size - 1):
+            raise ValueError("page_size must be a power of two")
+        self.page_size = page_size
+        self._page_shift = page_size.bit_length() - 1
+        self._dir_shift = self._page_shift + 10
+        self._mappings: dict[int, int] = {}
+        self._directory_base = table_base
+        self._table_bases: dict[int, int] = {}
+        self._next_table = table_base + _ENTRIES_PER_TABLE * _ENTRY_BYTES
+        self._next_frame = frame_base
+        self.pages_mapped = 0
+
+    # -- translation -------------------------------------------------------
+
+    def translate(self, vaddr: int) -> int:
+        """Translate a virtual address, mapping its page on first touch."""
+        vpn = vaddr >> self._page_shift
+        frame = self._mappings.get(vpn)
+        if frame is None:
+            frame = self._map(vpn)
+        return frame | (vaddr & (self.page_size - 1))
+
+    def translate_existing(self, vaddr: int) -> int:
+        """Translate without mapping; raises if the page was never touched.
+
+        Used by the off-chip prefetcher model, which cannot fault pages in.
+        """
+        vpn = vaddr >> self._page_shift
+        frame = self._mappings.get(vpn)
+        if frame is None:
+            raise TranslationError("no mapping for 0x%x" % vaddr)
+        return frame | (vaddr & (self.page_size - 1))
+
+    def is_mapped(self, vaddr: int) -> bool:
+        return (vaddr >> self._page_shift) in self._mappings
+
+    def _map(self, vpn: int) -> int:
+        frame = self._next_frame
+        self._next_frame += self.page_size
+        self._mappings[vpn] = frame
+        self.pages_mapped += 1
+        dir_index = vpn >> 10
+        if dir_index not in self._table_bases:
+            self._table_bases[dir_index] = self._next_table
+            self._next_table += _ENTRIES_PER_TABLE * _ENTRY_BYTES
+        return frame
+
+    # -- page-walker traffic -----------------------------------------------
+
+    def walk_addresses(self, vaddr: int) -> list[int]:
+        """Physical addresses the hardware walker reads to translate *vaddr*.
+
+        Returns two addresses: the page-directory entry and the page-table
+        entry.  The caller is responsible for ensuring the page is mapped
+        (call :meth:`translate` first).
+        """
+        vpn = vaddr >> self._page_shift
+        dir_index = vpn >> 10
+        table_index = vpn & (_ENTRIES_PER_TABLE - 1)
+        pde = self._directory_base + dir_index * _ENTRY_BYTES
+        table_base = self._table_bases.get(dir_index)
+        if table_base is None:
+            # Walk of an unmapped region still reads the directory entry.
+            return [pde]
+        return [pde, table_base + table_index * _ENTRY_BYTES]

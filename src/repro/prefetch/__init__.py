@@ -1,0 +1,35 @@
+"""Prefetcher implementations.
+
+* :class:`~repro.prefetch.stride.StridePrefetcher` — the baseline hardware
+  stride prefetcher every configuration includes (Section 2.1).
+* :class:`~repro.prefetch.matcher.VirtualAddressMatcher` — the pointer
+  recognition heuristic (compare / filter / align bits, scan step).
+* :class:`~repro.prefetch.content.ContentPrefetcher` — the paper's
+  contribution: stateless content-directed prefetching with chaining,
+  feedback-directed path reinforcement, and deeper-vs-wider control.
+* :class:`~repro.prefetch.markov.MarkovPrefetcher` — the Section 5
+  comparison point (1-history Markov STAB, fanout 4).
+* :class:`~repro.prefetch.adaptive.AdaptiveController` — the runtime
+  heuristic-tuning extension sketched in Section 4.1's future work.
+* :class:`~repro.prefetch.stream.StreamBufferPrefetcher` — Jouppi stream
+  buffers (reference [11]), for extended baseline comparisons.
+"""
+
+from repro.prefetch.base import PrefetchCandidate, PrefetchKind
+from repro.prefetch.content import ContentPrefetcher
+from repro.prefetch.dependence import DependencePrefetcher
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.matcher import VirtualAddressMatcher
+from repro.prefetch.stream import StreamBufferPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+__all__ = [
+    "ContentPrefetcher",
+    "DependencePrefetcher",
+    "MarkovPrefetcher",
+    "PrefetchCandidate",
+    "PrefetchKind",
+    "StreamBufferPrefetcher",
+    "StridePrefetcher",
+    "VirtualAddressMatcher",
+]

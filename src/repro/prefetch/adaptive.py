@@ -1,0 +1,101 @@
+"""Adaptive (runtime) heuristic tuning — the paper's stated future work.
+
+Section 4.1 closes with: "One area of research currently being investigated
+by the authors is adaptive (runtime) heuristics for adjusting these
+parameters."  This module implements a simple realisation of that idea: a
+controller that watches the rolling accuracy of content prefetches and
+nudges the filter-bit width up (more permissive, more coverage) when
+accuracy is comfortably high, or down (stricter) when accuracy drops below
+a floor.
+
+The controller manipulates a live :class:`VirtualAddressMatcher` by
+swapping in a matcher built from an adjusted :class:`ContentConfig`; the
+prefetcher itself stays stateless.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.params import ContentConfig
+from repro.prefetch.content import ContentPrefetcher
+from repro.prefetch.matcher import VirtualAddressMatcher
+
+__all__ = ["AdaptiveStats", "AdaptiveController"]
+
+
+@dataclass
+class AdaptiveStats:
+    windows: int = 0
+    widenings: int = 0
+    narrowings: int = 0
+    last_accuracy: float = 0.0
+
+
+class AdaptiveController:
+    """Accuracy-driven filter-bit adjustment.
+
+    Parameters
+    ----------
+    prefetcher:
+        The live content prefetcher whose matcher is tuned in place.
+    window:
+        Number of completed (useful-or-not resolved) prefetches per
+        adjustment decision.
+    low_water / high_water:
+        Accuracy thresholds: below *low_water* the filter narrows
+        (fewer filter bits — stricter extreme-region matching); above
+        *high_water* it widens.
+    """
+
+    MIN_FILTER_BITS = 0
+    MAX_FILTER_BITS = 8
+
+    def __init__(
+        self,
+        prefetcher: ContentPrefetcher,
+        window: int = 512,
+        low_water: float = 0.30,
+        high_water: float = 0.70,
+    ) -> None:
+        if not 0.0 <= low_water < high_water <= 1.0:
+            raise ValueError("require 0 <= low_water < high_water <= 1")
+        self.prefetcher = prefetcher
+        self.window = window
+        self.low_water = low_water
+        self.high_water = high_water
+        self.stats = AdaptiveStats()
+        self._useful = 0
+        self._resolved = 0
+
+    @property
+    def filter_bits(self) -> int:
+        return self.prefetcher.config.filter_bits
+
+    def record_outcome(self, useful: bool) -> None:
+        """Report that one content prefetch resolved (used or evicted)."""
+        self._resolved += 1
+        if useful:
+            self._useful += 1
+        if self._resolved >= self.window:
+            self._adjust()
+
+    def _adjust(self) -> None:
+        accuracy = self._useful / self._resolved
+        self.stats.windows += 1
+        self.stats.last_accuracy = accuracy
+        self._useful = 0
+        self._resolved = 0
+        config = self.prefetcher.config
+        if accuracy < self.low_water and config.filter_bits > self.MIN_FILTER_BITS:
+            self._retune(config, config.filter_bits - 1)
+            self.stats.narrowings += 1
+        elif accuracy > self.high_water and config.filter_bits < self.MAX_FILTER_BITS:
+            self._retune(config, config.filter_bits + 1)
+            self.stats.widenings += 1
+
+    def _retune(self, config: ContentConfig, filter_bits: int) -> None:
+        new_config = dataclasses.replace(config, filter_bits=filter_bits)
+        self.prefetcher.config = new_config
+        self.prefetcher.matcher = VirtualAddressMatcher(new_config)

@@ -1,0 +1,38 @@
+"""Shared prefetcher types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["PrefetchKind", "PrefetchCandidate"]
+
+
+class PrefetchKind(enum.Enum):
+    """Why a prefetch candidate was generated."""
+
+    #: The candidate address itself (a pointer found in a scanned line).
+    CHAIN = "chain"
+    #: A "wider" next-line prefetch following a candidate (Section 3.4.3).
+    NEXT_LINE = "next"
+    #: A previous-line prefetch (evaluated and rejected by Figure 9).
+    PREV_LINE = "prev"
+    #: A stride-predicted address.
+    STRIDE = "stride"
+    #: A Markov STAB successor.
+    MARKOV = "markov"
+
+
+@dataclass(frozen=True)
+class PrefetchCandidate:
+    """One address a prefetcher wants brought into the cache."""
+
+    vaddr: int
+    depth: int
+    kind: PrefetchKind
+    # The effective address whose fill/scan produced this candidate; used
+    # for chained scans (the new trigger) and for debugging.
+    trigger_vaddr: int = 0
+
+    def line(self, line_size: int = 64) -> int:
+        return self.vaddr & ~(line_size - 1) & 0xFFFF_FFFF

@@ -1,0 +1,161 @@
+"""The content-directed data prefetcher.
+
+This class is deliberately *policy only*: it decides what to prefetch (by
+scanning fill contents), when a chain terminates (depth threshold), when a
+cache hit should reinforce a chain (rescan margin), and how wide to fetch
+(previous/next lines).  Mechanism — translation, arbitration, cache fills,
+timing — belongs to the simulators, mirroring the paper's split between the
+predictor (Figure 5) and the memory-system microarchitecture (Figure 6).
+
+Statelessness is the headline property: between fills the prefetcher keeps
+*no* prediction state at all (``MatcherStats`` counters are observability
+only).  The only persistent state the scheme needs is the ~2 depth bits per
+L2 line, stored in the cache itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import ContentConfig
+from repro.prefetch.base import PrefetchCandidate, PrefetchKind
+from repro.prefetch.matcher import VirtualAddressMatcher
+
+__all__ = ["ContentStats", "ContentPrefetcher"]
+
+
+@dataclass
+class ContentStats:
+    lines_scanned: int = 0
+    rescans: int = 0
+    chain_candidates: int = 0
+    width_candidates: int = 0
+    chains_terminated_by_depth: int = 0
+
+
+class ContentPrefetcher:
+    """Scans fill contents and emits prefetch candidates."""
+
+    def __init__(self, config: ContentConfig, line_size: int = 64) -> None:
+        self.config = config
+        self.matcher = VirtualAddressMatcher(config)
+        self.stats = ContentStats()
+        self._line_size = line_size
+        self._line_mask = ~(line_size - 1) & 0xFFFF_FFFF
+
+    # -- depth bookkeeping ----------------------------------------------------
+
+    @property
+    def depth_bits(self) -> int:
+        """Bits of per-line storage needed to encode the depth threshold."""
+        return max(1, self.config.depth_threshold.bit_length())
+
+    @property
+    def space_overhead(self) -> float:
+        """Fraction of L2 space consumed by the depth bits (paper: <0.5%)."""
+        return self.depth_bits / (8.0 * self._line_size)
+
+    def clamp_depth(self, depth: int) -> int:
+        """Depths saturate at what the per-line bits can encode."""
+        return min(depth, (1 << self.depth_bits) - 1)
+
+    # -- scanning ---------------------------------------------------------------
+
+    def scan_fill(
+        self,
+        line_vaddr: int,
+        line_bytes: bytes,
+        effective_vaddr: int,
+        depth: int,
+        is_rescan: bool = False,
+    ) -> list[PrefetchCandidate]:
+        """Scan one filled (or reinforced) cache line.
+
+        Parameters
+        ----------
+        line_vaddr:
+            Virtual base address of the scanned line.
+        line_bytes:
+            The line's data, as delivered by the fill.
+        effective_vaddr:
+            Effective address of the request that triggered the fill — the
+            reference point for the compare bits.
+        depth:
+            Request depth of the fill being scanned (demand = 0).  The
+            candidates produced get ``depth + 1``; if that exceeds the
+            depth threshold the chain is terminated and nothing is
+            returned ("Line D is not scanned", Figure 3).
+
+        Returns the candidate list in line-scan order; chain candidates are
+        followed by their width (previous/next line) companions.
+        """
+        if not self.config.enabled:
+            return []
+        next_depth = depth + 1
+        if next_depth > self.config.depth_threshold:
+            self.stats.chains_terminated_by_depth += 1
+            return []
+        self.stats.lines_scanned += 1
+        if is_rescan:
+            self.stats.rescans += 1
+        pointers = self.matcher.scan(line_bytes, effective_vaddr)
+        candidates: list[PrefetchCandidate] = []
+        emitted_lines: set[int] = {line_vaddr & self._line_mask}
+        for pointer in pointers:
+            self._emit(pointer, next_depth, emitted_lines, candidates)
+        return candidates
+
+    def _emit(
+        self,
+        pointer: int,
+        depth: int,
+        emitted_lines: set[int],
+        out: list[PrefetchCandidate],
+    ) -> None:
+        line = pointer & self._line_mask
+        if line not in emitted_lines:
+            emitted_lines.add(line)
+            out.append(
+                PrefetchCandidate(pointer, depth, PrefetchKind.CHAIN, pointer)
+            )
+            self.stats.chain_candidates += 1
+        for k in range(1, self.config.prev_lines + 1):
+            self._emit_width(
+                line - k * self._line_size, depth, PrefetchKind.PREV_LINE,
+                pointer, emitted_lines, out,
+            )
+        for k in range(1, self.config.next_lines + 1):
+            self._emit_width(
+                line + k * self._line_size, depth, PrefetchKind.NEXT_LINE,
+                pointer, emitted_lines, out,
+            )
+
+    def _emit_width(
+        self,
+        line: int,
+        depth: int,
+        kind: PrefetchKind,
+        trigger: int,
+        emitted_lines: set[int],
+        out: list[PrefetchCandidate],
+    ) -> None:
+        line &= 0xFFFF_FFFF
+        if line in emitted_lines:
+            return
+        emitted_lines.add(line)
+        out.append(PrefetchCandidate(line, depth, kind, trigger))
+        self.stats.width_candidates += 1
+
+    # -- reinforcement policy ------------------------------------------------------
+
+    def should_rescan(self, stored_depth: int, incoming_depth: int) -> bool:
+        """Does a hit at *incoming_depth* reinforce a line at *stored_depth*?
+
+        Figure 4(b): rescan whenever the incoming request's depth is lower
+        than the stored depth (margin 1).  Figure 4(c): "re-establishing a
+        chain only when the incoming depth is at least two fewer than the
+        stored depth" (margin 2) halves the rescan count.
+        """
+        if not self.config.reinforcement or not self.config.enabled:
+            return False
+        return incoming_depth <= stored_depth - self.config.rescan_margin

@@ -1,0 +1,114 @@
+"""Markov prefetcher (the Section 5 comparison point).
+
+"The Markov prefetch mechanism used in this paper is based on the 1-history
+Markov model prefetcher implementation described in [Joseph & Grunwald
+1997].  The prefetcher uses a State Transition Table (STAB) with a fan out
+of four, and models the transition probabilities using the least recently
+used (LRU) replacement algorithm."
+
+The STAB maps an L2 miss line address to the (up to ``fanout``) miss line
+addresses that have followed it, MRU-first.  On a miss the current address's
+successors are all issued as prefetches, and the previous miss's successor
+list is updated with the current address.
+
+Stride/Markov sequencing (also per Section 5): the two prefetchers are
+consulted sequentially with precedence to stride — if the stride prefetcher
+issued for this reference, the Markov prefetcher is blocked.
+
+Table 3 sizes the STAB in bytes; with 32-bit addresses an entry (tag + four
+successors) is 20 bytes, giving ~26K entries for the 512 KB configuration
+and ~6.5K for the 128 KB one.  ``unbounded=True`` models *markov_big*.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.params import MarkovConfig
+from repro.prefetch.base import PrefetchCandidate, PrefetchKind
+
+__all__ = ["MarkovStats", "MarkovPrefetcher"]
+
+
+@dataclass
+class MarkovStats:
+    misses_observed: int = 0
+    issued: int = 0
+    entries_evicted: int = 0
+    blocked_by_stride: int = 0
+    training_updates: int = 0
+
+
+class MarkovPrefetcher:
+    """1-history Markov miss predictor with a bounded STAB."""
+
+    def __init__(self, config: MarkovConfig, line_size: int = 64) -> None:
+        self.config = config
+        self.stats = MarkovStats()
+        self._line_mask = ~(line_size - 1) & 0xFFFF_FFFF
+        self._stab: OrderedDict[int, list[int]] = OrderedDict()
+        self._prev_miss: int | None = None
+
+    @property
+    def capacity(self) -> int | None:
+        """Entry capacity, or ``None`` when unbounded (markov_big)."""
+        if self.config.unbounded:
+            return None
+        return self.config.entries
+
+    def __len__(self) -> int:
+        return len(self._stab)
+
+    def observe_miss(
+        self, vaddr: int, stride_covered: bool = False
+    ) -> list[PrefetchCandidate]:
+        """Feed one L2 demand miss; returns Markov prefetch candidates.
+
+        *stride_covered* indicates the stride prefetcher already issued for
+        this reference, which blocks Markov issue (but training — the
+        successor-list update — still happens, since the miss occurred).
+        """
+        if not self.config.enabled:
+            return []
+        line = vaddr & self._line_mask
+        self.stats.misses_observed += 1
+        self._train(line)
+        self._prev_miss = line
+        if stride_covered:
+            self.stats.blocked_by_stride += 1
+            return []
+        successors = self._stab.get(line)
+        if not successors:
+            return []
+        self._stab.move_to_end(line)
+        candidates = [
+            PrefetchCandidate(succ, 1, PrefetchKind.MARKOV, vaddr)
+            for succ in successors
+        ]
+        self.stats.issued += len(candidates)
+        return candidates
+
+    def _train(self, line: int) -> None:
+        prev = self._prev_miss
+        if prev is None or prev == line:
+            return
+        successors = self._stab.get(prev)
+        if successors is None:
+            capacity = self.capacity
+            if capacity is not None and len(self._stab) >= capacity:
+                self._stab.popitem(last=False)
+                self.stats.entries_evicted += 1
+            successors = []
+            self._stab[prev] = successors
+        else:
+            self._stab.move_to_end(prev)
+        if line in successors:
+            successors.remove(line)
+        successors.insert(0, line)
+        del successors[self.config.fanout:]
+        self.stats.training_updates += 1
+
+    def successors_of(self, vaddr: int) -> list[int]:
+        """Current successor list for a line (test/debug helper)."""
+        return list(self._stab.get(vaddr & self._line_mask, ()))

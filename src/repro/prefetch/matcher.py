@@ -1,0 +1,127 @@
+"""The virtual-address-matching pointer-recognition heuristic.
+
+This is Section 3.3 / Figures 2 and 5 of the paper, and the component the
+authors call "a core design feature of the content prefetcher".
+
+A word scanned out of a filled cache line is deemed a *candidate virtual
+address* when:
+
+1. **Compare bits** — its upper ``N`` bits equal the upper ``N`` bits of the
+   effective address of the request that triggered the fill ("most virtual
+   data addresses tend to share common high-order bits").
+2. **Filter bits** — if those upper ``N`` bits are all zeros (or all ones),
+   small integers (or small negative integers) would spuriously match, so
+   the next ``M`` bits of the *candidate* must contain a non-zero (non-one)
+   bit.  ``M = 0`` disables prediction in the extreme regions entirely;
+   larger ``M`` relaxes the requirement.
+3. **Align bits** — the low ``A`` bits must be zero (compilers place
+   pointers on 2- or 4-byte boundaries).
+
+The line is scanned at a stride of ``scan_step`` bytes; a 64-byte line with
+a 4-byte step examines 16 words, with a 1-byte step 61.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import ContentConfig
+
+__all__ = ["MatcherStats", "VirtualAddressMatcher"]
+
+
+@dataclass
+class MatcherStats:
+    words_examined: int = 0
+    candidates: int = 0
+    rejected_align: int = 0
+    rejected_compare: int = 0
+    rejected_filter: int = 0
+
+
+class VirtualAddressMatcher:
+    """Stateless pointer recogniser (compare / filter / align / step)."""
+
+    def __init__(self, config: ContentConfig) -> None:
+        self.config = config
+        self.stats = MatcherStats()
+        bits = config.address_bits
+        self._compare_shift = bits - config.compare_bits
+        self._upper_ones = (1 << config.compare_bits) - 1
+        self._align_mask = (1 << config.align_bits) - 1
+        if config.filter_bits:
+            self._filter_shift = self._compare_shift - config.filter_bits
+            if self._filter_shift < 0:
+                raise ValueError("compare_bits + filter_bits exceed the space")
+            self._filter_mask = (1 << config.filter_bits) - 1
+        else:
+            self._filter_shift = 0
+            self._filter_mask = 0
+        self._word_size = config.word_size
+        self._addr_mask = (1 << bits) - 1
+
+    # -- single-word test ------------------------------------------------------
+
+    def is_candidate(self, word: int, effective_vaddr: int) -> bool:
+        """Figure 5's decision: is *word* a likely virtual address?"""
+        self.stats.words_examined += 1
+        word &= self._addr_mask
+        if word & self._align_mask:
+            self.stats.rejected_align += 1
+            return False
+        upper_eff = (effective_vaddr & self._addr_mask) >> self._compare_shift
+        upper_word = word >> self._compare_shift
+        if upper_word != upper_eff:
+            self.stats.rejected_compare += 1
+            return False
+        if upper_eff == 0:
+            if not self._filter_pass_zero(word):
+                self.stats.rejected_filter += 1
+                return False
+        elif upper_eff == self._upper_ones:
+            if not self._filter_pass_one(word):
+                self.stats.rejected_filter += 1
+                return False
+        self.stats.candidates += 1
+        return True
+
+    def _filter_pass_zero(self, word: int) -> bool:
+        """Lower region: require a non-zero bit among the filter bits."""
+        if not self._filter_mask:
+            return False
+        return (word >> self._filter_shift) & self._filter_mask != 0
+
+    def _filter_pass_one(self, word: int) -> bool:
+        """Upper region: require a non-one bit among the filter bits."""
+        if not self._filter_mask:
+            return False
+        filter_bits = (word >> self._filter_shift) & self._filter_mask
+        return filter_bits != self._filter_mask
+
+    # -- whole-line scan ---------------------------------------------------------
+
+    def scan(self, line_bytes: bytes, effective_vaddr: int) -> list[int]:
+        """Scan a cache line's bytes, returning candidate addresses.
+
+        The hardware evaluates all positions concurrently ("such scanning
+        is parallel by nature"); functionally that is identical to this
+        sequential walk at ``scan_step``-byte offsets.
+        """
+        candidates = []
+        step = self.config.scan_step
+        last = len(line_bytes) - self._word_size
+        for offset in range(0, last + 1, step):
+            word = int.from_bytes(
+                line_bytes[offset:offset + self._word_size], "little"
+            )
+            if self.is_candidate(word, effective_vaddr):
+                candidates.append(word)
+        return candidates
+
+    def prefetchable_range_bytes(self) -> int:
+        """Size of the region reachable from one effective address.
+
+        Increasing compare bits halves this range — the coverage/accuracy
+        tradeoff discussed with Figure 7.
+        """
+        return 1 << self._compare_shift

@@ -1,0 +1,18 @@
+"""Metrics and reporting helpers."""
+
+from repro.stats.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    mptu,
+    speedup,
+)
+from repro.stats.tables import format_percent, render_table
+
+__all__ = [
+    "arithmetic_mean",
+    "format_percent",
+    "geometric_mean",
+    "mptu",
+    "render_table",
+    "speedup",
+]

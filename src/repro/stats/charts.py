@@ -1,0 +1,131 @@
+"""Plain-text chart rendering for experiment outputs.
+
+No plotting dependencies are available offline, so the CLI renders series
+as unicode-free ASCII charts: good enough to eyeball the shapes the paper
+plots (MPTU transients, coverage/accuracy sweeps, speedup lines).
+"""
+
+from __future__ import annotations
+
+__all__ = ["line_chart", "bar_chart", "stacked_bar"]
+
+
+def _scale(value: float, low: float, high: float, width: int) -> int:
+    if high <= low:
+        return 0
+    ratio = (value - low) / (high - low)
+    return max(0, min(width, int(round(ratio * width))))
+
+
+def line_chart(
+    series: dict,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render named y-series (equal length) as an ASCII line chart.
+
+    Each series gets a marker character; points are plotted on a
+    height x width grid with a shared y-scale.
+    """
+    if not series:
+        return "(no data)"
+    markers = "*o+x#@%&"
+    all_values = [v for values in series.values() for v in values]
+    low, high = min(all_values), max(all_values)
+    if high == low:
+        high = low + 1.0
+    length = max(len(values) for values in series.values())
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for i, value in enumerate(values):
+            x = _scale(i, 0, max(1, length - 1), width - 1)
+            y = height - 1 - _scale(value, low, high, height - 1)
+            grid[y][x] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("%10.3g +%s" % (high, "-" * width))
+    for row in grid:
+        lines.append("           |%s" % "".join(row))
+    lines.append("%10.3g +%s" % (low, "-" * width))
+    legend = "   ".join(
+        "%s %s" % (markers[i % len(markers)], label)
+        for i, label in enumerate(series)
+    )
+    lines.append("           " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: dict,
+    width: int = 50,
+    title: str = "",
+    baseline: float | None = None,
+) -> str:
+    """Render labelled values as horizontal bars.
+
+    With *baseline*, bars start at the baseline and show the delta
+    (useful for speedups around 1.0).
+    """
+    if not values:
+        return "(no data)"
+    lines = [title] if title else []
+    label_width = max(len(str(label)) for label in values)
+    numbers = list(values.values())
+    if baseline is None:
+        low, high = min(0.0, min(numbers)), max(numbers)
+        for label, value in values.items():
+            bar = "#" * _scale(value, low, high, width)
+            lines.append("%-*s %8.3f |%s" % (label_width, label, value, bar))
+    else:
+        span = max(abs(v - baseline) for v in numbers) or 1.0
+        half = width // 2
+        for label, value in values.items():
+            delta = value - baseline
+            size = _scale(abs(delta), 0, span, half)
+            if delta >= 0:
+                bar = " " * half + "|" + "#" * size
+            else:
+                bar = " " * (half - size) + "#" * size + "|"
+            lines.append("%-*s %8.3f %s" % (label_width, label, value, bar))
+    return "\n".join(lines)
+
+
+def stacked_bar(
+    rows: dict,
+    width: int = 50,
+    title: str = "",
+    legend: dict | None = None,
+) -> str:
+    """Render rows of category->fraction dicts as stacked unit bars.
+
+    Used for Figure 10's load-request distribution.  *legend* maps
+    category name to the single character used for its segment.
+    """
+    if not rows:
+        return "(no data)"
+    categories = list(next(iter(rows.values())))
+    if legend is None:
+        default_chars = "#=+-. "
+        legend = {
+            category: default_chars[i % len(default_chars)]
+            for i, category in enumerate(categories)
+        }
+    lines = [title] if title else []
+    label_width = max(len(str(label)) for label in rows)
+    for label, fractions in rows.items():
+        bar = []
+        for category in categories:
+            segment = int(round(fractions.get(category, 0.0) * width))
+            bar.append(legend[category] * segment)
+        lines.append("%-*s |%s" % (label_width, label,
+                                   "".join(bar)[:width]))
+    lines.append(
+        " " * label_width + "  " + "  ".join(
+            "%s=%s" % (char, category)
+            for category, char in legend.items()
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Core evaluation metrics.
+
+The paper's metric definitions:
+
+* **MPTU** — misses per 1000 µops: "the average number of demand data
+  fetches that will miss during the execution of 1000 µops" (Section 2.2).
+* **coverage** = prefetch hits / misses without prefetching (Equation 1).
+* **accuracy** = useful prefetches / prefetches generated (Equation 2).
+* **speedup** — baseline cycles / enhanced cycles, with the baseline always
+  including the stride prefetcher.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["mptu", "speedup", "arithmetic_mean", "geometric_mean"]
+
+
+def mptu(misses: int, uops: int) -> float:
+    """Demand misses per 1000 µops."""
+    if uops <= 0:
+        return 0.0
+    return 1000.0 * misses / uops
+
+
+def speedup(baseline_cycles: float, enhanced_cycles: float) -> float:
+    """Paper convention: >1.0 means the enhanced machine is faster."""
+    if enhanced_cycles <= 0:
+        return 0.0
+    return baseline_cycles / enhanced_cycles
+
+
+def arithmetic_mean(values) -> float:
+    """Plain average; 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values; 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,34 @@
+"""Plain-text table rendering shared by the experiment drivers."""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "format_percent"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string ("0.126" -> "12.6%")."""
+    return "%.*f%%" % (digits, 100.0 * value)
+
+
+def render_table(headers, rows, title: str = "") -> str:
+    """Render rows (sequences of stringifiable cells) as aligned text."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width %d != header width %d"
+                             % (len(row), len(headers)))
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

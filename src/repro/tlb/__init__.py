@@ -1,0 +1,6 @@
+"""Data TLB and hardware page walker models."""
+
+from repro.tlb.dtlb import DataTLB
+from repro.tlb.walker import PageWalker
+
+__all__ = ["DataTLB", "PageWalker"]

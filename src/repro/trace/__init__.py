@@ -1,0 +1,29 @@
+"""µop trace representation consumed by the simulators."""
+
+from repro.trace.ops import (
+    BRANCH,
+    COMPUTE,
+    LOAD,
+    STORE,
+    Trace,
+    TraceBuilder,
+)
+from repro.trace.serialize import (
+    load_trace,
+    load_workload,
+    save_trace,
+    save_workload,
+)
+
+__all__ = [
+    "BRANCH",
+    "COMPUTE",
+    "LOAD",
+    "STORE",
+    "Trace",
+    "TraceBuilder",
+    "load_trace",
+    "load_workload",
+    "save_trace",
+    "save_workload",
+]

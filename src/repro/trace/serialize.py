@@ -1,0 +1,151 @@
+"""Trace serialization: save and reload µop traces.
+
+Workload generation is deterministic but not free; persisting a built
+trace lets sweeps and CI runs skip regeneration.  The format is a compact
+binary stream (one byte of opcode + varint fields), far smaller than
+pickled tuples, with a short header carrying the trace metadata.
+
+Note: a trace alone is not a workload — the content prefetcher also needs
+the memory image.  :func:`save_workload` / :func:`load_workload` persist
+both (the image as page-number + page-bytes pairs).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+from repro.memory.backing import BackingMemory
+from repro.trace.ops import BRANCH, COMPUTE, LOAD, STORE, Trace
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "save_workload",
+    "load_workload",
+]
+
+_MAGIC = b"CDPT\x01"
+_IMAGE_MAGIC = b"CDPI\x01"
+
+
+def _write_varint(out: io.BufferedIOBase, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes([byte | 0x80]))
+        else:
+            out.write(bytes([byte]))
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple:
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write *trace* to *path* in the compact binary format."""
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        name_bytes = trace.name.encode("utf-8")
+        handle.write(struct.pack("<H", len(name_bytes)))
+        handle.write(name_bytes)
+        handle.write(struct.pack("<QQ", len(trace.ops),
+                                 trace.instruction_count))
+        buffer = io.BytesIO()
+        for op in trace.ops:
+            kind = op[0]
+            buffer.write(bytes([kind]))
+            if kind == LOAD:
+                _write_varint(buffer, op[1])
+                _write_varint(buffer, op[2])
+                _write_varint(buffer, op[3] + 1)  # dep: -1 -> 0
+            elif kind == STORE:
+                _write_varint(buffer, op[1])
+                _write_varint(buffer, op[2])
+            elif kind == COMPUTE:
+                _write_varint(buffer, op[1])
+            else:  # BRANCH
+                buffer.write(bytes([op[1]]))
+        handle.write(buffer.getvalue())
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data.startswith(_MAGIC):
+        raise ValueError("not a CDP trace file: %s" % path)
+    pos = len(_MAGIC)
+    (name_len,) = struct.unpack_from("<H", data, pos)
+    pos += 2
+    name = data[pos:pos + name_len].decode("utf-8")
+    pos += name_len
+    op_count, instruction_count = struct.unpack_from("<QQ", data, pos)
+    pos += 16
+    ops = []
+    for _ in range(op_count):
+        kind = data[pos]
+        pos += 1
+        if kind == LOAD:
+            vaddr, pos = _read_varint(data, pos)
+            pc, pos = _read_varint(data, pos)
+            dep, pos = _read_varint(data, pos)
+            ops.append((LOAD, vaddr, pc, dep - 1))
+        elif kind == STORE:
+            vaddr, pos = _read_varint(data, pos)
+            pc, pos = _read_varint(data, pos)
+            ops.append((STORE, vaddr, pc))
+        elif kind == COMPUTE:
+            count, pos = _read_varint(data, pos)
+            ops.append((COMPUTE, count))
+        elif kind == BRANCH:
+            ops.append((BRANCH, data[pos]))
+            pos += 1
+        else:
+            raise ValueError("corrupt trace: bad opcode %d" % kind)
+    return Trace(name, ops, instruction_count=instruction_count)
+
+
+def save_workload(trace: Trace, memory: BackingMemory, path: str) -> None:
+    """Persist a trace plus its memory image (two files: path, path.img)."""
+    save_trace(trace, path)
+    with open(path + ".img", "wb") as handle:
+        handle.write(_IMAGE_MAGIC)
+        handle.write(struct.pack("<IQ", memory.page_size,
+                                 memory.touched_pages))
+        for number in memory.touched_page_numbers():
+            handle.write(struct.pack("<Q", number))
+            handle.write(memory.read_bytes(
+                number * memory.page_size, memory.page_size
+            ))
+
+
+def load_workload(path: str) -> tuple:
+    """Load ``(trace, memory)`` written by :func:`save_workload`."""
+    trace = load_trace(path)
+    with open(path + ".img", "rb") as handle:
+        data = handle.read()
+    if not data.startswith(_IMAGE_MAGIC):
+        raise ValueError("not a CDP image file: %s.img" % path)
+    pos = len(_IMAGE_MAGIC)
+    page_size, page_count = struct.unpack_from("<IQ", data, pos)
+    pos += 12
+    memory = BackingMemory(page_size=page_size)
+    for _ in range(page_count):
+        (number,) = struct.unpack_from("<Q", data, pos)
+        pos += 8
+        memory.write_bytes(
+            number * page_size, data[pos:pos + page_size]
+        )
+        pos += page_size
+    return trace, memory

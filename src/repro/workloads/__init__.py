@@ -1,0 +1,39 @@
+"""Workload generators — the stand-ins for the paper's LIT traces.
+
+The paper drives its simulator with proprietary checkpoints of commercial
+applications (Table 2).  We cannot use those, so this package builds the
+closest synthetic equivalents: each workload *allocates real linked data
+structures* (lists, trees, hash tables, pointer arrays) into the simulated
+32-bit address space — so the bytes the content prefetcher scans contain
+genuine pointers — and then emits a µop trace of traversals with true
+load→load dependences, interleaved compute work, branches, and stride/array
+phases.
+
+:mod:`repro.workloads.suite` defines the fifteen named benchmarks of
+Table 2 as parameter profiles (working-set size, structure mix, pointer
+density, compute per load, heap fragmentation) chosen so the *relative*
+behaviours the paper reports — which workloads are pointer-bound, which
+stride-friendly, the 1 MB vs 4 MB MPTU spread — are exercised.
+"""
+
+from repro.workloads.base import BuiltWorkload, WorkloadContext
+from repro.workloads.mixed import BenchmarkProfile, MixedWorkload
+from repro.workloads.suite import (
+    SUITE_OF,
+    WORKLOAD_PROFILES,
+    benchmark_names,
+    build_benchmark,
+    get_profile,
+)
+
+__all__ = [
+    "BenchmarkProfile",
+    "BuiltWorkload",
+    "MixedWorkload",
+    "SUITE_OF",
+    "WORKLOAD_PROFILES",
+    "WorkloadContext",
+    "benchmark_names",
+    "build_benchmark",
+    "get_profile",
+]

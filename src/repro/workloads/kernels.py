@@ -1,0 +1,367 @@
+"""Traversal kernels: emit µop traces over built structures.
+
+A kernel object represents one *static* code site: it allocates its program
+counters once (so the PC-indexed stride prefetcher sees stable sites) and
+can then be invoked repeatedly to emit dynamic instances.  Loads carry true
+dependences — a pointer chase is a chain of loads each depending on the
+previous one, which is what serialises it in the timing model.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadContext
+from repro.workloads.structures import (
+    BinaryTree,
+    DataArray,
+    HashTable,
+    LinkedList,
+    PointerArray,
+)
+
+__all__ = [
+    "ListTraversalKernel",
+    "TreeSearchKernel",
+    "HashLookupKernel",
+    "ArrayScanKernel",
+    "PointerArrayKernel",
+    "GraphWalkKernel",
+    "StackKernel",
+]
+
+_WORD = 4
+
+
+def _spread_offsets(loads: int, payload_words: int) -> list:
+    """Word offsets (1-based past the header) spread across the payload."""
+    if loads <= 0:
+        return []
+    if loads == 1:
+        return [1]
+    step = (payload_words - 1) / (loads - 1)
+    return [1 + int(round(j * step)) for j in range(loads)]
+
+
+class ListTraversalKernel:
+    """Walk a linked list: the canonical recursive pointer chase."""
+
+    def __init__(
+        self,
+        ctx: WorkloadContext,
+        lst: LinkedList,
+        payload_loads: int = 2,
+        work_per_node: int = 4,
+        store_probability: float = 0.0,
+        mispredict_rate: float = 0.01,
+    ) -> None:
+        self.ctx = ctx
+        self.lst = lst
+        self.payload_loads = min(payload_loads, lst.payload_words)
+        self.work_per_node = work_per_node
+        self.store_probability = store_probability
+        self.mispredict_rate = mispredict_rate
+        self._pc_head = ctx.new_pc()
+        self._pc_next = ctx.new_pc()
+        self._pc_payload = [ctx.new_pc() for _ in range(self.payload_loads)]
+        # Payload loads spread across the node — large nodes span cache
+        # lines, so the tail loads land in the line *after* the one the
+        # next-pointer scan found (the reason "wider" next-line
+        # prefetching pays, Section 3.4.3).
+        self._payload_offsets = _spread_offsets(
+            self.payload_loads, lst.payload_words
+        )
+        self._pc_store = ctx.new_pc()
+        self._head_slot = ctx.stack_slot()
+        ctx.write_word(self._head_slot, lst.head)
+
+    def emit(self, max_nodes: int | None = None, start: int = 0) -> int:
+        """Emit one traversal; returns the number of nodes visited."""
+        trace = self.ctx.trace
+        rng = self.ctx.rng
+        nodes = self.lst.nodes[start:]
+        if max_nodes is not None:
+            nodes = nodes[:max_nodes]
+        if not nodes:
+            return 0
+        next_offset = self.lst.next_offset
+        prev = trace.load(self._head_slot, self._pc_head)
+        for node in nodes:
+            current = trace.load(node + next_offset, self._pc_next, dep=prev)
+            for offset, pc in zip(self._payload_offsets, self._pc_payload):
+                trace.load(node + offset * _WORD, pc, dep=prev)
+            if self.store_probability and rng.random() < self.store_probability:
+                offset = (1 + rng.randrange(self.lst.payload_words)) * _WORD
+                trace.store(node + offset, self._pc_store)
+            trace.compute(self.work_per_node)
+            trace.branch(rng.random() < self.mispredict_rate)
+            prev = current
+        return len(nodes)
+
+
+class TreeSearchKernel:
+    """Random descents of a balanced BST (index-structure behaviour)."""
+
+    def __init__(
+        self,
+        ctx: WorkloadContext,
+        tree: BinaryTree,
+        work_per_level: int = 3,
+        mispredict_rate: float = 0.15,
+    ) -> None:
+        self.ctx = ctx
+        self.tree = tree
+        self.work_per_level = work_per_level
+        self.mispredict_rate = mispredict_rate
+        self._pc_root = ctx.new_pc()
+        self._pc_key = ctx.new_pc()
+        self._pc_child = ctx.new_pc()
+        self._root_slot = ctx.stack_slot()
+        ctx.write_word(self._root_slot, tree.root)
+
+    def emit(self, num_searches: int = 1, key_range=None) -> int:
+        """Emit *num_searches* random lookups; returns nodes visited.
+
+        *key_range* restricts the target keys to ``[low, high)`` — hot-set
+        searches share the same subtrees.
+        """
+        trace = self.ctx.trace
+        rng = self.ctx.rng
+        tree = self.tree
+        count = len(tree.nodes)
+        low, high = key_range if key_range is not None else (0, count)
+        high = min(high, count)
+        visited = 0
+        for _ in range(num_searches):
+            target = rng.randrange(low, max(low + 1, high))
+            prev = trace.load(self._root_slot, self._pc_root)
+            index = 0
+            while index < count:
+                node = tree.nodes[index]
+                trace.load(node + 2 * _WORD, self._pc_key, dep=prev)
+                trace.compute(self.work_per_level)
+                visited += 1
+                key = tree.keys[index]
+                if key == target:
+                    trace.branch(False)
+                    break
+                go_left = target < key
+                trace.branch(rng.random() < self.mispredict_rate)
+                child_offset = 0 if go_left else _WORD
+                child_index = 2 * index + (1 if go_left else 2)
+                if child_index >= count:
+                    break
+                prev = trace.load(node + child_offset, self._pc_child, dep=prev)
+                index = child_index
+        return visited
+
+
+class HashLookupKernel:
+    """Random probes of a chained hash table.
+
+    The bucket-array access is data-dependent (random index, one PC) so the
+    stride prefetcher cannot cover it, and chains are short — the paper's
+    example of pointer code without long recursive paths (Section 3.2).
+    """
+
+    def __init__(
+        self,
+        ctx: WorkloadContext,
+        table: HashTable,
+        hash_work: int = 6,
+        mispredict_rate: float = 0.05,
+    ) -> None:
+        self.ctx = ctx
+        self.table = table
+        self.hash_work = hash_work
+        self.mispredict_rate = mispredict_rate
+        self._pc_bucket = ctx.new_pc()
+        self._pc_next = ctx.new_pc()
+        self._pc_key = ctx.new_pc()
+
+    def emit(self, num_lookups: int = 1, bucket_range=None) -> int:
+        """Emit *num_lookups* probes; returns chain nodes visited.
+
+        *bucket_range* restricts probes to ``[low, high)`` (hot buckets).
+        """
+        trace = self.ctx.trace
+        rng = self.ctx.rng
+        table = self.table
+        low, high = (
+            bucket_range if bucket_range is not None
+            else (0, table.num_buckets)
+        )
+        high = min(high, table.num_buckets)
+        visited = 0
+        for _ in range(num_lookups):
+            bucket = rng.randrange(low, max(low + 1, high))
+            trace.compute(self.hash_work)
+            head = trace.load(
+                table.bucket_base + bucket * _WORD, self._pc_bucket
+            )
+            prev = head
+            for node in table.chains[bucket]:
+                trace.load(node + _WORD, self._pc_key, dep=prev)
+                trace.compute(2)
+                trace.branch(rng.random() < self.mispredict_rate)
+                visited += 1
+                prev = trace.load(node, self._pc_next, dep=prev)
+        return visited
+
+
+class ArrayScanKernel:
+    """Sequential array sweep — regular traffic the stride prefetcher owns."""
+
+    def __init__(
+        self,
+        ctx: WorkloadContext,
+        array: DataArray,
+        stride_words: int = 1,
+        work_per_element: int = 2,
+    ) -> None:
+        self.ctx = ctx
+        self.array = array
+        self.stride_words = stride_words
+        self.work_per_element = work_per_element
+        self._pc_load = ctx.new_pc()
+
+    def emit(self, max_elements: int | None = None, start_word: int = 0) -> int:
+        trace = self.ctx.trace
+        array = self.array
+        elements = (array.words - start_word) // self.stride_words
+        if max_elements is not None:
+            elements = min(elements, max_elements)
+        address = array.base + start_word * _WORD
+        step = self.stride_words * _WORD
+        for _ in range(max(0, elements)):
+            trace.load(address, self._pc_load)
+            trace.compute(self.work_per_element)
+            address += step
+        if elements > 0:
+            trace.branch(False)
+        return max(0, elements)
+
+
+class PointerArrayKernel:
+    """Walk an array of pointers, dereferencing each target.
+
+    The array itself is stride-predictable; the dereferences are not —
+    the composition the paper's combined stride+content system targets.
+    """
+
+    def __init__(
+        self,
+        ctx: WorkloadContext,
+        parray: PointerArray,
+        payload_loads: int = 2,
+        work_per_object: int = 5,
+        mispredict_rate: float = 0.02,
+    ) -> None:
+        self.ctx = ctx
+        self.parray = parray
+        self.payload_loads = min(payload_loads, parray.payload_words)
+        self.work_per_object = work_per_object
+        self.mispredict_rate = mispredict_rate
+        self._pc_slot = ctx.new_pc()
+        self._pc_deref = [ctx.new_pc() for _ in range(self.payload_loads)]
+        self._deref_offsets = _spread_offsets(
+            self.payload_loads, parray.payload_words
+        )
+
+    def emit(self, max_objects: int | None = None, start: int = 0) -> int:
+        trace = self.ctx.trace
+        rng = self.ctx.rng
+        parray = self.parray
+        count = len(parray.targets) - start
+        if max_objects is not None:
+            count = min(count, max_objects)
+        for i in range(start, start + max(0, count)):
+            pointer = trace.load(
+                parray.array_base + i * _WORD, self._pc_slot
+            )
+            target = parray.targets[i]
+            for offset, pc in zip(self._deref_offsets, self._pc_deref):
+                trace.load(target + (offset - 1) * _WORD, pc, dep=pointer)
+            trace.compute(self.work_per_object)
+            trace.branch(rng.random() < self.mispredict_rate)
+        return max(0, count)
+
+
+class StackKernel:
+    """Local-variable churn: loads/stores that mostly hit the L1."""
+
+    def __init__(self, ctx: WorkloadContext, slots: int = 16) -> None:
+        self.ctx = ctx
+        base = ctx.stack_slot(slots)
+        self._addresses = [base + i * _WORD for i in range(slots)]
+        for address in self._addresses:
+            ctx.write_word(address, ctx.rng.getrandbits(16))
+        self._pc_load = ctx.new_pc()
+        self._pc_store = ctx.new_pc()
+
+    def emit(self, num_ops: int = 8) -> None:
+        trace = self.ctx.trace
+        rng = self.ctx.rng
+        for _ in range(num_ops):
+            address = rng.choice(self._addresses)
+            if rng.random() < 0.4:
+                trace.store(address, self._pc_store)
+            else:
+                trace.load(address, self._pc_load)
+            trace.compute(1)
+
+
+class GraphWalkKernel:
+    """Random walks over a pointer graph (netlist-style traversal).
+
+    Each step is a three-deep dependent chain: node header -> edge array
+    -> next node — harder for any prefetcher than a linked list, because
+    two dependent loads separate consecutive node addresses.
+    """
+
+    def __init__(
+        self,
+        ctx: WorkloadContext,
+        graph,
+        work_per_node: int = 6,
+        payload_loads: int = 1,
+        mispredict_rate: float = 0.05,
+    ) -> None:
+        self.ctx = ctx
+        self.graph = graph
+        self.work_per_node = work_per_node
+        self.payload_loads = min(payload_loads, graph.payload_words)
+        self.mispredict_rate = mispredict_rate
+        self._pc_entry = ctx.new_pc()
+        self._pc_degree = ctx.new_pc()
+        self._pc_edges = ctx.new_pc()
+        self._pc_edge_slot = ctx.new_pc()
+        self._pc_payload = [ctx.new_pc() for _ in range(self.payload_loads)]
+        self._entry_slot = ctx.stack_slot()
+
+    def emit(self, steps: int = 32, start: int | None = None) -> int:
+        """Emit one random walk of *steps* node visits; returns visits."""
+        trace = self.ctx.trace
+        rng = self.ctx.rng
+        graph = self.graph
+        index = start if start is not None else rng.randrange(
+            len(graph.nodes)
+        )
+        self.ctx.write_word(self._entry_slot, graph.nodes[index])
+        prev = trace.load(self._entry_slot, self._pc_entry)
+        visited = 0
+        for _ in range(steps):
+            node = graph.nodes[index]
+            trace.load(node, self._pc_degree, dep=prev)
+            edges_ptr = trace.load(node + 4, self._pc_edges, dep=prev)
+            for j, pc in enumerate(self._pc_payload):
+                trace.load(node + (2 + j) * 4, pc, dep=prev)
+            trace.compute(self.work_per_node)
+            successors = graph.edges[index]
+            choice = rng.randrange(len(successors))
+            trace.branch(rng.random() < self.mispredict_rate)
+            prev = trace.load(
+                graph.edge_arrays[index] + choice * 4,
+                self._pc_edge_slot, dep=edges_ptr,
+            )
+            index = successors[choice]
+            visited += 1
+        return visited

@@ -1,0 +1,328 @@
+"""Profile-driven mixed workloads.
+
+A :class:`BenchmarkProfile` captures the knobs that differentiate the
+paper's fifteen workloads: total heap footprint (what determines the
+1 MB-vs-4 MB MPTU behaviour of Table 2), the phase mix (how
+pointer-intensive the benchmark is and through which structures), compute
+density (the work available to hide latency), branch behaviour, heap
+fragmentation and allocation alignment.
+
+:class:`MixedWorkload` turns a profile into a concrete
+:class:`~repro.workloads.base.BuiltWorkload`: it sizes and builds the
+structures, then interleaves traversal phases (weighted, seeded, resumable
+cursors per structure) until the µop target is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.base import BuiltWorkload, WorkloadContext
+from repro.workloads.kernels import (
+    ArrayScanKernel,
+    HashLookupKernel,
+    ListTraversalKernel,
+    PointerArrayKernel,
+    StackKernel,
+    TreeSearchKernel,
+)
+from repro.workloads.structures import (
+    build_binary_tree,
+    build_data_array,
+    build_hash_table,
+    build_linked_list,
+    build_pointer_array,
+)
+
+__all__ = ["BenchmarkProfile", "MixedWorkload"]
+
+_WORD = 4
+_KB = 1024
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Parameter set standing in for one Table 2 workload."""
+
+    name: str
+    suite: str
+    target_uops: int
+    footprint_kb: int
+    # Relative phase weights; zero-weight phases are not even built.
+    mix: dict = field(default_factory=dict)
+    # Fraction of list links that follow allocation order (next-line
+    # prefetch friendliness).
+    list_locality: float = 0.6
+    payload_words: int = 6
+    work_per_node: int = 4
+    mispredict_rate: float = 0.02
+    store_probability: float = 0.05
+    # Where the list-node ``next`` pointer lives, as a fraction of the
+    # payload (0.0 = header-first; ~0.5 puts it past the first cache line
+    # of a multi-line node, making next-line width necessary to chain).
+    next_offset_frac: float = 0.0
+    # Temporal locality: fraction of phase chunks directed at the hot
+    # subset, and the fraction of each structure that is hot.  Real
+    # applications concentrate references this way — it is why Table 2's
+    # MPTU values are single digits despite multi-megabyte footprints.
+    hot_fraction: float = 0.9
+    hot_set_fraction: float = 0.12
+    # Absolute hot-working-set budget for randomly-probed structures
+    # (trees, hash tables), in KB.  Sized between the model machine's two
+    # UL2 sizes it makes the benchmark capacity-bound (Table 2's straddle).
+    hot_set_kb: int = 32
+    # Heap shape.
+    alignment: int = 4
+    scatter: int = 0
+    uops_per_instruction: float = 1.5
+
+    def weight(self, phase: str) -> float:
+        return self.mix.get(phase, 0.0)
+
+
+# How footprint is carved up: bytes per element of each structure kind.
+def _node_bytes(payload_words: int, header_words: int) -> int:
+    return (header_words + payload_words) * _WORD
+
+
+class MixedWorkload:
+    """Builds the memory image and trace for one profile."""
+
+    PHASES = ("list", "tree", "hash", "parray", "array", "static", "stack")
+
+    def __init__(self, profile: BenchmarkProfile, seed: int = 1) -> None:
+        self.profile = profile
+        self.seed = seed
+
+    def build(self, scale: float = 1.0) -> BuiltWorkload:
+        """Construct the workload; *scale* scales the trace length only.
+
+        The heap footprint is *not* scaled: footprints are sized relative
+        to the model machine's cache sizes (see
+        :func:`repro.experiments.common.model_machine`), and that ratio is
+        what drives every cache-behaviour result in the paper.  Shorter
+        traces just make fewer passes over the working set.
+        """
+        profile = self.profile
+        ctx = WorkloadContext(
+            profile.name,
+            seed=self.seed,
+            alignment=profile.alignment,
+            scatter=profile.scatter,
+        )
+        target_uops = max(1000, int(profile.target_uops * scale))
+        footprint = max(32 * _KB, profile.footprint_kb * _KB)
+        kernels, weights = self._build_structures(ctx, footprint)
+        self._emit(ctx, kernels, weights, target_uops)
+        return ctx.build(uops_per_instruction=profile.uops_per_instruction)
+
+    # ------------------------------------------------------------------
+
+    def _build_structures(self, ctx: WorkloadContext, footprint: int):
+        profile = self.profile
+        total_weight = sum(
+            profile.weight(p) for p in self.PHASES if p != "stack"
+        )
+        if total_weight <= 0:
+            raise ValueError("profile %s has no memory phases" % profile.name)
+        kernels: dict = {}
+        weights: dict = {}
+
+        def share(phase: str) -> int:
+            return int(footprint * profile.weight(phase) / total_weight)
+
+        next_offset_words = int(
+            profile.next_offset_frac * profile.payload_words
+        )
+        if profile.weight("list") > 0:
+            node = _node_bytes(profile.payload_words, 1)
+            count = max(16, share("list") // node)
+            lst = build_linked_list(
+                ctx, count, profile.payload_words, profile.list_locality,
+                next_offset_words=next_offset_words,
+            )
+            kernels["list"] = ListTraversalKernel(
+                ctx, lst,
+                payload_loads=2,
+                work_per_node=profile.work_per_node,
+                store_probability=profile.store_probability,
+                mispredict_rate=profile.mispredict_rate,
+            )
+            weights["list"] = profile.weight("list")
+        if profile.weight("tree") > 0:
+            node = _node_bytes(profile.payload_words, 3)
+            count = max(15, share("tree") // node)
+            tree = build_binary_tree(
+                ctx, count, profile.payload_words,
+                bfs_allocation=profile.list_locality > 0.5,
+            )
+            kernels["tree"] = TreeSearchKernel(
+                ctx, tree,
+                work_per_level=profile.work_per_node,
+                mispredict_rate=max(0.05, profile.mispredict_rate * 3),
+            )
+            weights["tree"] = profile.weight("tree")
+        if profile.weight("hash") > 0:
+            hash_payload = max(2, profile.payload_words // 2)
+            node = _node_bytes(hash_payload, 2)
+            items = max(64, share("hash") // node)
+            buckets = max(16, items // 4)
+            table = build_hash_table(
+                ctx, buckets, items, payload_words=hash_payload
+            )
+            kernels["hash"] = HashLookupKernel(
+                ctx, table,
+                hash_work=profile.work_per_node + 2,
+                mispredict_rate=profile.mispredict_rate,
+            )
+            weights["hash"] = profile.weight("hash")
+        if profile.weight("parray") > 0:
+            per_object = _node_bytes(profile.payload_words, 0) + _WORD
+            count = max(32, share("parray") // per_object)
+            parray = build_pointer_array(
+                ctx, count, profile.payload_words,
+                shuffle_targets=profile.list_locality < 0.8,
+            )
+            kernels["parray"] = PointerArrayKernel(
+                ctx, parray,
+                payload_loads=2,
+                work_per_object=profile.work_per_node,
+                mispredict_rate=profile.mispredict_rate,
+            )
+            weights["parray"] = profile.weight("parray")
+        if profile.weight("array") > 0:
+            words = max(256, share("array") // _WORD)
+            array = build_data_array(ctx, words)
+            kernels["array"] = ArrayScanKernel(
+                ctx, array,
+                # 16-byte elements: sweeps cover their footprint fast
+                # enough to cycle it several times per trace (the
+                # capacity-miss behaviour of the Multimedia suite), and
+                # the 64-byte miss stride trains the stride prefetcher.
+                stride_words=4,
+                work_per_element=max(1, profile.work_per_node // 3),
+            )
+            weights["array"] = profile.weight("array")
+        if profile.weight("static") > 0:
+            # Global tables in the low region (all-zero upper compare
+            # bits): a pointer-linked structure whose prefetchability
+            # depends entirely on the matcher's filter bits.
+            node = _node_bytes(profile.payload_words, 1)
+            budget = min(share("static"), ctx.layout.static.size * 3 // 4)
+            count = max(16, budget // node)
+            saved = ctx.allocator
+            ctx.allocator = ctx.static_allocator
+            try:
+                lst = build_linked_list(
+                    ctx, count, profile.payload_words, profile.list_locality,
+                    next_offset_words=next_offset_words,
+                )
+            finally:
+                ctx.allocator = saved
+            kernels["static"] = ListTraversalKernel(
+                ctx, lst,
+                payload_loads=2,
+                work_per_node=profile.work_per_node,
+                store_probability=profile.store_probability,
+                mispredict_rate=profile.mispredict_rate,
+            )
+            weights["static"] = profile.weight("static")
+        if profile.weight("stack") > 0:
+            kernels["stack"] = StackKernel(ctx)
+            weights["stack"] = profile.weight("stack")
+        return kernels, weights
+
+    def _emit(
+        self, ctx: WorkloadContext, kernels: dict, weights: dict,
+        target_uops: int,
+    ) -> None:
+        profile = self.profile
+        rng = ctx.rng
+        phases = list(kernels)
+        phase_weights = [weights[p] for p in phases]
+        cold_cursors = {p: 0 for p in phases}
+        hot_cursors = {p: 0 for p in phases}
+        # Hot windows are sized in absolute bytes (``hot_set_kb`` per
+        # structure): this is the knob that makes a benchmark
+        # capacity-bound.  A hot working set between the model machine's
+        # two UL2 sizes misses at the small cache and fits at the large
+        # one — exactly the behaviour Table 2's MPTU pairs imply.
+        def hot_window_fraction(structure_bytes: int) -> float:
+            if structure_bytes <= 0:
+                return 1.0
+            return min(1.0, profile.hot_set_kb * 1024.0 / structure_bytes)
+
+        def structure_bytes_of(phase: str, kernel) -> int:
+            if phase in ("list", "static"):
+                return len(kernel.lst.nodes) * kernel.lst.node_size
+            if phase == "parray":
+                return len(kernel.parray.targets) * (
+                    (kernel.parray.payload_words + 1) * _WORD
+                )
+            return 0
+
+        def chunk_start(phase: str, kernel, total: int, hot: bool) -> int:
+            if total <= 0:
+                return 0
+            if hot:
+                fraction = hot_window_fraction(
+                    structure_bytes_of(phase, kernel)
+                )
+                hot_span = max(1, int(total * fraction))
+                return hot_cursors[phase] % hot_span
+            return cold_cursors[phase] % total
+
+        def advance(phase: str, total: int, hot: bool, start: int,
+                    step: int) -> None:
+            if hot:
+                hot_cursors[phase] = start + step
+            else:
+                cold_cursors[phase] = (start + step) % max(1, total)
+
+        while ctx.trace.uop_count < target_uops:
+            phase = rng.choices(phases, weights=phase_weights)[0]
+            kernel = kernels[phase]
+            hot = rng.random() < profile.hot_fraction
+            if phase in ("list", "static"):
+                total = len(kernel.lst.nodes)
+                start = chunk_start(phase, kernel, total, hot)
+                visited = kernel.emit(max_nodes=64, start=start)
+                advance(phase, total, hot, start, visited)
+            elif phase == "tree":
+                count = len(kernel.tree.nodes)
+                if hot:
+                    fraction = hot_window_fraction(
+                        count * kernel.tree.node_size
+                    )
+                    hot_keys = max(1, int(count * fraction))
+                    kernel.emit(num_searches=4, key_range=(0, hot_keys))
+                else:
+                    kernel.emit(num_searches=4)
+            elif phase == "hash":
+                buckets = kernel.table.num_buckets
+                if hot:
+                    items = sum(len(c) for c in kernel.table.chains)
+                    fraction = hot_window_fraction(
+                        items * kernel.table.node_size
+                    )
+                    hot_buckets = max(1, int(buckets * fraction))
+                    kernel.emit(num_lookups=8, bucket_range=(0, hot_buckets))
+                else:
+                    kernel.emit(num_lookups=8)
+            elif phase == "parray":
+                total = len(kernel.parray.targets)
+                start = chunk_start(phase, kernel, total, hot)
+                visited = kernel.emit(max_objects=64, start=start)
+                advance(phase, total, hot, start, visited)
+            elif phase == "array":
+                # Arrays simply cycle: a sweep working set larger than the
+                # cache misses at that size and fits at the next — the
+                # capacity behaviour of the Multimedia suite.
+                total = kernel.array.words
+                start = cold_cursors[phase] % max(1, total)
+                visited = kernel.emit(max_elements=256, start_word=start)
+                cold_cursors[phase] = (
+                    (start + visited * kernel.stride_words) % max(1, total)
+                )
+            else:  # stack
+                kernel.emit(num_ops=12)

@@ -1,0 +1,317 @@
+"""Builders that lay real linked data structures into simulated memory.
+
+Every builder writes genuine little-endian pointer words into the backing
+memory — these are the bytes the content prefetcher later scans.  Builders
+return lightweight handle objects recording the node addresses so the
+traversal kernels can emit traces with the true dependence chains.
+
+Node layouts (all offsets in bytes, 4-byte words):
+
+* list node:    ``[next][payload ...]``
+* tree node:    ``[left][right][key][payload ...]``
+* chain node:   ``[next][key][payload ...]`` (hash-table chains)
+* object:       ``[payload ...]`` (pointer-array targets)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.base import WorkloadContext
+
+__all__ = [
+    "LinkedList",
+    "BinaryTree",
+    "HashTable",
+    "PointerArray",
+    "DataArray",
+    "Graph",
+    "build_linked_list",
+    "build_binary_tree",
+    "build_hash_table",
+    "build_pointer_array",
+    "build_data_array",
+    "build_graph",
+]
+
+_WORD = 4
+
+
+@dataclass
+class LinkedList:
+    head: int
+    nodes: list  # node addresses in link order
+    payload_words: int
+    # Word offset of the ``next`` pointer within the node.  Real structs
+    # place link pointers anywhere; when the node spans multiple cache
+    # lines and the pointer sits past the first line, chained prefetching
+    # alone cannot follow the list — the paper's motivation for "wider"
+    # next-line prefetches (Section 3.4.3).
+    next_offset_words: int = 0
+
+    @property
+    def node_size(self) -> int:
+        return (1 + self.payload_words) * _WORD
+
+    @property
+    def next_offset(self) -> int:
+        return self.next_offset_words * _WORD
+
+
+@dataclass
+class BinaryTree:
+    root: int
+    nodes: list  # node addresses, heap-indexed (BFS order)
+    keys: list
+    payload_words: int
+
+    @property
+    def node_size(self) -> int:
+        return (3 + self.payload_words) * _WORD
+
+
+@dataclass
+class HashTable:
+    bucket_base: int
+    num_buckets: int
+    chains: list = field(default_factory=list)  # list of chains (addr lists)
+    payload_words: int = 2
+
+    @property
+    def node_size(self) -> int:
+        return (2 + self.payload_words) * _WORD
+
+
+@dataclass
+class PointerArray:
+    array_base: int
+    targets: list
+    payload_words: int
+
+
+@dataclass
+class DataArray:
+    base: int
+    words: int
+
+
+def build_linked_list(
+    ctx: WorkloadContext,
+    num_nodes: int,
+    payload_words: int = 6,
+    locality: float = 1.0,
+    next_offset_words: int = 0,
+) -> LinkedList:
+    """Allocate and link *num_nodes* list nodes.
+
+    *locality* is the fraction of links that follow allocation order:
+    1.0 gives a fully sequential heap walk (next-line prefetching shines),
+    0.0 a fully shuffled pointer chase (pure chain prefetching).
+
+    *next_offset_words* places the ``next`` pointer that many words into
+    the node (0 = header-first, the classic layout).
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if not 0 <= next_offset_words <= payload_words:
+        raise ValueError("next_offset_words outside the node")
+    size = (1 + payload_words) * _WORD + (2 if ctx.packed else 0)
+    addresses = [ctx.allocator.alloc(size) for _ in range(num_nodes)]
+    order = _partial_shuffle(addresses, 1.0 - locality, ctx.rng)
+    next_offset = next_offset_words * _WORD
+
+    def _fill_node(here: int, nxt: int) -> None:
+        ctx.write_random_payload(here, 1 + payload_words)
+        ctx.write_word(here + next_offset, nxt)
+
+    for here, nxt in zip(order, order[1:]):
+        _fill_node(here, nxt)
+    _fill_node(order[-1], 0)
+    return LinkedList(
+        head=order[0], nodes=order, payload_words=payload_words,
+        next_offset_words=next_offset_words,
+    )
+
+
+def _partial_shuffle(items: list, disorder: float, rng) -> list:
+    """Shuffle a *disorder* fraction of positions, keeping the rest."""
+    if disorder <= 0.0:
+        return list(items)
+    result = list(items)
+    indices = [i for i in range(len(result)) if rng.random() < disorder]
+    shuffled = [result[i] for i in indices]
+    rng.shuffle(shuffled)
+    for slot, value in zip(indices, shuffled):
+        result[slot] = value
+    return result
+
+
+def build_binary_tree(
+    ctx: WorkloadContext,
+    num_nodes: int,
+    payload_words: int = 4,
+    bfs_allocation: bool = True,
+) -> BinaryTree:
+    """Build a balanced BST over keys ``0..num_nodes-1``.
+
+    With *bfs_allocation* the nodes are allocated level by level, so the
+    hot upper levels share cache lines; otherwise allocation order is
+    shuffled (an aged heap).
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    size = (3 + payload_words) * _WORD + (2 if ctx.packed else 0)
+    addresses = [ctx.allocator.alloc(size) for _ in range(num_nodes)]
+    if not bfs_allocation:
+        ctx.rng.shuffle(addresses)
+    # Heap-shaped balanced tree: node i has children 2i+1, 2i+2; an
+    # in-order labelling assigns sorted keys.
+    keys = [0] * num_nodes
+    counter = [0]
+
+    def _label(i: int) -> None:
+        if i >= num_nodes:
+            return
+        _label(2 * i + 1)
+        keys[i] = counter[0]
+        counter[0] += 1
+        _label(2 * i + 2)
+
+    _label(0)
+    for i, addr in enumerate(addresses):
+        left = 2 * i + 1
+        right = 2 * i + 2
+        ctx.write_word(addr, addresses[left] if left < num_nodes else 0)
+        ctx.write_word(
+            addr + _WORD, addresses[right] if right < num_nodes else 0
+        )
+        ctx.write_word(addr + 2 * _WORD, keys[i])
+        ctx.write_random_payload(addr + 3 * _WORD, payload_words)
+    return BinaryTree(
+        root=addresses[0], nodes=addresses, keys=keys,
+        payload_words=payload_words,
+    )
+
+
+def build_hash_table(
+    ctx: WorkloadContext,
+    num_buckets: int,
+    num_items: int,
+    payload_words: int = 2,
+) -> HashTable:
+    """Bucket array plus chained nodes.
+
+    Hash tables are the paper's example of pointer-intensive code that does
+    *not* follow long recursive paths (Section 3.2): chains are short, so
+    the win comes from the first-level pointer scan, not deep chaining.
+    """
+    if num_buckets <= 0 or num_items < 0:
+        raise ValueError("bad hash-table shape")
+    bucket_base = ctx.allocator.alloc(num_buckets * _WORD)
+    heads = [0] * num_buckets
+    chains: list[list[int]] = [[] for _ in range(num_buckets)]
+    node_size = (2 + payload_words) * _WORD + (2 if ctx.packed else 0)
+    for key in range(num_items):
+        bucket = ctx.rng.randrange(num_buckets)
+        addr = ctx.allocator.alloc(node_size)
+        ctx.write_word(addr, heads[bucket])  # next = old head
+        ctx.write_word(addr + _WORD, key)
+        ctx.write_random_payload(addr + 2 * _WORD, payload_words)
+        heads[bucket] = addr
+        chains[bucket].insert(0, addr)
+    for bucket, head in enumerate(heads):
+        ctx.write_word(bucket_base + bucket * _WORD, head)
+    table = HashTable(
+        bucket_base=bucket_base,
+        num_buckets=num_buckets,
+        chains=chains,
+        payload_words=payload_words,
+    )
+    return table
+
+
+def build_pointer_array(
+    ctx: WorkloadContext,
+    num_objects: int,
+    payload_words: int = 8,
+    shuffle_targets: bool = True,
+) -> PointerArray:
+    """An array of pointers to heap objects (e.g. a Java object table)."""
+    if num_objects <= 0:
+        raise ValueError("num_objects must be positive")
+    array_base = ctx.allocator.alloc(num_objects * _WORD)
+    object_size = payload_words * _WORD + (2 if ctx.packed else 0)
+    targets = [
+        ctx.allocator.alloc(object_size) for _ in range(num_objects)
+    ]
+    if shuffle_targets:
+        ctx.rng.shuffle(targets)
+    for i, target in enumerate(targets):
+        ctx.write_word(array_base + i * _WORD, target)
+        ctx.write_random_payload(target, payload_words)
+    return PointerArray(
+        array_base=array_base, targets=targets, payload_words=payload_words
+    )
+
+
+def build_data_array(ctx: WorkloadContext, num_words: int) -> DataArray:
+    """A plain data array (the stride prefetcher's home turf)."""
+    if num_words <= 0:
+        raise ValueError("num_words must be positive")
+    base = ctx.allocator.alloc(num_words * _WORD)
+    ctx.write_random_payload(base, num_words)
+    return DataArray(base=base, words=num_words)
+
+
+@dataclass
+class Graph:
+    nodes: list          # node record addresses
+    edge_arrays: list    # per-node edge-array base addresses
+    edges: list          # per-node list of successor *indices*
+    payload_words: int
+
+    @property
+    def node_size(self) -> int:
+        return (2 + self.payload_words) * _WORD
+
+
+def build_graph(
+    ctx: WorkloadContext,
+    num_nodes: int,
+    avg_degree: int = 3,
+    payload_words: int = 8,
+) -> Graph:
+    """A pointer graph with per-node edge arrays (netlist-shaped).
+
+    Node record: ``[degree][edge_array_ptr][payload ...]``; the edge array
+    is a separately allocated block of node pointers.  This is the layout
+    gate-level netlists and circuit simulators use, and it exercises a
+    two-level pointer pattern: following an edge costs a dependent load of
+    the edge array, then of the target node.
+    """
+    if num_nodes <= 0 or avg_degree <= 0:
+        raise ValueError("graph must have nodes and edges")
+    size = (2 + payload_words) * _WORD + (2 if ctx.packed else 0)
+    nodes = [ctx.allocator.alloc(size) for _ in range(num_nodes)]
+    edges = []
+    edge_arrays = []
+    for index, record in enumerate(nodes):
+        degree = max(1, min(
+            num_nodes - 1,
+            int(ctx.rng.expovariate(1.0 / avg_degree)) + 1,
+        ))
+        successors = [
+            ctx.rng.randrange(num_nodes) for _ in range(degree)
+        ]
+        array = ctx.allocator.alloc(degree * _WORD)
+        for slot, successor in enumerate(successors):
+            ctx.write_word(array + slot * _WORD, nodes[successor])
+        ctx.write_word(record, degree)
+        ctx.write_word(record + _WORD, array)
+        ctx.write_random_payload(record + 2 * _WORD, payload_words)
+        edges.append(successors)
+        edge_arrays.append(array)
+    return Graph(
+        nodes=nodes, edge_arrays=edge_arrays, edges=edges,
+        payload_words=payload_words,
+    )

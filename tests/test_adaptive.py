@@ -1,0 +1,62 @@
+"""Tests for repro.prefetch.adaptive."""
+
+import pytest
+
+from repro.params import ContentConfig
+from repro.prefetch.adaptive import AdaptiveController
+from repro.prefetch.content import ContentPrefetcher
+
+
+def make(window=10, low=0.3, high=0.7, filter_bits=4):
+    pf = ContentPrefetcher(ContentConfig(filter_bits=filter_bits))
+    return AdaptiveController(pf, window=window, low_water=low,
+                              high_water=high), pf
+
+
+class TestAdjustment:
+    def test_low_accuracy_narrows_filter(self):
+        controller, pf = make()
+        for _ in range(10):
+            controller.record_outcome(False)
+        assert pf.config.filter_bits == 3
+        assert controller.stats.narrowings == 1
+
+    def test_high_accuracy_widens_filter(self):
+        controller, pf = make()
+        for _ in range(10):
+            controller.record_outcome(True)
+        assert pf.config.filter_bits == 5
+        assert controller.stats.widenings == 1
+
+    def test_mid_accuracy_holds(self):
+        controller, pf = make()
+        for i in range(10):
+            controller.record_outcome(i % 2 == 0)
+        assert pf.config.filter_bits == 4
+        assert controller.stats.windows == 1
+        assert controller.stats.last_accuracy == pytest.approx(0.5)
+
+    def test_window_resets_after_adjustment(self):
+        controller, _ = make()
+        for _ in range(25):
+            controller.record_outcome(False)
+        assert controller.stats.windows == 2
+
+    def test_filter_bits_bounded(self):
+        controller, pf = make(filter_bits=0)
+        for _ in range(10):
+            controller.record_outcome(False)
+        assert pf.config.filter_bits == 0  # cannot go below MIN
+
+    def test_matcher_swapped_with_config(self):
+        controller, pf = make()
+        original_matcher = pf.matcher
+        for _ in range(10):
+            controller.record_outcome(True)
+        assert pf.matcher is not original_matcher
+        assert pf.matcher.config.filter_bits == 5
+
+    def test_rejects_bad_watermarks(self):
+        pf = ContentPrefetcher(ContentConfig())
+        with pytest.raises(ValueError):
+            AdaptiveController(pf, low_water=0.8, high_water=0.2)

@@ -1,0 +1,57 @@
+"""Tests for repro.memory.address."""
+
+import pytest
+
+from repro.memory.address import (
+    AddressSpace,
+    line_base,
+    line_index,
+    page_base,
+    page_index,
+    page_offset,
+)
+
+
+class TestFreeFunctions:
+    def test_line_base_masks_low_bits(self):
+        assert line_base(0x1234_5678) == 0x1234_5640
+        assert line_base(0x1234_5640) == 0x1234_5640
+
+    def test_line_base_respects_line_size(self):
+        assert line_base(0x1FF, 128) == 0x180
+
+    def test_line_index(self):
+        assert line_index(0) == 0
+        assert line_index(63) == 0
+        assert line_index(64) == 1
+
+    def test_page_helpers(self):
+        assert page_base(0x1234_5678) == 0x1234_5000
+        assert page_index(0x1234_5678) == 0x12345
+        assert page_offset(0x1234_5678) == 0x678
+
+    def test_masks_to_32_bits(self):
+        assert line_base(0x1_0000_0040) == 0x40
+
+
+class TestAddressSpace:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            AddressSpace(line_size=48)
+        with pytest.raises(ValueError):
+            AddressSpace(page_size=5000)
+
+    def test_same_line(self):
+        space = AddressSpace()
+        assert space.same_line(0x100, 0x13F)
+        assert not space.same_line(0x100, 0x140)
+
+    def test_same_page(self):
+        space = AddressSpace()
+        assert space.same_page(0x1000, 0x1FFF)
+        assert not space.same_page(0x1000, 0x2000)
+
+    def test_line_and_page_accessors(self):
+        space = AddressSpace(line_size=64, page_size=4096)
+        assert space.line(0x12345) == 0x12340
+        assert space.page(0x12345) == 0x12000

@@ -1,0 +1,102 @@
+"""Tests for repro.memory.allocator."""
+
+import pytest
+
+from repro.memory.allocator import AllocationError, HeapAllocator
+from repro.memory.layout import Region
+
+
+def make_allocator(**kwargs):
+    return HeapAllocator(Region("heap", 0x0840_0000, 0x10_0000), **kwargs)
+
+
+class TestBasicAllocation:
+    def test_addresses_within_region(self):
+        alloc = make_allocator()
+        for _ in range(100):
+            address = alloc.alloc(24)
+            assert alloc.region.contains(address)
+
+    def test_alignment_default_4(self):
+        alloc = make_allocator()
+        for size in (1, 2, 3, 5, 17, 60):
+            assert alloc.alloc(size) % 4 == 0
+
+    def test_custom_alignment(self):
+        alloc = make_allocator(alignment=16)
+        for _ in range(10):
+            assert alloc.alloc(24) % 16 == 0
+
+    def test_two_byte_alignment_allows_odd_words(self):
+        alloc = make_allocator(alignment=2)
+        addresses = {alloc.alloc(30) % 4 for _ in range(20)}
+        assert 2 in addresses  # 30-byte blocks drift off 4-byte boundaries
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            make_allocator().alloc(0)
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            make_allocator(alignment=3)
+
+    def test_bump_allocations_do_not_overlap(self):
+        alloc = make_allocator()
+        blocks = [(alloc.alloc(40), 40) for _ in range(200)]
+        blocks.sort()
+        for (a, size), (b, _) in zip(blocks, blocks[1:]):
+            assert a + size <= b
+
+
+class TestFreeList:
+    def test_free_and_reuse(self):
+        alloc = make_allocator()
+        block = alloc.alloc(64)
+        alloc.free(block)
+        assert alloc.alloc(64) == block
+
+    def test_free_unallocated_raises(self):
+        alloc = make_allocator()
+        with pytest.raises(AllocationError):
+            alloc.free(0x0840_0000)
+
+    def test_double_free_raises(self):
+        alloc = make_allocator()
+        block = alloc.alloc(32)
+        alloc.free(block)
+        with pytest.raises(AllocationError):
+            alloc.free(block)
+
+    def test_bytes_in_use_tracking(self):
+        alloc = make_allocator()
+        a = alloc.alloc(64)
+        b = alloc.alloc(32)
+        assert alloc.bytes_in_use == 96
+        assert alloc.live_allocations == 2
+        alloc.free(a)
+        assert alloc.bytes_in_use == 32
+        assert alloc.allocation_size(b) == 32
+        assert alloc.allocation_size(a) is None
+
+
+class TestScatter:
+    def test_scatter_spreads_consecutive_allocations(self):
+        alloc = make_allocator(scatter=8, seed=7)
+        addresses = [alloc.alloc(64) for _ in range(50)]
+        gaps = [abs(b - a) for a, b in zip(addresses, addresses[1:])]
+        # With 8 arenas over 1 MB, most consecutive allocations land far
+        # apart (> one arena gap is common, adjacency is rare).
+        assert sum(1 for g in gaps if g > 4096) > len(gaps) // 2
+
+    def test_scatter_is_deterministic(self):
+        first = [make_allocator(scatter=4, seed=3).alloc(32)
+                 for _ in range(1)]
+        second = [make_allocator(scatter=4, seed=3).alloc(32)
+                  for _ in range(1)]
+        assert first == second
+
+    def test_exhaustion_raises(self):
+        alloc = HeapAllocator(Region("tiny", 0x1000, 0x100))
+        with pytest.raises(AllocationError):
+            for _ in range(100):
+                alloc.alloc(64)

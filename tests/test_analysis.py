@@ -1,0 +1,87 @@
+"""Tests for repro.analysis (lifetimes + report)."""
+
+from repro.analysis.lifetimes import PrefetchLifetimeTracker
+from repro.analysis.report import render_markdown_report
+from repro.core.simulator import TimingSimulator
+from repro.experiments.common import model_machine
+from repro.workloads.base import WorkloadContext
+from repro.workloads.kernels import ListTraversalKernel
+from repro.workloads.structures import build_linked_list
+
+
+def chase_workload(nodes=1200):
+    ctx = WorkloadContext("chase", seed=9)
+    lst = build_linked_list(ctx, nodes, 14, locality=0.0)
+    ListTraversalKernel(ctx, lst, payload_loads=1, work_per_node=10,
+                        mispredict_rate=0.0).emit()
+    return ctx.build()
+
+
+class TestLifetimeTracker:
+    def test_tracks_issue_fill_use(self):
+        workload = chase_workload()
+        simulator = TimingSimulator(model_machine(), workload.memory)
+        tracker = PrefetchLifetimeTracker.attach(simulator)
+        result = simulator.run(workload.trace)
+        summary = tracker.summary()
+        assert summary.total == result.content.issued
+        assert summary.used == result.content.useful
+        assert summary.full == result.content.full_hits
+        assert 0.0 < summary.use_rate <= 1.0
+
+    def test_fill_latency_reflects_memory_latency(self):
+        workload = chase_workload(nodes=600)
+        simulator = TimingSimulator(model_machine(), workload.memory)
+        tracker = PrefetchLifetimeTracker.attach(simulator)
+        simulator.run(workload.trace)
+        summary = tracker.summary()
+        # Fills take at least the bus latency.
+        assert summary.mean_fill_latency >= 400
+
+    def test_depth_histogram_bounded_by_threshold(self):
+        workload = chase_workload(nodes=600)
+        simulator = TimingSimulator(model_machine(), workload.memory)
+        tracker = PrefetchLifetimeTracker.attach(simulator)
+        simulator.run(workload.trace)
+        summary = tracker.summary()
+        threshold = model_machine().content.depth_threshold
+        assert summary.depth_histogram
+        assert max(summary.depth_histogram) <= threshold
+
+    def test_describe_renders(self):
+        workload = chase_workload(nodes=400)
+        simulator = TimingSimulator(model_machine(), workload.memory)
+        tracker = PrefetchLifetimeTracker.attach(simulator)
+        simulator.run(workload.trace)
+        text = tracker.summary().describe()
+        assert "prefetches issued" in text
+        assert "by depth" in text
+
+
+class TestMarkdownReport:
+    def test_report_contains_runs_and_distribution(self):
+        workload = chase_workload(nodes=600)
+        baseline_cfg = model_machine().with_content(enabled=False)
+        baseline = TimingSimulator(baseline_cfg, workload.memory).run(
+            workload.trace
+        )
+        enhanced = TimingSimulator(model_machine(), workload.memory).run(
+            workload.trace
+        )
+        report = render_markdown_report(
+            {"cdp": enhanced}, baselines={"cdp": baseline},
+            title="Chase report",
+        )
+        assert "# Chase report" in report
+        assert "| cdp |" in report
+        assert "speedup" in report
+        assert "ul2-miss" in report
+        assert "### content prefetches by kind" in report
+
+    def test_report_without_baselines(self):
+        workload = chase_workload(nodes=400)
+        result = TimingSimulator(model_machine(), workload.memory).run(
+            workload.trace
+        )
+        report = render_markdown_report({"run": result})
+        assert "speedup" not in report

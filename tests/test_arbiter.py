@@ -1,0 +1,105 @@
+"""Tests for repro.interconnect.arbiter."""
+
+from repro.cache.line import Requester
+from repro.interconnect.arbiter import MemoryRequest, PriorityArbiter
+
+
+def request(line, requester=Requester.CONTENT, depth=1, time=0):
+    return MemoryRequest(
+        line_paddr=line, line_vaddr=line, requester=requester,
+        depth=depth, create_time=time,
+    )
+
+
+class TestPriorityOrdering:
+    def test_demand_beats_prefetches(self):
+        arbiter = PriorityArbiter(8)
+        arbiter.enqueue(request(0x1000, Requester.CONTENT))
+        arbiter.enqueue(request(0x2000, Requester.STRIDE))
+        arbiter.enqueue(request(0x3000, Requester.DEMAND))
+        assert arbiter.pop().requester is Requester.DEMAND
+        assert arbiter.pop().requester is Requester.STRIDE
+        assert arbiter.pop().requester is Requester.CONTENT
+
+    def test_shallower_depth_first_within_content(self):
+        arbiter = PriorityArbiter(8)
+        arbiter.enqueue(request(0x1000, depth=3))
+        arbiter.enqueue(request(0x2000, depth=1))
+        assert arbiter.pop().depth == 1
+
+    def test_fifo_among_equal_priority(self):
+        arbiter = PriorityArbiter(8)
+        arbiter.enqueue(request(0x1000, depth=1, time=0))
+        arbiter.enqueue(request(0x2000, depth=1, time=1))
+        assert arbiter.pop().line_paddr == 0x1000
+
+
+class TestCapacity:
+    def test_prefetch_squashed_when_full(self):
+        arbiter = PriorityArbiter(2)
+        assert arbiter.enqueue(request(0x1000))
+        assert arbiter.enqueue(request(0x2000))
+        assert not arbiter.enqueue(request(0x3000))
+        assert arbiter.stats.squashed_full == 1
+        assert arbiter.stats.squashed_by_requester == {"CONTENT": 1}
+
+    def test_demand_displaces_lowest_priority_prefetch(self):
+        arbiter = PriorityArbiter(2)
+        arbiter.enqueue(request(0x1000, Requester.STRIDE, depth=1))
+        arbiter.enqueue(request(0x2000, Requester.CONTENT, depth=3))
+        assert arbiter.enqueue(request(0x3000, Requester.DEMAND, depth=0))
+        assert arbiter.stats.displaced_by_demand == 1
+        popped = [arbiter.pop(), arbiter.pop(), arbiter.pop()]
+        lines = [r.line_paddr for r in popped if r is not None]
+        assert 0x3000 in lines and 0x1000 in lines
+        assert 0x2000 not in lines  # the deep content prefetch was dropped
+
+    def test_demand_enqueues_even_when_full_of_demands(self):
+        arbiter = PriorityArbiter(1)
+        arbiter.enqueue(request(0x1000, Requester.DEMAND))
+        assert arbiter.enqueue(request(0x2000, Requester.DEMAND))
+
+    def test_rejects_zero_capacity(self):
+        import pytest
+        with pytest.raises(ValueError):
+            PriorityArbiter(0)
+
+
+class TestDuplicates:
+    def test_duplicate_line_dropped(self):
+        arbiter = PriorityArbiter(8)
+        assert arbiter.enqueue(request(0x1000))
+        assert not arbiter.enqueue(request(0x1000, depth=2))
+        assert arbiter.stats.duplicates_dropped == 1
+        assert len(arbiter) == 1
+
+    def test_contains_line(self):
+        arbiter = PriorityArbiter(8)
+        arbiter.enqueue(request(0x1000))
+        assert arbiter.contains_line(0x1000)
+        assert not arbiter.contains_line(0x2000)
+        assert arbiter.pending_lines() == {0x1000}
+
+
+class TestBookkeeping:
+    def test_pop_empty_returns_none(self):
+        assert PriorityArbiter(4).pop() is None
+
+    def test_peek_skips_displaced_entries(self):
+        arbiter = PriorityArbiter(1)
+        arbiter.enqueue(request(0x1000, Requester.CONTENT))
+        arbiter.enqueue(request(0x2000, Requester.DEMAND))
+        assert arbiter.peek().line_paddr == 0x2000
+
+    def test_peak_occupancy(self):
+        arbiter = PriorityArbiter(8)
+        for i in range(5):
+            arbiter.enqueue(request(0x1000 + 64 * i))
+        arbiter.pop()
+        assert arbiter.stats.peak_occupancy == 5
+
+    def test_granted_counted(self):
+        arbiter = PriorityArbiter(8)
+        arbiter.enqueue(request(0x1000))
+        arbiter.pop()
+        assert arbiter.stats.granted == 1

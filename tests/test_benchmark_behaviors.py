@@ -1,0 +1,77 @@
+"""Per-benchmark behavioural sanity, across the whole Table 2 suite.
+
+Parameterised over all fifteen benchmarks at tiny scale: each must build,
+run through both simulators, and exhibit the access-mix character its
+suite implies.  These tests catch profile regressions that the shape
+benchmarks (which run fewer benchmarks at larger scale) might miss.
+"""
+
+import pytest
+
+from repro.core.functional import FunctionalSimulator
+from repro.core.simulator import TimingSimulator
+from repro.experiments.common import model_machine
+from repro.trace.ops import BRANCH, COMPUTE, LOAD, STORE
+from repro.workloads.suite import WORKLOAD_PROFILES, benchmark_names, build_benchmark
+
+SCALE = 0.08
+ALL = benchmark_names()
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {name: build_benchmark(name, scale=SCALE, seed=7) for name in ALL}
+
+
+class TestTraceComposition:
+    @pytest.mark.parametrize("name", ALL)
+    def test_trace_has_all_op_kinds(self, workloads, name):
+        kinds = {op[0] for op in workloads[name].trace.ops}
+        assert {LOAD, COMPUTE, BRANCH} <= kinds
+        assert STORE in kinds or WORKLOAD_PROFILES[name].store_probability == 0
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_loads_are_significant_fraction(self, workloads, name):
+        trace = workloads[name].trace
+        ratio = trace.load_count / trace.uop_count
+        assert 0.02 < ratio < 0.5, ratio
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_pointer_dependences_present(self, workloads, name):
+        dependent = sum(
+            1 for op in workloads[name].trace.ops
+            if op[0] == LOAD and op[3] != -1
+        )
+        assert dependent > 0
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_instruction_count_consistent_with_ratio(self, workloads, name):
+        trace = workloads[name].trace
+        ratio = trace.uop_count / trace.instruction_count
+        expected = WORKLOAD_PROFILES[name].uops_per_instruction
+        assert abs(ratio - expected) < 0.02
+
+
+class TestSimulatorsAgree:
+    @pytest.mark.parametrize("name", ALL)
+    def test_functional_and_timing_run(self, workloads, name):
+        workload = workloads[name]
+        config = model_machine()
+        functional = FunctionalSimulator(config, workload.memory).run(
+            workload.trace
+        )
+        timing = TimingSimulator(config, workload.memory).run(workload.trace)
+        assert functional.uops == timing.uops
+        assert timing.cycles > 0
+        # Both see the same demand L1 reference stream.
+        assert functional.demand_l1_misses > 0
+        assert timing.demand_l1_misses > 0
+
+    @pytest.mark.parametrize("name", ("b2c", "tpcc-2", "verilog-gate"))
+    def test_pointer_benchmarks_feed_the_scanner(self, workloads, name):
+        workload = workloads[name]
+        result = TimingSimulator(model_machine(), workload.memory).run(
+            workload.trace
+        )
+        generated = result.content.generated
+        assert generated > 0, "scanner found no candidates at all"

@@ -1,0 +1,67 @@
+"""Tests for repro.interconnect.bus."""
+
+from repro.interconnect.bus import Bus, L2Port
+from repro.params import BusConfig
+
+
+class TestBus:
+    def test_grant_latency(self):
+        bus = Bus(BusConfig(), line_size=64)
+        grant, fill = bus.grant(100)
+        assert grant == 100
+        assert fill == 100 + 460
+
+    def test_serial_occupancy(self):
+        bus = Bus(BusConfig(), line_size=64)
+        bus.grant(0)
+        grant, _ = bus.grant(0)
+        assert grant == bus.occupancy  # second transfer waits
+
+    def test_idle_gap_resets_queueing(self):
+        bus = Bus(BusConfig(), line_size=64)
+        bus.grant(0)
+        grant, _ = bus.grant(10_000)
+        assert grant == 10_000
+
+    def test_busy_at(self):
+        bus = Bus(BusConfig(), line_size=64)
+        bus.grant(0)
+        assert bus.busy_at(bus.occupancy - 1)
+        assert not bus.busy_at(bus.occupancy)
+
+    def test_stats(self):
+        bus = Bus(BusConfig(), line_size=64)
+        bus.grant(0)
+        bus.grant(0)
+        assert bus.stats.transfers == 2
+        assert bus.stats.busy_cycles == 2 * bus.occupancy
+        assert bus.stats.total_queue_delay == bus.occupancy
+        assert 0 < bus.stats.utilization(1000) <= 1.0
+
+    def test_utilization_handles_zero_elapsed(self):
+        assert Bus(BusConfig()).stats.utilization(0) == 0.0
+
+
+class TestL2Port:
+    def test_serialises_accesses(self):
+        port = L2Port(cycles_per_access=1)
+        assert port.reserve(5) == 5
+        assert port.reserve(5) == 6
+        assert port.reserve(5) == 7
+
+    def test_idle_port_grants_immediately(self):
+        port = L2Port()
+        port.reserve(0)
+        assert port.reserve(100) == 100
+
+    def test_rescans_counted(self):
+        port = L2Port()
+        port.reserve(0)
+        port.reserve(0, is_rescan=True)
+        assert port.accesses == 2
+        assert port.rescans == 1
+
+    def test_multi_cycle_throughput(self):
+        port = L2Port(cycles_per_access=4)
+        port.reserve(0)
+        assert port.reserve(0) == 4

@@ -1,0 +1,68 @@
+"""Tests for repro.experiments.chartrender."""
+
+from repro.experiments.chartrender import render_chart
+from repro.experiments.common import ExperimentResult
+
+
+def make(experiment_id, extra):
+    return ExperimentResult(experiment_id, "T", ["a"], [], extra=extra)
+
+
+class TestDispatch:
+    def test_fig1(self):
+        result = make("fig1", {"mptu_traces": {"b2c": [1.0, 2.0, 0.5]}})
+        chart = render_chart(result)
+        assert "MPTU" in chart
+        assert "b2c" in chart
+
+    def test_sweeps(self):
+        extra = {"series": {"08.0": (0.3, 0.1), "08.4": (0.35, 0.15)}}
+        for experiment in ("fig7", "fig8"):
+            chart = render_chart(make(experiment, extra))
+            assert "coverage" in chart
+            assert "08.4" in chart
+
+    def test_fig9(self):
+        extra = {"series": {
+            "depth.3-reinf": {"p0.n0": 1.0, "p0.n3": 1.1},
+            "depth.9-nr": {"p0.n0": 1.05, "p0.n3": 1.02},
+        }}
+        chart = render_chart(make("fig9", extra))
+        assert "speedup vs width" in chart
+        assert "p0.n3" in chart
+
+    def test_fig10(self):
+        extra = {"distributions": {"b2c": {
+            "str-full": 0.1, "str-part": 0.1, "cpf-full": 0.3,
+            "cpf-part": 0.2, "ul2-miss": 0.3,
+        }}}
+        chart = render_chart(make("fig10", extra))
+        assert "distribution" in chart
+
+    def test_bar_experiments(self):
+        assert "Markov" in render_chart(
+            make("fig11", {"means": {"content": 1.1, "markov_big": 1.01}})
+        )
+        assert "zoo" in render_chart(
+            make("zoo", {"means": {"stride": 1.02}})
+        )
+        assert "ablation" in render_chart(
+            make("ablation", {"means": {"onchip (paper)": 1.1}})
+        )
+        assert "slowdown" in render_chart(
+            make("pollution", {"slowdowns": {"b2c": 1.03}})
+        )
+        assert "DTLB" in render_chart(
+            make("tlb", {"series": {64: 1.1, 1024: 1.09}})
+        )
+
+    def test_sensitivity(self):
+        chart = render_chart(make("sensitivity", {
+            "l2_series": {128: 1.05, 1024: 1.2},
+            "latency_series": {230: 1.05, 920: 1.3},
+        }))
+        assert "UL2 size" in chart
+        assert "bus latency" in chart
+
+    def test_unsupported_returns_none(self):
+        assert render_chart(make("table1", {})) is None

@@ -1,0 +1,58 @@
+"""Tests for repro.stats.charts."""
+
+from repro.stats.charts import bar_chart, line_chart, stacked_bar
+
+
+class TestLineChart:
+    def test_renders_all_series(self):
+        text = line_chart(
+            {"cov": [0.3, 0.2, 0.1], "acc": [0.1, 0.2, 0.3]},
+            width=20, height=6, title="sweep",
+        )
+        assert "sweep" in text
+        assert "*" in text and "o" in text
+        assert "cov" in text and "acc" in text
+
+    def test_empty(self):
+        assert line_chart({}) == "(no data)"
+
+    def test_flat_series_does_not_crash(self):
+        text = line_chart({"flat": [1.0, 1.0, 1.0]}, width=10, height=4)
+        assert "flat" in text
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart({"a": 1.0, "b": 2.0}, width=20)
+        bar_a = text.splitlines()[0].split("|")[1]
+        bar_b = text.splitlines()[1].split("|")[1]
+        assert len(bar_b) > len(bar_a)
+
+    def test_baseline_mode_shows_direction(self):
+        text = bar_chart(
+            {"faster": 1.2, "slower": 0.8}, width=20, baseline=1.0
+        )
+        faster_line, slower_line = text.splitlines()
+        assert faster_line.rstrip().endswith("#")
+        assert "#|" in slower_line
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+
+class TestStackedBar:
+    def test_segments_sum_to_width(self):
+        rows = {
+            "bench": {"full": 0.5, "miss": 0.5},
+        }
+        text = stacked_bar(rows, width=20)
+        bar = text.splitlines()[0].split("|")[1]
+        assert len(bar) == 20
+
+    def test_legend_rendered(self):
+        rows = {"b": {"x": 1.0}}
+        text = stacked_bar(rows, width=10, legend={"x": "#"})
+        assert "#=x" in text
+
+    def test_empty(self):
+        assert stacked_bar({}) == "(no data)"

@@ -1,0 +1,75 @@
+"""Tests for repro.configio."""
+
+import pytest
+
+from repro.configio import (
+    load_machine_config,
+    machine_config_from_dict,
+    machine_config_to_dict,
+    save_machine_config,
+)
+from repro.params import KB, MachineConfig
+
+
+class TestRoundtrip:
+    def test_default_config_roundtrips(self, tmp_path):
+        config = MachineConfig()
+        path = str(tmp_path / "machine.json")
+        save_machine_config(config, path)
+        loaded = load_machine_config(path)
+        assert loaded == config
+
+    def test_modified_config_roundtrips(self, tmp_path):
+        config = (
+            MachineConfig()
+            .with_content(depth_threshold=9, next_lines=1,
+                          fill_target="buffer")
+            .with_markov(enabled=True, stab_size_bytes=64 * KB)
+            .with_dtlb(entries=1024)
+        )
+        path = str(tmp_path / "machine.json")
+        save_machine_config(config, path)
+        assert load_machine_config(path) == config
+
+
+class TestPartialConfigs:
+    def test_missing_components_take_defaults(self):
+        config = machine_config_from_dict({
+            "content": {"depth_threshold": 5},
+        })
+        assert config.content.depth_threshold == 5
+        assert config.content.compare_bits == 8
+        assert config.core.issue_width == 3
+
+    def test_partial_cache_merges_defaults(self):
+        config = machine_config_from_dict({
+            "ul2": {"size_bytes": 256 * KB},
+        })
+        assert config.ul2.size_bytes == 256 * KB
+        assert config.ul2.associativity == 8
+        assert config.ul2.latency == 16
+
+    def test_empty_dict_is_default_machine(self):
+        assert machine_config_from_dict({}) == MachineConfig()
+
+
+class TestValidation:
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValueError, match="l3"):
+            machine_config_from_dict({"l3": {}})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="depht"):
+            machine_config_from_dict({"content": {"depht_threshold": 3}})
+
+    def test_component_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            machine_config_from_dict({"content": {"placement": "moon"}})
+
+    def test_to_dict_contains_all_components(self):
+        data = machine_config_to_dict(MachineConfig())
+        assert set(data) == {
+            "core", "l1d", "ul2", "dtlb", "bus", "stride", "content",
+            "markov",
+        }
+        assert data["content"]["compare_bits"] == 8

@@ -1,0 +1,146 @@
+"""Tests for repro.prefetch.content (policy: chaining, width, rescan)."""
+
+from repro.params import ContentConfig
+from repro.prefetch.base import PrefetchKind
+from repro.prefetch.content import ContentPrefetcher
+
+
+def make(**kwargs):
+    defaults = dict(next_lines=0, prev_lines=0, depth_threshold=3)
+    defaults.update(kwargs)
+    return ContentPrefetcher(ContentConfig(**defaults))
+
+
+def line_with_pointer(pointer, offset=0):
+    line = bytearray(64)
+    line[offset:offset + 4] = pointer.to_bytes(4, "little")
+    return bytes(line)
+
+
+LINE_V = 0x0840_1000
+EFFECTIVE = 0x0840_1010
+POINTER = 0x0842_2340
+
+
+class TestScanFill:
+    def test_demand_fill_yields_depth_one_chain(self):
+        pf = make()
+        candidates = pf.scan_fill(
+            LINE_V, line_with_pointer(POINTER), EFFECTIVE, depth=0
+        )
+        assert len(candidates) == 1
+        candidate = candidates[0]
+        assert candidate.vaddr == POINTER
+        assert candidate.depth == 1
+        assert candidate.kind is PrefetchKind.CHAIN
+
+    def test_chain_terminates_at_threshold(self):
+        pf = make(depth_threshold=3)
+        line = line_with_pointer(POINTER)
+        assert pf.scan_fill(LINE_V, line, EFFECTIVE, depth=2)
+        assert pf.scan_fill(LINE_V, line, EFFECTIVE, depth=3) == []
+        assert pf.stats.chains_terminated_by_depth == 1
+
+    def test_disabled_prefetcher_emits_nothing(self):
+        pf = ContentPrefetcher(ContentConfig(enabled=False))
+        assert pf.scan_fill(
+            LINE_V, line_with_pointer(POINTER), EFFECTIVE, 0
+        ) == []
+
+    def test_self_pointing_line_not_emitted(self):
+        # A pointer back into the scanned line itself is not a prefetch.
+        pf = make()
+        line = line_with_pointer(LINE_V + 16)
+        assert pf.scan_fill(LINE_V, line, EFFECTIVE, 0) == []
+
+    def test_duplicate_lines_deduplicated(self):
+        pf = make()
+        line = bytearray(64)
+        line[0:4] = POINTER.to_bytes(4, "little")
+        line[8:12] = (POINTER + 8).to_bytes(4, "little")  # same line
+        candidates = pf.scan_fill(LINE_V, bytes(line), EFFECTIVE, 0)
+        assert len(candidates) == 1
+
+
+class TestWidth:
+    def test_next_lines_follow_candidate(self):
+        pf = make(next_lines=2)
+        candidates = pf.scan_fill(
+            LINE_V, line_with_pointer(POINTER), EFFECTIVE, 0
+        )
+        kinds = [c.kind for c in candidates]
+        assert kinds == [
+            PrefetchKind.CHAIN, PrefetchKind.NEXT_LINE, PrefetchKind.NEXT_LINE,
+        ]
+        chain_line = POINTER & ~63
+        assert candidates[1].vaddr == chain_line + 64
+        assert candidates[2].vaddr == chain_line + 128
+
+    def test_prev_lines(self):
+        pf = make(prev_lines=1)
+        candidates = pf.scan_fill(
+            LINE_V, line_with_pointer(POINTER), EFFECTIVE, 0
+        )
+        prev = [c for c in candidates if c.kind is PrefetchKind.PREV_LINE]
+        assert len(prev) == 1
+        assert prev[0].vaddr == (POINTER & ~63) - 64
+
+    def test_width_candidates_share_chain_depth(self):
+        pf = make(next_lines=3)
+        candidates = pf.scan_fill(
+            LINE_V, line_with_pointer(POINTER), EFFECTIVE, depth=1
+        )
+        assert {c.depth for c in candidates} == {2}
+
+    def test_width_deduplicates_against_chain(self):
+        # Two pointers one line apart: the next-line of the first is the
+        # chain line of the second.
+        pf = make(next_lines=1)
+        line = bytearray(64)
+        line[0:4] = POINTER.to_bytes(4, "little")
+        line[8:12] = (POINTER + 64).to_bytes(4, "little")
+        candidates = pf.scan_fill(LINE_V, bytes(line), EFFECTIVE, 0)
+        lines = [c.vaddr & ~63 for c in candidates]
+        assert len(lines) == len(set(lines))
+
+
+class TestReinforcementPolicy:
+    def test_margin_one_rescans_any_lower_depth(self):
+        pf = make(rescan_margin=1)
+        assert pf.should_rescan(stored_depth=1, incoming_depth=0)
+        assert pf.should_rescan(stored_depth=3, incoming_depth=2)
+        assert not pf.should_rescan(stored_depth=1, incoming_depth=1)
+
+    def test_margin_two_requires_two_lower(self):
+        pf = make(rescan_margin=2)
+        assert not pf.should_rescan(stored_depth=1, incoming_depth=0)
+        assert pf.should_rescan(stored_depth=2, incoming_depth=0)
+
+    def test_reinforcement_off_never_rescans(self):
+        pf = make(reinforcement=False)
+        assert not pf.should_rescan(stored_depth=3, incoming_depth=0)
+
+    def test_rescan_counted(self):
+        pf = make()
+        pf.scan_fill(
+            LINE_V, line_with_pointer(POINTER), EFFECTIVE, 0, is_rescan=True
+        )
+        assert pf.stats.rescans == 1
+
+
+class TestDepthEncoding:
+    def test_two_bits_for_threshold_three(self):
+        pf = make(depth_threshold=3)
+        assert pf.depth_bits == 2
+        assert pf.clamp_depth(7) == 3
+
+    def test_space_overhead_below_half_percent(self):
+        # "less than 1/2% space overhead when using two bits per cache
+        # line" (Section 3.4.2).
+        pf = make(depth_threshold=3)
+        assert pf.space_overhead < 0.005
+
+    def test_four_bits_for_threshold_nine(self):
+        pf = make(depth_threshold=9)
+        assert pf.depth_bits == 4
+        assert pf.clamp_depth(20) == 15

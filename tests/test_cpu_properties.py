@@ -1,0 +1,94 @@
+"""Property-based invariants of the out-of-order core model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cpu import OutOfOrderCore
+from repro.params import CoreConfig
+from repro.trace.ops import TraceBuilder
+
+
+class FixedMemory:
+    def __init__(self, latency):
+        self.latency = latency
+
+    def load(self, vaddr, pc, time):
+        return self.latency
+
+    def store(self, vaddr, pc, time):
+        return self.latency
+
+    def drain(self):
+        return 0
+
+
+def run_trace(builder, latency=10):
+    core = OutOfOrderCore(CoreConfig(), FixedMemory(latency))
+    return core.run(builder.build())
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("load"), st.integers(0, 1 << 20)),
+        st.tuples(st.just("compute"), st.integers(1, 200)),
+        st.tuples(st.just("branch"), st.booleans()),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def build_from(spec, extra_compute=0, force_predicted=False):
+    builder = TraceBuilder("prop")
+    for item in spec:
+        if item[0] == "load":
+            builder.load(0x0840_0000 + item[1] * 4, pc=0x1000)
+        elif item[0] == "compute":
+            builder.compute(item[1] + extra_compute)
+        else:
+            builder.branch(False if force_predicted else item[1])
+    return builder
+
+
+class TestCoreInvariants:
+    @given(ops_strategy)
+    @settings(max_examples=60)
+    def test_cycles_nonnegative_and_finite(self, spec):
+        cycles = run_trace(build_from(spec))
+        assert cycles >= 0
+        assert cycles < 10**9
+
+    @given(ops_strategy)
+    @settings(max_examples=40)
+    def test_more_memory_latency_never_faster(self, spec):
+        fast = run_trace(build_from(spec), latency=5)
+        slow = run_trace(build_from(spec), latency=500)
+        assert slow >= fast
+
+    @given(ops_strategy)
+    @settings(max_examples=40)
+    def test_extra_compute_never_faster(self, spec):
+        base = run_trace(build_from(spec))
+        padded = run_trace(build_from(spec, extra_compute=50))
+        assert padded >= base
+
+    @given(ops_strategy)
+    @settings(max_examples=40)
+    def test_mispredictions_never_faster(self, spec):
+        predicted = run_trace(build_from(spec, force_predicted=True))
+        as_is = run_trace(build_from(spec))
+        assert as_is >= predicted
+
+    @given(ops_strategy)
+    @settings(max_examples=40)
+    def test_throughput_bounded_by_issue_width(self, spec):
+        builder = build_from(spec)
+        trace = builder.build()
+        cycles = run_trace(builder)
+        config = CoreConfig()
+        # Cannot retire more than issue_width uops per cycle.
+        assert cycles >= trace.uop_count / config.issue_width - 1
+
+    @given(ops_strategy)
+    @settings(max_examples=30)
+    def test_deterministic(self, spec):
+        assert run_trace(build_from(spec)) == run_trace(build_from(spec))

@@ -1,0 +1,81 @@
+"""Tests for repro.tlb.dtlb."""
+
+import pytest
+
+from repro.params import TLBConfig
+from repro.tlb.dtlb import DataTLB
+
+
+def make_tlb(entries=64, assoc=4):
+    return DataTLB(TLBConfig(entries=entries, associativity=assoc))
+
+
+class TestTranslation:
+    def test_miss_then_hit(self):
+        tlb = make_tlb()
+        assert tlb.translate(0x0840_1234) is None
+        tlb.insert(0x0840_1234, 0x0100_0234)
+        assert tlb.translate(0x0840_1234) == 0x0100_0234
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hits == 1
+
+    def test_offset_preserved(self):
+        tlb = make_tlb()
+        tlb.insert(0x0840_1000, 0x0100_0000)
+        assert tlb.translate(0x0840_1ABC) == 0x0100_0ABC
+
+    def test_peek_does_not_count(self):
+        tlb = make_tlb()
+        tlb.insert(0x0840_1000, 0x0100_0000)
+        assert tlb.peek(0x0840_1040) == 0x0100_0040
+        assert tlb.peek(0x0900_0000) is None
+        assert tlb.stats.accesses == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            DataTLB(TLBConfig(entries=10, associativity=4))
+
+
+class TestReplacement:
+    def test_lru_within_set(self):
+        tlb = make_tlb(entries=8, assoc=2)  # 4 sets
+        set_stride = 4 * 4096  # same-set page stride
+        pages = [i * set_stride for i in range(3)]
+        tlb.insert(pages[0], 0x10_0000)
+        tlb.insert(pages[1], 0x20_0000)
+        tlb.translate(pages[0])        # touch page 0 -> MRU
+        tlb.insert(pages[2], 0x30_0000)  # evicts page 1
+        assert tlb.peek(pages[0]) is not None
+        assert tlb.peek(pages[1]) is None
+        assert tlb.peek(pages[2]) is not None
+
+    def test_reinsert_moves_to_mru(self):
+        tlb = make_tlb(entries=8, assoc=2)
+        set_stride = 4 * 4096
+        pages = [i * set_stride for i in range(3)]
+        tlb.insert(pages[0], 0x10_0000)
+        tlb.insert(pages[1], 0x20_0000)
+        tlb.insert(pages[0], 0x10_0000)  # re-insert -> MRU
+        tlb.insert(pages[2], 0x30_0000)
+        assert tlb.contains(pages[0])
+        assert not tlb.contains(pages[1])
+
+    def test_occupancy(self):
+        tlb = make_tlb(entries=64, assoc=4)
+        for i in range(10):
+            tlb.insert(i * 4096, i * 4096)
+        assert tlb.occupancy() == 10
+
+
+class TestPrefetchFills:
+    def test_prefetch_insert_counted(self):
+        tlb = make_tlb()
+        tlb.insert(0x0840_0000, 0x0100_0000, prefetch=True)
+        tlb.insert(0x0841_0000, 0x0101_0000)
+        assert tlb.stats.prefetch_fills == 1
+
+    def test_reset_stats(self):
+        tlb = make_tlb()
+        tlb.translate(0x1000)
+        tlb.reset_stats()
+        assert tlb.stats.accesses == 0

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs end to end (tiny inputs)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "b2c", "0.02")
+        assert result.returncode == 0, result.stderr
+        assert "speedup:" in result.stdout
+        assert "UL2 load-request distribution" in result.stdout
+
+    def test_pointer_chase(self):
+        result = run_example("pointer_chase.py", "600")
+        assert result.returncode == 0, result.stderr
+        assert "Chain behaviour" in result.stdout
+
+    def test_database_index(self):
+        result = run_example("database_index.py", "40")
+        assert result.returncode == 0, result.stderr
+        assert "markov_big" in result.stdout
+
+    def test_tune_matcher_importable(self):
+        # The full tune_matcher run is long; just verify it imports and
+        # its workload builder works.
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import tune_matcher
+            workload = tune_matcher.build_adversarial()
+            assert workload.trace.uop_count > 0
+        finally:
+            sys.path.pop(0)

@@ -1,0 +1,82 @@
+"""Tests for repro.experiments.common (model machine and helpers)."""
+
+import pytest
+
+from repro.experiments.common import (
+    MODEL_SILICON_SCALE,
+    ExperimentResult,
+    model_machine,
+    run_timing,
+    timing_speedups,
+    warmup_uops_for,
+)
+from repro.params import KB, MachineConfig
+from repro.workloads.suite import build_benchmark
+
+
+class TestModelMachine:
+    def test_caches_scaled_by_silicon_factor(self):
+        full = MachineConfig()
+        model = model_machine()
+        assert model.l1d.size_bytes == full.l1d.size_bytes // MODEL_SILICON_SCALE
+        assert model.ul2.size_bytes == 1024 * KB // MODEL_SILICON_SCALE
+
+    def test_l2_equivalents(self):
+        assert model_machine(l2_equiv_mb=4).ul2.size_bytes == (
+            4 * model_machine(l2_equiv_mb=1).ul2.size_bytes
+        )
+
+    def test_bandwidth_scaled_latency_not(self):
+        full = MachineConfig()
+        model = model_machine()
+        assert model.bus.bus_latency == full.bus.bus_latency
+        assert model.bus.bandwidth_bytes_per_cycle == pytest.approx(
+            full.bus.bandwidth_bytes_per_cycle * MODEL_SILICON_SCALE
+        )
+
+    def test_table1_parameters_preserved(self):
+        model = model_machine()
+        full = MachineConfig()
+        assert model.core == full.core
+        assert model.dtlb == full.dtlb
+        assert model.bus.bus_queue_size == full.bus.bus_queue_size
+        assert model.content == full.content
+
+    def test_kwargs_forwarded(self):
+        model = model_machine(stride=MachineConfig().stride)
+        assert model.stride.enabled
+
+
+class TestExperimentResult:
+    def test_render_includes_notes(self):
+        result = ExperimentResult(
+            "x", "Title", ["a"], [["1"]], notes="a note"
+        )
+        text = result.render()
+        assert "Title" in text
+        assert "a note" in text
+
+
+class TestRunHelpers:
+    def test_warmup_is_quarter(self):
+        workload = build_benchmark("b2c", scale=0.01)
+        assert warmup_uops_for(workload.trace) == workload.trace.uop_count // 4
+
+    def test_run_timing_produces_result(self):
+        workload = build_benchmark("b2c", scale=0.01)
+        result = run_timing(model_machine(), workload)
+        assert result.cycles > 0
+
+    def test_timing_speedups_uses_baseline_cache(self):
+        cache = {}
+        config = model_machine()
+        first = timing_speedups(
+            config, ["b2c"], scale=0.01, baseline_cache=cache
+        )
+        assert "b2c" in cache
+        baseline_obj = cache["b2c"]
+        second = timing_speedups(
+            config, ["b2c"], scale=0.01, baseline_cache=cache
+        )
+        assert cache["b2c"] is baseline_obj
+        assert first["b2c"] == pytest.approx(second["b2c"])

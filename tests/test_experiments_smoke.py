@@ -1,0 +1,172 @@
+"""Smoke tests for the experiment drivers (tiny scales).
+
+These check that every driver runs end to end, produces the right row
+structure, and — where cheap enough — that the headline *shape* holds.
+Full-scale shape assertions live in the benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation,
+    fig1,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    pollution,
+    table1,
+    table2,
+    table3,
+    tlbsweep,
+)
+from repro.experiments.runner import EXPERIMENTS
+
+TINY = 0.01
+SMALL_BENCH = ("b2c", "rc3")
+
+
+class TestConfigurationDumps:
+    def test_table1_rows(self):
+        result = table1.run()
+        names = [row[0] for row in result.rows]
+        assert "Core Frequency" in names
+        assert "UL2 Cache" in names
+
+    def test_table3_configurations(self):
+        result = table3.run()
+        labels = [row[0] for row in result.rows]
+        assert labels == [
+            "markov_1/8", "markov_1/2", "markov_big", "content",
+        ]
+        assert "unbounded" in result.rows[2][1]
+
+
+class TestFunctionalDrivers:
+    def test_fig1_produces_mptu_traces(self):
+        result = fig1.run(scale=0.05, benchmarks=SMALL_BENCH, windows=10)
+        assert set(result.extra["mptu_traces"]) == set(SMALL_BENCH)
+        for trace in result.extra["mptu_traces"].values():
+            assert len(trace) >= 5
+
+    def test_fig1_steady_state_helper(self):
+        assert fig1.steady_state_window([]) == 0.0
+        assert fig1.steady_state_window([4.0, 2.0]) == 2.0
+
+    def test_table2_rows_per_benchmark(self):
+        result = table2.run(scale=TINY, benchmarks=SMALL_BENCH)
+        assert len(result.rows) == len(SMALL_BENCH)
+        for row in result.rows:
+            assert float(row[4]) >= 0.0
+
+    def test_fig7_sweep_structure(self):
+        sweep = ((8, 0), (8, 4), (12, 4))
+        result = fig7.run(scale=TINY, benchmarks=SMALL_BENCH, sweep=sweep)
+        assert [row[0] for row in result.rows] == ["08.0", "08.4", "12.4"]
+        for coverage, accuracy in result.extra["series"].values():
+            assert 0.0 <= coverage <= 1.0
+            assert 0.0 <= accuracy <= 1.0
+
+    def test_fig8_sweep_structure(self):
+        sweep = ((1, 2), (4, 2))
+        result = fig8.run(scale=TINY, benchmarks=SMALL_BENCH, sweep=sweep)
+        assert [row[0] for row in result.rows] == ["8.4.1.2", "8.4.4.2"]
+
+    def test_fig8_align4_destroys_coverage(self):
+        sweep = ((1, 2), (4, 2))
+        result = fig8.run(scale=0.05, benchmarks=("rc3",), sweep=sweep)
+        series = result.extra["series"]
+        assert series["8.4.4.2"][0] < series["8.4.1.2"][0]
+
+
+class TestTimingDrivers:
+    def test_fig9_structure(self):
+        result = fig9.run(
+            scale=TINY, benchmarks=("b2c",),
+            widths=((0, 0), (0, 1)), depths=(3,),
+        )
+        assert len(result.rows) == 2  # nr + reinf
+        assert fig9.best_configuration(result) is not None
+
+    def test_tlb_sweep_structure(self):
+        result = tlbsweep.run(scale=TINY, benchmarks=("b2c",),
+                              sizes=(64, 256))
+        assert [row[0] for row in result.rows] == ["64", "256"]
+
+    def test_fig10_structure(self):
+        result = fig10.run(scale=TINY, benchmarks=SMALL_BENCH)
+        assert len(result.rows) == len(SMALL_BENCH) + 1  # + average
+        for name in SMALL_BENCH:
+            distribution = result.extra["distributions"][name]
+            assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_fig11_structure(self):
+        result = fig11.run(scale=TINY, benchmarks=("b2c",))
+        assert set(result.extra["means"]) == {
+            "markov_1/8", "markov_1/2", "markov_big", "content",
+        }
+
+    def test_pollution_structure(self):
+        result = pollution.run(scale=TINY, benchmarks=("b2c",))
+        assert result.extra["mean_slowdown"] > 0.0
+
+    def test_ablation_structure(self):
+        result = ablation.run(scale=TINY, benchmarks=("b2c",))
+        assert "onchip (paper)" in result.extra["means"]
+        assert "adaptive filter tuning" in result.extra["means"]
+
+
+class TestRunnerRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig1", "fig2", "fig3", "table2", "fig7", "fig8", "fig9",
+            "tlb", "fig10", "table3", "fig11", "pollution", "ablation",
+            "zoo", "sensitivity", "related",
+        }
+
+    def test_render_produces_text(self):
+        result = table1.run()
+        text = result.render()
+        assert result.title in text
+
+
+class TestFig3Narrative:
+    def test_verify_pins_the_paper_storyline(self):
+        from repro.experiments import fig3
+        fig3.verify()
+
+    def test_run_produces_both_sides(self):
+        from repro.experiments import fig3
+        result = fig3.run()
+        sides = [row[0] for row in result.rows]
+        assert sides == ["PREFETCH CHAINING", "PATH REINFORCEMENT"]
+        chaining, reinforcement = result.rows
+        assert "E" not in chaining[4]
+        assert "E" in reinforcement[4]
+
+
+class TestFig2Layout:
+    def test_paper_tuning_layout(self):
+        from repro.experiments import fig2
+        text = fig2.bit_layout()
+        bits_row = [line for line in text.splitlines() if "C C" in line][0]
+        cells = bits_row.split()
+        assert cells.count("C") == 8
+        assert cells.count("F") == 4
+        assert cells.count("A") == 1
+
+    def test_run_reports_prefetchable_range(self):
+        from repro.experiments import fig2
+        result = fig2.run()
+        by_field = {row[0]: row[1] for row in result.rows}
+        assert by_field["prefetchable range"] == 1 << 24
+
+    def test_custom_config_layout(self):
+        from repro.experiments import fig2
+        from repro.params import ContentConfig
+        text = fig2.bit_layout(ContentConfig(
+            compare_bits=12, filter_bits=0, align_bits=2,
+        ))
+        assert "compare bits (12)" in text
+        assert "F" not in text.splitlines()[1]

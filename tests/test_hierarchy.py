@@ -1,0 +1,90 @@
+"""Tests for repro.cache.hierarchy."""
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.memory.backing import BackingMemory
+from repro.params import KB, CacheConfig, MachineConfig
+
+
+def small_machine():
+    return MachineConfig(
+        l1d=CacheConfig(4 * KB, 8, latency=3),
+        ul2=CacheConfig(64 * KB, 8, latency=16),
+    )
+
+
+class TestTranslation:
+    def test_first_translation_walks(self):
+        hierarchy = CacheHierarchy(small_machine(), BackingMemory())
+        result = hierarchy.translate(0x0840_1234)
+        assert not result.tlb_hit
+        assert result.walk_line_addrs
+        assert result.paddr & 0xFFF == 0x234
+
+    def test_second_translation_hits_tlb(self):
+        hierarchy = CacheHierarchy(small_machine(), BackingMemory())
+        first = hierarchy.translate(0x0840_1234)
+        second = hierarchy.translate(0x0840_1FF0)
+        assert second.tlb_hit
+        assert second.walk_line_addrs == ()
+        assert second.paddr >> 12 == first.paddr >> 12
+
+    def test_probe_translation_is_passive(self):
+        hierarchy = CacheHierarchy(small_machine(), BackingMemory())
+        assert hierarchy.probe_translation(0x0840_0000) is None
+        hierarchy.translate(0x0840_0000)
+        assert hierarchy.probe_translation(0x0840_0040) is not None
+
+    def test_walk_lines_are_line_aligned(self):
+        hierarchy = CacheHierarchy(small_machine(), BackingMemory())
+        result = hierarchy.translate(0x0900_0000)
+        for line in result.walk_line_addrs:
+            assert line % 64 == 0
+
+
+class TestPremapping:
+    def test_image_pages_premapped(self):
+        memory = BackingMemory()
+        memory.write_word(0x0840_0000, 0x1234)
+        memory.write_word(0x0900_5000, 0x5678)
+        hierarchy = CacheHierarchy(small_machine(), memory)
+        assert hierarchy.page_table.is_mapped(0x0840_0000)
+        assert hierarchy.page_table.is_mapped(0x0900_5000)
+        assert not hierarchy.page_table.is_mapped(0x0A00_0000)
+
+    def test_premapping_leaves_tlb_cold(self):
+        memory = BackingMemory()
+        memory.write_word(0x0840_0000, 0x1234)
+        hierarchy = CacheHierarchy(small_machine(), memory)
+        assert hierarchy.dtlb.peek(0x0840_0000) is None
+
+    def test_premapping_is_deterministic(self):
+        def build():
+            memory = BackingMemory()
+            memory.write_word(0x0840_0000, 1)
+            memory.write_word(0x0900_0000, 1)
+            hierarchy = CacheHierarchy(small_machine(), memory)
+            return hierarchy.page_table.translate(0x0840_0000)
+
+        assert build() == build()
+
+
+class TestHelpers:
+    def test_line_of(self):
+        hierarchy = CacheHierarchy(small_machine(), BackingMemory())
+        assert hierarchy.line_of(0x1234_5678) == 0x1234_5640
+
+    def test_read_line_bytes(self):
+        memory = BackingMemory()
+        memory.write_word(0x0840_0000, 0xAABBCCDD)
+        hierarchy = CacheHierarchy(small_machine(), memory)
+        line = hierarchy.read_line_bytes(0x0840_0000)
+        assert len(line) == 64
+        assert int.from_bytes(line[:4], "little") == 0xAABBCCDD
+
+    def test_reset_stats(self):
+        hierarchy = CacheHierarchy(small_machine(), BackingMemory())
+        hierarchy.l1.lookup(0x1000)
+        hierarchy.dtlb.translate(0x1000)
+        hierarchy.reset_stats()
+        assert hierarchy.l1.stats.accesses == 0
+        assert hierarchy.dtlb.stats.accesses == 0

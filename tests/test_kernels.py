@@ -1,0 +1,209 @@
+"""Tests for repro.workloads.kernels (trace emitters)."""
+
+from repro.trace.ops import BRANCH, COMPUTE, LOAD, STORE
+from repro.workloads.base import WorkloadContext
+from repro.workloads.kernels import (
+    ArrayScanKernel,
+    HashLookupKernel,
+    ListTraversalKernel,
+    PointerArrayKernel,
+    StackKernel,
+    TreeSearchKernel,
+    _spread_offsets,
+)
+from repro.workloads.structures import (
+    build_binary_tree,
+    build_data_array,
+    build_hash_table,
+    build_linked_list,
+    build_pointer_array,
+)
+
+
+def loads_of(trace):
+    return [op for op in trace.ops if op[0] == LOAD]
+
+
+class TestSpreadOffsets:
+    def test_single_load_at_start(self):
+        assert _spread_offsets(1, 20) == [1]
+
+    def test_two_loads_span_payload(self):
+        assert _spread_offsets(2, 20) == [1, 20]
+
+    def test_zero_loads(self):
+        assert _spread_offsets(0, 20) == []
+
+
+class TestListTraversal:
+    def test_dependence_chain_is_serial(self):
+        ctx = WorkloadContext("t", seed=1)
+        lst = build_linked_list(ctx, 20, payload_words=6)
+        kernel = ListTraversalKernel(ctx, lst, payload_loads=0,
+                                     work_per_node=0, mispredict_rate=0.0)
+        kernel.emit()
+        trace = ctx.trace.build()
+        pointer_loads = loads_of(trace)
+        # Head load has no dep; every subsequent load depends on the
+        # previous pointer load.
+        assert pointer_loads[0][3] == -1
+        for prev, cur in zip(pointer_loads, pointer_loads[1:]):
+            assert cur[3] != -1
+
+    def test_visits_nodes_in_link_order(self):
+        ctx = WorkloadContext("t", seed=1)
+        lst = build_linked_list(ctx, 10, payload_words=6, locality=0.0)
+        kernel = ListTraversalKernel(ctx, lst, payload_loads=0,
+                                     work_per_node=0)
+        kernel.emit()
+        addresses = [op[1] for op in loads_of(ctx.trace.build())][1:]
+        assert addresses == [n + lst.next_offset for n in lst.nodes]
+
+    def test_chunked_emission(self):
+        ctx = WorkloadContext("t", seed=1)
+        lst = build_linked_list(ctx, 100, payload_words=6)
+        kernel = ListTraversalKernel(ctx, lst, payload_loads=0,
+                                     work_per_node=0)
+        assert kernel.emit(max_nodes=30) == 30
+        assert kernel.emit(max_nodes=30, start=90) == 10
+
+    def test_stores_emitted_with_probability_one(self):
+        ctx = WorkloadContext("t", seed=1)
+        lst = build_linked_list(ctx, 20, payload_words=6)
+        kernel = ListTraversalKernel(ctx, lst, store_probability=1.0)
+        kernel.emit()
+        trace = ctx.trace.build()
+        assert trace.store_count == 20
+
+    def test_compute_work_between_nodes(self):
+        ctx = WorkloadContext("t", seed=1)
+        lst = build_linked_list(ctx, 10, payload_words=6)
+        ListTraversalKernel(ctx, lst, payload_loads=0,
+                            work_per_node=7).emit()
+        compute = sum(op[1] for op in ctx.trace.build().ops
+                      if op[0] == COMPUTE)
+        assert compute == 70
+
+
+class TestTreeSearch:
+    def test_descent_addresses_follow_comparisons(self):
+        ctx = WorkloadContext("t", seed=2)
+        tree = build_binary_tree(ctx, 63)
+        kernel = TreeSearchKernel(ctx, tree)
+        visited = kernel.emit(num_searches=5)
+        assert visited >= 5  # at least the root each time
+        trace = ctx.trace.build()
+        assert trace.load_count > 5
+
+    def test_key_range_restricts_targets(self):
+        ctx = WorkloadContext("t", seed=2)
+        tree = build_binary_tree(ctx, 63)
+        kernel = TreeSearchKernel(ctx, tree)
+        kernel.emit(num_searches=20, key_range=(0, 4))
+        # Hot searches only touch the leftmost subtree plus the spine:
+        # far-right leaves are never loaded.
+        touched = {op[1] for op in loads_of(ctx.trace.build())}
+        rightmost_leaf = tree.nodes[-1]
+        assert rightmost_leaf + 8 not in touched
+
+
+class TestHashLookup:
+    def test_bucket_then_chain_loads(self):
+        ctx = WorkloadContext("t", seed=3)
+        table = build_hash_table(ctx, 8, 64)
+        kernel = HashLookupKernel(ctx, table)
+        visited = kernel.emit(num_lookups=10)
+        assert visited > 0
+        bucket_loads = [
+            op for op in loads_of(ctx.trace.build())
+            if table.bucket_base <= op[1] < table.bucket_base + 32
+        ]
+        assert len(bucket_loads) == 10
+
+    def test_bucket_range_restriction(self):
+        ctx = WorkloadContext("t", seed=3)
+        table = build_hash_table(ctx, 16, 64)
+        kernel = HashLookupKernel(ctx, table)
+        kernel.emit(num_lookups=30, bucket_range=(0, 2))
+        bucket_addresses = {
+            op[1] for op in loads_of(ctx.trace.build())
+            if table.bucket_base <= op[1] < table.bucket_base + 64
+        }
+        assert bucket_addresses <= {table.bucket_base, table.bucket_base + 4}
+
+
+class TestArrayScan:
+    def test_sequential_addresses_single_pc(self):
+        ctx = WorkloadContext("t", seed=4)
+        array = build_data_array(ctx, 512)
+        ArrayScanKernel(ctx, array, stride_words=2).emit(max_elements=50)
+        ops = loads_of(ctx.trace.build())
+        assert len(ops) == 50
+        assert len({op[2] for op in ops}) == 1  # one PC
+        deltas = {b[1] - a[1] for a, b in zip(ops, ops[1:])}
+        assert deltas == {8}
+
+    def test_resume_from_start_word(self):
+        ctx = WorkloadContext("t", seed=4)
+        array = build_data_array(ctx, 100)
+        kernel = ArrayScanKernel(ctx, array)
+        assert kernel.emit(max_elements=60) == 60
+        assert kernel.emit(start_word=60) == 40
+
+
+class TestPointerArrayKernel:
+    def test_slot_load_feeds_dereference(self):
+        ctx = WorkloadContext("t", seed=5)
+        parray = build_pointer_array(ctx, 30, payload_words=8)
+        PointerArrayKernel(ctx, parray, payload_loads=1).emit()
+        ops = loads_of(ctx.trace.build())
+        slots = [op for op in ops if op[3] == -1]
+        derefs = [op for op in ops if op[3] != -1]
+        assert len(slots) == 30
+        assert len(derefs) == 30
+
+
+class TestStackKernel:
+    def test_accesses_confined_to_stack(self):
+        ctx = WorkloadContext("t", seed=6)
+        kernel = StackKernel(ctx, slots=8)
+        kernel.emit(num_ops=40)
+        trace = ctx.trace.build()
+        for op in trace.ops:
+            if op[0] in (LOAD, STORE):
+                assert ctx.layout.stack.contains(op[1])
+
+
+class TestGraphWalk:
+    def test_three_deep_dependence_per_step(self):
+        from repro.workloads.kernels import GraphWalkKernel
+        from repro.workloads.structures import build_graph
+        ctx = WorkloadContext("t", seed=8)
+        graph = build_graph(ctx, 50, avg_degree=2, payload_words=4)
+        kernel = GraphWalkKernel(ctx, graph, payload_loads=0,
+                                 work_per_node=0, mispredict_rate=0.0)
+        visits = kernel.emit(steps=10, start=0)
+        assert visits == 10
+        ops = loads_of(ctx.trace.build())
+        # Entry load + 3 loads per step (degree, edge ptr, edge slot).
+        assert len(ops) == 1 + 3 * 10
+        # Edge-slot loads depend on the edge-pointer load of the same step.
+        dependent = [op for op in ops if op[3] != -1]
+        assert len(dependent) == 3 * 10
+
+    def test_walk_runs_in_timing_simulator(self):
+        from repro.workloads.kernels import GraphWalkKernel
+        from repro.workloads.structures import build_graph
+        from repro.core.simulator import run_pair
+        from repro.experiments.common import model_machine
+        ctx = WorkloadContext("netlist", seed=9)
+        graph = build_graph(ctx, 3000, avg_degree=3, payload_words=12)
+        kernel = GraphWalkKernel(ctx, graph, work_per_node=12)
+        for _ in range(20):
+            kernel.emit(steps=64)
+        workload = ctx.build()
+        baseline, enhanced = run_pair(
+            model_machine(), workload.memory, workload.trace
+        )
+        # Graph walks are prefetchable through the two-level pointers.
+        assert enhanced.content.useful > 0

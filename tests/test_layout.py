@@ -1,0 +1,63 @@
+"""Tests for repro.memory.layout."""
+
+import pytest
+
+from repro.memory.layout import MemoryLayout, Region
+
+
+class TestRegion:
+    def test_contains_is_half_open(self):
+        region = Region("r", 0x1000, 0x100)
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x1100)
+
+    def test_end(self):
+        assert Region("r", 0x1000, 0x100).end == 0x1100
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Region("r", 0x1000, 0)
+
+    def test_rejects_overflowing_region(self):
+        with pytest.raises(ValueError):
+            Region("r", 0xFFFF_FF00, 0x1000)
+
+
+class TestMemoryLayout:
+    def test_default_regions_exist_and_are_disjoint(self):
+        layout = MemoryLayout()
+        regions = sorted(layout.regions, key=lambda r: r.base)
+        for lower, upper in zip(regions, regions[1:]):
+            assert lower.end <= upper.base
+
+    def test_heap_shares_top_byte_with_code(self):
+        # Both live under 0x08xx_xxxx: the paper's observation that data
+        # addresses share high-order bits.
+        layout = MemoryLayout()
+        assert layout.heap.base >> 24 == 0x08
+        assert layout.code.base >> 24 == 0x08
+
+    def test_static_region_has_zero_upper_compare_bits(self):
+        # The low region is where the matcher's filter bits are decisive.
+        layout = MemoryLayout()
+        assert layout.static.base >> 24 == 0
+        assert (layout.static.end - 1) >> 24 == 0
+
+    def test_region_of(self):
+        layout = MemoryLayout()
+        assert layout.region_of(layout.heap.base).name == "heap"
+        assert layout.region_of(layout.stack.end - 4).name == "stack"
+        assert layout.region_of(0x5000_0000) is None
+
+    def test_is_mapped(self):
+        layout = MemoryLayout()
+        assert layout.is_mapped(layout.code.base)
+        assert not layout.is_mapped(0xF000_0000)
+
+    def test_overlapping_layout_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(
+                heap_base=0x0804_8000,  # collides with code
+                heap_size=0x0100_0000,
+            )

@@ -1,0 +1,99 @@
+"""Tests for repro.prefetch.markov."""
+
+from repro.params import KB, MarkovConfig
+from repro.prefetch.base import PrefetchKind
+from repro.prefetch.markov import MarkovPrefetcher
+
+
+def make(**kwargs):
+    defaults = dict(enabled=True, stab_size_bytes=512 * KB)
+    defaults.update(kwargs)
+    return MarkovPrefetcher(MarkovConfig(**defaults))
+
+
+A, B, C, D, E = (0x1000, 0x2000, 0x3000, 0x4000, 0x5000)
+
+
+class TestTrainingAndIssue:
+    def test_requires_training_before_issue(self):
+        pf = make()
+        assert pf.observe_miss(A) == []   # nothing known yet
+        assert pf.observe_miss(B) == []   # trains A->B; B unknown
+        # Now a miss on A predicts its recorded successor.
+        candidates = pf.observe_miss(A)
+        assert [c.vaddr for c in candidates] == [B]
+
+    def test_simple_chain_prediction(self):
+        pf = make()
+        for miss in (A, B, C):
+            pf.observe_miss(miss)
+        candidates = pf.observe_miss(A)
+        # Fresh miss on A predicts its recorded successor B.
+        assert [c.vaddr for c in candidates] == [B]
+        assert candidates[0].kind is PrefetchKind.MARKOV
+
+    def test_fanout_limited_to_four(self):
+        pf = make()
+        successors = (B, C, D, E, 0x6000)
+        for succ in successors:
+            pf.observe_miss(A)
+            pf.observe_miss(succ)
+        assert len(pf.successors_of(A)) == 4
+
+    def test_mru_successor_ordering(self):
+        pf = make()
+        pf.observe_miss(A)
+        pf.observe_miss(B)  # A->B
+        pf.observe_miss(A)
+        pf.observe_miss(C)  # A->C (more recent)
+        assert pf.successors_of(A)[0] == C
+
+    def test_repeated_miss_not_self_successor(self):
+        pf = make()
+        pf.observe_miss(A)
+        pf.observe_miss(A)
+        assert pf.successors_of(A) == []
+
+    def test_line_granularity(self):
+        pf = make()
+        pf.observe_miss(A + 4)
+        pf.observe_miss(B + 60)
+        assert pf.successors_of(A) == [B]
+
+
+class TestStridePrecedence:
+    def test_blocked_by_stride_still_trains(self):
+        pf = make()
+        pf.observe_miss(A)
+        pf.observe_miss(B)
+        candidates = pf.observe_miss(A, stride_covered=True)
+        assert candidates == []
+        assert pf.stats.blocked_by_stride == 1
+        assert pf.successors_of(B) == [A]  # training happened anyway
+
+
+class TestCapacity:
+    def test_entry_count_from_bytes(self):
+        pf = make(stab_size_bytes=128 * KB)
+        assert pf.capacity == 128 * KB // 20
+
+    def test_unbounded_configuration(self):
+        pf = make(unbounded=True)
+        assert pf.capacity is None
+
+    def test_lru_eviction_at_capacity(self):
+        pf = MarkovPrefetcher(MarkovConfig(
+            enabled=True, stab_size_bytes=40,  # exactly 2 entries
+        ))
+        pf.observe_miss(A)
+        pf.observe_miss(B)   # entry for A
+        pf.observe_miss(C)   # entry for B
+        pf.observe_miss(D)   # entry for C -> evicts A's entry
+        assert len(pf) == 2
+        assert pf.stats.entries_evicted == 1
+        assert pf.successors_of(A) == []
+
+    def test_disabled_is_inert(self):
+        pf = MarkovPrefetcher(MarkovConfig(enabled=False))
+        assert pf.observe_miss(A) == []
+        assert pf.stats.misses_observed == 0

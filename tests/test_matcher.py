@@ -1,0 +1,132 @@
+"""Tests for repro.prefetch.matcher (the pointer-recognition heuristic)."""
+
+import pytest
+
+from repro.params import ContentConfig
+from repro.prefetch.matcher import VirtualAddressMatcher
+
+
+def matcher(compare=8, filt=4, align=1, step=2):
+    return VirtualAddressMatcher(ContentConfig(
+        compare_bits=compare, filter_bits=filt,
+        align_bits=align, scan_step=step,
+    ))
+
+
+HEAP_EFFECTIVE = 0x0840_1000
+
+
+class TestCompareBits:
+    def test_same_region_pointer_matches(self):
+        assert matcher().is_candidate(0x0842_5678 & ~1, HEAP_EFFECTIVE)
+
+    def test_different_region_rejected(self):
+        m = matcher()
+        assert not m.is_candidate(0x1842_5678, HEAP_EFFECTIVE)
+        assert m.stats.rejected_compare == 1
+
+    def test_more_compare_bits_narrow_the_range(self):
+        loose = matcher(compare=8)
+        strict = matcher(compare=12)
+        candidate = 0x08F0_0000  # same top byte, different top-12
+        assert loose.is_candidate(candidate, HEAP_EFFECTIVE)
+        assert not strict.is_candidate(candidate, HEAP_EFFECTIVE)
+
+    def test_prefetchable_range_halves_per_bit(self):
+        assert matcher(compare=8).prefetchable_range_bytes() == 1 << 24
+        assert matcher(compare=9).prefetchable_range_bytes() == 1 << 23
+
+
+class TestFilterBits:
+    LOW_EFFECTIVE = 0x0010_0040  # upper 8 bits all zero
+
+    def test_small_integer_rejected_in_zero_region(self):
+        # 0x0000_0123's filter bits (bits 20..23) are zero.
+        assert not matcher().is_candidate(0x0000_0122, self.LOW_EFFECTIVE)
+
+    def test_low_region_pointer_accepted_with_filter_bits(self):
+        # 0x0010_0080 has bit 20 set, inside the 4 filter bits past the
+        # 8 compare bits.
+        assert matcher().is_candidate(0x0010_0080, self.LOW_EFFECTIVE)
+
+    def test_zero_filter_bits_disable_low_region(self):
+        m = matcher(filt=0)
+        assert not m.is_candidate(0x0010_0080, self.LOW_EFFECTIVE)
+        assert m.stats.rejected_filter == 1
+
+    def test_wider_filter_admits_smaller_values(self):
+        value = 0x0001_0000  # bit 16
+        assert not matcher(filt=4).is_candidate(value, self.LOW_EFFECTIVE)
+        assert matcher(filt=8).is_candidate(value, self.LOW_EFFECTIVE)
+
+    def test_ones_region_requires_non_one_filter_bit(self):
+        effective = 0xFFF8_0000      # upper 8 bits all ones
+        all_ones_filter = 0xFFF0_0010   # filter bits (23..20) = 1111
+        mixed_filter = 0xFF80_0010      # filter bits (23..20) = 1000
+        m = matcher()
+        assert not m.is_candidate(all_ones_filter, effective)
+        assert m.is_candidate(mixed_filter, effective)
+
+    def test_ones_region_with_zero_filter_bits_disabled(self):
+        m = matcher(filt=0)
+        assert not m.is_candidate(0xFF80_0010, 0xFFF8_0000)
+
+
+class TestAlignBits:
+    def test_one_align_bit_rejects_odd(self):
+        m = matcher(align=1)
+        assert not m.is_candidate(0x0840_1001, HEAP_EFFECTIVE)
+        assert m.stats.rejected_align == 1
+        assert m.is_candidate(0x0840_1002, HEAP_EFFECTIVE)
+
+    def test_two_align_bits_require_word_alignment(self):
+        m = matcher(align=2)
+        assert not m.is_candidate(0x0840_1002, HEAP_EFFECTIVE)
+        assert m.is_candidate(0x0840_1004, HEAP_EFFECTIVE)
+
+    def test_zero_align_bits_accept_anything(self):
+        assert matcher(align=0).is_candidate(0x0840_1001, HEAP_EFFECTIVE)
+
+
+class TestScan:
+    def test_finds_pointer_at_aligned_offset(self):
+        line = bytearray(64)
+        line[8:12] = (0x0841_2340).to_bytes(4, "little")
+        found = matcher().scan(bytes(line), HEAP_EFFECTIVE)
+        assert found == [0x0841_2340]
+
+    def test_scan_step_controls_offsets(self):
+        line = bytearray(64)
+        # Pointer at an odd 2-byte offset: visible at step 2, not step 4.
+        line[6:10] = (0x0841_2340).to_bytes(4, "little")
+        assert matcher(step=2).scan(bytes(line), HEAP_EFFECTIVE)
+        assert not matcher(step=4).scan(bytes(line), HEAP_EFFECTIVE)
+
+    def test_step_one_examines_61_positions(self):
+        m = matcher(step=1)
+        m.scan(bytes(64), HEAP_EFFECTIVE)
+        assert m.stats.words_examined == 61
+
+    def test_step_four_examines_16_positions(self):
+        m = matcher(step=4)
+        m.scan(bytes(64), HEAP_EFFECTIVE)
+        assert m.stats.words_examined == 16
+
+    def test_multiple_pointers_found_in_order(self):
+        line = bytearray(64)
+        line[0:4] = (0x0840_2000).to_bytes(4, "little")
+        line[32:36] = (0x0840_3000).to_bytes(4, "little")
+        assert matcher().scan(bytes(line), HEAP_EFFECTIVE) == [
+            0x0840_2000, 0x0840_3000,
+        ]
+
+    def test_zero_line_yields_nothing(self):
+        assert matcher().scan(bytes(64), HEAP_EFFECTIVE) == []
+
+
+class TestValidation:
+    def test_filter_bits_must_fit(self):
+        with pytest.raises(ValueError):
+            VirtualAddressMatcher(ContentConfig(
+                compare_bits=30, filter_bits=4,
+            ))

@@ -1,0 +1,120 @@
+"""Memory-system behaviour under queue and bandwidth pressure."""
+
+import dataclasses
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.memsys import TimingMemorySystem
+from repro.core.results import TimingResult
+from repro.memory.backing import BackingMemory
+from repro.params import KB, CacheConfig, MachineConfig
+from repro.prefetch.content import ContentPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+HEAP = 0x0840_0000
+PC = 0x0804_8000
+
+
+def build(config, memory):
+    hierarchy = CacheHierarchy(config, memory)
+    return TimingMemorySystem(
+        config, hierarchy,
+        StridePrefetcher(config.stride, config.line_size),
+        ContentPrefetcher(config.content, config.line_size),
+        result=TimingResult("pressure"),
+    )
+
+
+def tiny_bus_config(queue=4, **content_kwargs):
+    config = MachineConfig(
+        l1d=CacheConfig(4 * KB, 8, latency=3),
+        ul2=CacheConfig(64 * KB, 8, latency=16),
+    )
+    config = config.replace(
+        bus=dataclasses.replace(
+            config.bus, bus_queue_size=queue,
+            # Slow bus: transfers serialise hard, queue fills fast.
+            bandwidth_bytes_per_cycle=0.25,
+        )
+    )
+    if content_kwargs:
+        config = config.with_content(**content_kwargs)
+    return config
+
+
+def star_memory(fanout=14):
+    """One line full of pointers to distinct lines (a wide scan burst)."""
+    memory = BackingMemory()
+    targets = [HEAP + 0x1000 + i * 256 for i in range(fanout)]
+    for i, target in enumerate(targets):
+        memory.write_word(HEAP + i * 4, target)
+        memory.write_word(target, 0)
+    return memory, targets
+
+
+class TestQueuePressure:
+    def test_scan_burst_squashes_at_full_queue(self):
+        memory, _ = star_memory()
+        memsys = build(tiny_bus_config(queue=4, next_lines=0), memory)
+        memsys.load(HEAP, PC, 0)
+        memsys.drain()
+        content = memsys.result.content
+        assert content.squashed_queue_full > 0
+        assert content.issued <= 4 + 2  # queue depth bounds the burst
+
+    def test_larger_queue_admits_more_of_the_burst(self):
+        memory, _ = star_memory()
+        small = build(tiny_bus_config(queue=2, next_lines=0), memory)
+        small.load(HEAP, PC, 0)
+        small.drain()
+        memory2, _ = star_memory()
+        large = build(tiny_bus_config(queue=16, next_lines=0), memory2)
+        large.load(HEAP, PC, 0)
+        large.drain()
+        assert large.result.content.issued > small.result.content.issued
+
+    def test_demand_never_blocked_by_queued_prefetches(self):
+        memory, targets = star_memory()
+        memsys = build(tiny_bus_config(queue=4, next_lines=0), memory)
+        memsys.load(HEAP, PC, 0)
+        # While the burst sits in the queue, a demand for a fresh line
+        # must still be served (displacing a prefetch if needed).
+        latency = memsys.load(HEAP + 0x8000, PC, 470)
+        assert latency < 10_000
+        memsys.drain()
+
+    def test_duplicate_candidates_dropped_in_flight(self):
+        memory = BackingMemory()
+        # Two scanned lines pointing at the same target.
+        target = HEAP + 0x2000
+        memory.write_word(HEAP, target)
+        memory.write_word(HEAP + 256, target)
+        memory.write_word(target, 0)
+        memsys = build(tiny_bus_config(queue=8, next_lines=0), memory)
+        memsys.load(HEAP, PC, 0)
+        memsys.load(HEAP + 256, PC, 10)
+        memsys.drain()
+        content = memsys.result.content
+        assert content.issued + content.dropped_inflight + \
+            content.dropped_resident >= 2
+        # The target line was fetched at most once.
+        assert memsys.bus.stats.transfers <= 6
+
+
+class TestBandwidthPressure:
+    def test_demand_collision_accrues_queue_delay(self):
+        memory, _ = star_memory()
+        memory.write_word(HEAP + 0x8000, 0)
+        memsys = build(tiny_bus_config(queue=16, next_lines=0), memory)
+        memsys.load(HEAP, PC, 0)
+        # A second demand while the first transfer occupies the slow bus
+        # must wait for the bus and record the queueing delay.
+        memsys.load(HEAP + 0x8000, PC, 5)
+        memsys.drain()
+        assert memsys.bus.stats.total_queue_delay > 0
+
+    def test_bus_utilization_bounded(self):
+        memory, _ = star_memory()
+        memsys = build(tiny_bus_config(queue=16, next_lines=0), memory)
+        memsys.load(HEAP, PC, 0)
+        elapsed = memsys.drain()
+        assert 0.0 < memsys.bus.stats.utilization(elapsed) <= 1.0

@@ -1,0 +1,50 @@
+"""Tests for repro.stats."""
+
+import pytest
+
+from repro.stats.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    mptu,
+    speedup,
+)
+from repro.stats.tables import format_percent, render_table
+
+
+class TestMetrics:
+    def test_mptu(self):
+        assert mptu(5, 10_000) == pytest.approx(0.5)
+        assert mptu(0, 1000) == 0.0
+        assert mptu(5, 0) == 0.0
+
+    def test_speedup(self):
+        assert speedup(150, 100) == pytest.approx(1.5)
+        assert speedup(100, 0) == 0.0
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestTables:
+    def test_render_basic(self):
+        text = render_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert lines[2].startswith("-")
+        assert "30" in lines[4]
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_format_percent(self):
+        assert format_percent(0.126) == "12.6%"
+        assert format_percent(0.5, digits=0) == "50%"

@@ -1,0 +1,127 @@
+"""Tests for repro.workloads.mixed and the suite profiles."""
+
+import pytest
+
+from repro.trace.ops import LOAD, STORE
+from repro.workloads.mixed import BenchmarkProfile, MixedWorkload
+from repro.workloads.suite import (
+    SUITE_OF,
+    WORKLOAD_PROFILES,
+    benchmark_names,
+    build_benchmark,
+    get_profile,
+)
+
+
+def tiny_profile(**overrides):
+    fields = dict(
+        name="tiny", suite="Test", target_uops=5_000, footprint_kb=64,
+        mix={"list": 0.4, "array": 0.3, "hash": 0.2, "stack": 0.1},
+    )
+    fields.update(overrides)
+    return BenchmarkProfile(**fields)
+
+
+class TestMixedWorkload:
+    def test_reaches_uop_target(self):
+        built = MixedWorkload(tiny_profile()).build()
+        assert built.trace.uop_count >= 5_000
+
+    def test_scale_shrinks_trace_not_footprint(self):
+        full = MixedWorkload(tiny_profile()).build(scale=1.0)
+        small = MixedWorkload(tiny_profile()).build(scale=0.3)
+        assert small.trace.uop_count < full.trace.uop_count
+        assert small.footprint_bytes == full.footprint_bytes
+
+    def test_deterministic_for_seed(self):
+        a = MixedWorkload(tiny_profile(), seed=9).build()
+        b = MixedWorkload(tiny_profile(), seed=9).build()
+        assert a.trace.ops == b.trace.ops
+
+    def test_different_seeds_differ(self):
+        a = MixedWorkload(tiny_profile(), seed=1).build()
+        b = MixedWorkload(tiny_profile(), seed=2).build()
+        assert a.trace.ops != b.trace.ops
+
+    def test_memory_accesses_land_in_known_regions(self):
+        built = MixedWorkload(tiny_profile()).build()
+        layout = built.layout
+        for op in built.trace.ops:
+            if op[0] in (LOAD, STORE):
+                assert layout.region_of(op[1]) is not None
+
+    def test_profile_without_memory_phases_rejected(self):
+        profile = tiny_profile(mix={"stack": 1.0})
+        with pytest.raises(ValueError):
+            MixedWorkload(profile).build()
+
+    def test_static_phase_allocates_low_region(self):
+        profile = tiny_profile(mix={"list": 0.5, "static": 0.5})
+        built = MixedWorkload(profile).build()
+        static_loads = [
+            op for op in built.trace.ops
+            if op[0] == LOAD and built.layout.static.contains(op[1])
+        ]
+        assert static_loads
+
+    def test_hot_fraction_one_touches_less_memory(self):
+        cold = MixedWorkload(
+            tiny_profile(hot_fraction=0.0, footprint_kb=256,
+                         target_uops=60_000)
+        ).build()
+        hot = MixedWorkload(
+            tiny_profile(hot_fraction=1.0, footprint_kb=256,
+                         target_uops=60_000)
+        ).build()
+        cold_lines = {
+            op[1] // 64 for op in cold.trace.ops if op[0] == LOAD
+        }
+        hot_lines = {
+            op[1] // 64 for op in hot.trace.ops if op[0] == LOAD
+        }
+        assert len(hot_lines) < len(cold_lines)
+
+
+class TestSuiteRegistry:
+    def test_fifteen_benchmarks(self):
+        assert len(benchmark_names()) == 15
+
+    def test_table2_names_present(self):
+        names = set(benchmark_names())
+        for expected in ("b2b", "quake", "tpcc-1", "tpcc-4",
+                         "verilog-gate", "specjbb-vsnet"):
+            assert expected in names
+
+    def test_six_suites(self):
+        assert set(SUITE_OF.values()) == {
+            "Internet", "Multimedia", "Productivity", "Server",
+            "Workstation", "Runtime",
+        }
+
+    def test_get_profile_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("doom3")
+
+    def test_every_profile_buildable_tiny(self):
+        for name in benchmark_names():
+            built = build_benchmark(name, scale=0.005, seed=2)
+            assert built.trace.uop_count > 0
+
+    def test_build_cache_returns_same_object(self):
+        a = build_benchmark("b2c", scale=0.005, seed=2)
+        b = build_benchmark("b2c", scale=0.005, seed=2)
+        assert a is b
+
+    def test_footprint_ordering_matches_paper_character(self):
+        profiles = WORKLOAD_PROFILES
+        # verilog-gate has the largest working set; b2c among the smallest.
+        assert profiles["verilog-gate"].footprint_kb == max(
+            p.footprint_kb for p in profiles.values()
+        )
+        assert profiles["b2c"].footprint_kb <= min(
+            p.footprint_kb for p in profiles.values() if p.name != "b2c"
+        )
+
+    def test_uops_per_instruction_in_plausible_range(self):
+        for profile in WORKLOAD_PROFILES.values():
+            assert 1.0 < profile.uops_per_instruction < 2.0

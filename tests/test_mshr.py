@@ -1,0 +1,75 @@
+"""Tests for repro.cache.mshr."""
+
+import pytest
+
+from repro.cache.line import Requester
+from repro.cache.mshr import MissStatus, MSHRFile
+
+
+def make_status(line=0x1000, requester=Requester.CONTENT, depth=2):
+    return MissStatus(
+        line_paddr=line, line_vaddr=line, requester=requester,
+        depth=depth, issue_time=0, fill_time=100,
+    )
+
+
+class TestMSHRFile:
+    def test_allocate_and_lookup(self):
+        mshr = MSHRFile()
+        status = make_status()
+        mshr.allocate(status)
+        assert mshr.lookup(0x1000) is status
+        assert 0x1000 in mshr
+        assert len(mshr) == 1
+
+    def test_duplicate_allocation_rejected(self):
+        mshr = MSHRFile()
+        mshr.allocate(make_status())
+        with pytest.raises(ValueError):
+            mshr.allocate(make_status())
+
+    def test_complete_removes(self):
+        mshr = MSHRFile()
+        mshr.allocate(make_status())
+        status = mshr.complete(0x1000)
+        assert status.line_paddr == 0x1000
+        assert 0x1000 not in mshr
+
+    def test_complete_missing_raises(self):
+        with pytest.raises(KeyError):
+            MSHRFile().complete(0x4000)
+
+    def test_cancel_is_idempotent(self):
+        mshr = MSHRFile()
+        mshr.allocate(make_status())
+        assert mshr.cancel(0x1000) is not None
+        assert mshr.cancel(0x1000) is None
+
+    def test_peak_occupancy(self):
+        mshr = MSHRFile()
+        for i in range(5):
+            mshr.allocate(make_status(line=0x1000 + i * 64))
+        mshr.complete(0x1000)
+        assert mshr.peak_occupancy == 5
+
+    def test_inflight_lines(self):
+        mshr = MSHRFile()
+        mshr.allocate(make_status(line=0x1000))
+        mshr.allocate(make_status(line=0x2000))
+        assert sorted(mshr.inflight_lines()) == [0x1000, 0x2000]
+
+
+class TestPromotion:
+    def test_promote_to_demand_resets_depth_once(self):
+        status = make_status(depth=3)
+        status.promote_to_demand()
+        assert status.promoted
+        assert status.depth == 0
+        assert status.demand_waiters == 1
+        status.promote_to_demand()
+        assert status.demand_waiters == 2
+
+    def test_demand_status_promotion_keeps_depth(self):
+        status = make_status(requester=Requester.DEMAND, depth=0)
+        status.promote_to_demand()
+        assert not status.promoted  # only prefetches get promoted

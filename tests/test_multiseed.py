@@ -1,0 +1,39 @@
+"""Tests for repro.analysis.multiseed."""
+
+import pytest
+
+from repro.analysis.multiseed import SeedStatistics, seed_sweep
+from repro.experiments.common import model_machine
+
+
+class TestSeedStatistics:
+    def test_mean_and_stdev(self):
+        stats = SeedStatistics("b", [1.0, 1.2, 1.4])
+        assert stats.mean == pytest.approx(1.2)
+        assert stats.stdev == pytest.approx(0.2)
+
+    def test_confidence_interval_brackets_mean(self):
+        stats = SeedStatistics("b", [1.0, 1.1, 1.2, 1.3])
+        low, high = stats.confidence95
+        assert low < stats.mean < high
+
+    def test_single_sample_degenerates(self):
+        stats = SeedStatistics("b", [1.5])
+        assert stats.stdev == 0.0
+        assert stats.confidence95 == (1.5, 1.5)
+
+    def test_describe(self):
+        text = SeedStatistics("b2c", [1.0, 1.2]).describe()
+        assert "b2c" in text
+        assert "n=2" in text
+
+
+class TestSeedSweep:
+    def test_sweep_runs_across_seeds(self):
+        stats = seed_sweep(
+            model_machine(), "b2c", seeds=(1, 2, 3), scale=0.01,
+        )
+        assert stats.n == 3
+        assert all(s > 0 for s in stats.speedups)
+        # Different seeds genuinely differ.
+        assert len(set(stats.speedups)) > 1

@@ -1,0 +1,35 @@
+"""Tests for the multiprocess sweep runner."""
+
+import pytest
+
+from repro.experiments.common import model_machine, timing_speedups
+from repro.experiments.parallel import parallel_speedups
+
+BENCHMARKS = ("b2c", "rc3")
+
+
+class TestParallelSpeedups:
+    def test_matches_serial_results(self):
+        config = model_machine()
+        serial = timing_speedups(config, BENCHMARKS, scale=0.01, seed=2)
+        parallel = parallel_speedups(
+            config, BENCHMARKS, scale=0.01, seed=2, processes=2
+        )
+        assert set(parallel) == set(serial)
+        for name in BENCHMARKS:
+            assert parallel[name] == pytest.approx(serial[name])
+
+    def test_single_process_path(self):
+        config = model_machine()
+        result = parallel_speedups(
+            config, ("b2c",), scale=0.01, processes=1
+        )
+        assert result["b2c"] > 0
+
+    def test_custom_baseline_config(self):
+        config = model_machine()
+        same = parallel_speedups(
+            config, ("b2c",), scale=0.01,
+            baseline_config=config, processes=1,
+        )
+        assert same["b2c"] == pytest.approx(1.0)

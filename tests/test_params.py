@@ -1,0 +1,135 @@
+"""Tests for repro.params (Table 1 configuration)."""
+
+import dataclasses
+
+import pytest
+
+from repro.params import (
+    KB,
+    MB,
+    BusConfig,
+    CacheConfig,
+    ContentConfig,
+    MachineConfig,
+    MarkovConfig,
+    TLBConfig,
+)
+
+
+class TestCacheConfig:
+    def test_paper_l1_geometry(self):
+        config = CacheConfig(32 * KB, 8, latency=3)
+        assert config.num_sets == 64
+        assert config.num_lines == 512
+
+    def test_paper_ul2_geometry(self):
+        config = CacheConfig(1 * MB, 8, latency=16)
+        assert config.num_sets == 2048
+        assert config.num_lines == 16384
+
+    def test_seven_way_split_cache(self):
+        # The markov_1/8 UL2 (Table 3) is 896 KB 7-way.
+        config = CacheConfig(896 * KB, 7)
+        assert config.num_sets == 2048
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3)
+
+
+class TestBusConfig:
+    def test_line_occupancy_table1(self):
+        bus = BusConfig()
+        # 64 bytes at ~1.065 bytes/cycle -> ~60 cycles.
+        assert bus.line_occupancy(64) == 60
+
+    def test_latency_matches_paper_decomposition(self):
+        # 240 (chipset) + 220 (DRAM) = 460 processor cycles.
+        assert BusConfig().bus_latency == 460
+
+
+class TestContentConfig:
+    def test_paper_tuned_defaults(self):
+        config = ContentConfig()
+        assert (config.compare_bits, config.filter_bits) == (8, 4)
+        assert (config.align_bits, config.scan_step) == (1, 2)
+        assert config.depth_threshold == 3
+        assert config.reinforcement
+        assert (config.prev_lines, config.next_lines) == (0, 3)
+
+    def test_rejects_bad_placement(self):
+        with pytest.raises(ValueError):
+            ContentConfig(placement="sideways")
+
+    def test_rejects_bad_scan_step(self):
+        with pytest.raises(ValueError):
+            ContentConfig(scan_step=0)
+
+    def test_rejects_out_of_range_compare_bits(self):
+        with pytest.raises(ValueError):
+            ContentConfig(compare_bits=0)
+        with pytest.raises(ValueError):
+            ContentConfig(compare_bits=32)
+
+
+class TestMarkovConfig:
+    def test_entry_size_is_tag_plus_fanout_pointers(self):
+        config = MarkovConfig(fanout=4)
+        assert config.entry_bytes == 20
+
+    def test_table3_entry_counts(self):
+        half = MarkovConfig(stab_size_bytes=512 * KB)
+        eighth = MarkovConfig(stab_size_bytes=128 * KB)
+        assert half.entries == 512 * KB // 20
+        assert eighth.entries == 128 * KB // 20
+
+
+class TestMachineConfig:
+    def test_defaults_are_table1(self):
+        machine = MachineConfig()
+        assert machine.core.frequency_mhz == 4000
+        assert machine.core.reorder_buffer == 128
+        assert machine.core.mispredict_penalty == 28
+        assert machine.l1d.size_bytes == 32 * KB
+        assert machine.ul2.size_bytes == 1 * MB
+        assert machine.dtlb.entries == 64
+        assert machine.bus.bus_queue_size == 32
+        assert machine.line_size == 64
+        assert machine.page_size == 4 * KB
+
+    def test_line_sizes_must_match(self):
+        with pytest.raises(ValueError):
+            MachineConfig(l1d=CacheConfig(32 * KB, 8, line_size=32))
+
+    def test_with_content_replaces_only_content(self):
+        machine = MachineConfig().with_content(depth_threshold=5)
+        assert machine.content.depth_threshold == 5
+        assert machine.content.compare_bits == 8
+        assert machine.ul2.size_bytes == 1 * MB
+
+    def test_with_helpers_do_not_mutate_original(self):
+        machine = MachineConfig()
+        machine.with_dtlb(entries=1024)
+        assert machine.dtlb.entries == 64
+
+    def test_describe_mentions_key_parameters(self):
+        text = MachineConfig().describe()
+        assert "4000 MHz" in text
+        assert "460 processor cycles" in text
+        assert "64 entry, 4-way associative" in text
+
+    def test_configs_are_frozen(self):
+        machine = MachineConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            machine.core.issue_width = 4
+
+
+class TestTLBConfig:
+    def test_paper_geometry(self):
+        config = TLBConfig()
+        assert config.num_sets == 16
+
+    def test_sweep_sizes_keep_associativity(self):
+        for entries in (64, 128, 256, 512, 1024):
+            config = TLBConfig(entries=entries)
+            assert config.num_sets * config.associativity == entries

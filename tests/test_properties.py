@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.interconnect.arbiter import MemoryRequest, PriorityArbiter
+from repro.cache.line import Requester
+from repro.memory.allocator import HeapAllocator
+from repro.memory.backing import BackingMemory
+from repro.memory.layout import Region
+from repro.memory.pagetable import PageTable
+from repro.params import CacheConfig, ContentConfig, TLBConfig
+from repro.prefetch.matcher import VirtualAddressMatcher
+from repro.tlb.dtlb import DataTLB
+
+addresses = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+words = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+class TestBackingMemoryProperties:
+    @given(st.integers(0, 0xFFFF_FFFB), words)
+    @settings(max_examples=200)
+    def test_word_roundtrip(self, address, value):
+        memory = BackingMemory()
+        memory.write_word(address, value)
+        assert memory.read_word(address) == value
+
+    @given(st.integers(0, 0xFFFF_0000), st.binary(min_size=1, max_size=300))
+    @settings(max_examples=100)
+    def test_bytes_roundtrip(self, address, data):
+        memory = BackingMemory()
+        memory.write_bytes(address, data)
+        assert memory.read_bytes(address, len(data)) == data
+
+    @given(st.lists(st.tuples(st.integers(0, 1 << 20), words),
+                    min_size=1, max_size=50))
+    def test_last_write_wins(self, writes):
+        memory = BackingMemory()
+        final = {}
+        for address, value in writes:
+            aligned = address * 4
+            memory.write_word(aligned, value)
+            final[aligned] = value
+        for address, value in final.items():
+            assert memory.read_word(address) == value
+
+
+class TestAllocatorProperties:
+    @given(st.lists(st.integers(1, 500), min_size=1, max_size=100),
+           st.sampled_from([0, 2, 4, 8]))
+    @settings(max_examples=100)
+    def test_blocks_disjoint_and_aligned(self, sizes, scatter):
+        alloc = HeapAllocator(
+            Region("h", 0x0840_0000, 1 << 20), scatter=scatter, seed=1
+        )
+        blocks = sorted((alloc.alloc(s), s) for s in sizes)
+        for address, size in blocks:
+            assert address % 4 == 0
+            assert alloc.region.contains(address)
+        for (a, sa), (b, _) in zip(blocks, blocks[1:]):
+            assert a + ((sa + 3) & ~3) <= b
+
+    @given(st.lists(st.integers(1, 128), min_size=2, max_size=40))
+    def test_free_then_realloc_never_overlaps_live(self, sizes):
+        alloc = HeapAllocator(Region("h", 0x1000, 1 << 20))
+        live = {}
+        for i, size in enumerate(sizes):
+            address = alloc.alloc(size)
+            live[address] = (size + 3) & ~3
+            if i % 3 == 2:
+                victim = next(iter(live))
+                alloc.free(victim)
+                del live[victim]
+        spans = sorted(live.items())
+        for (a, sa), (b, _) in zip(spans, spans[1:]):
+            assert a + sa <= b
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+    @settings(max_examples=100)
+    def test_occupancy_never_exceeds_geometry(self, line_indices):
+        cache = SetAssociativeCache(CacheConfig(4096, 4, line_size=64))
+        for index in line_indices:
+            cache.fill(index * 64)
+            assert cache.resident_lines() <= cache.config.num_lines
+        for s in cache._sets:
+            assert len(s) <= cache.config.associativity
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=200))
+    def test_most_recent_fill_always_resident(self, line_indices):
+        cache = SetAssociativeCache(CacheConfig(2048, 2, line_size=64))
+        for index in line_indices:
+            cache.fill(index * 64)
+            assert cache.peek(index * 64) is not None
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=100))
+    def test_stats_balance(self, line_indices):
+        cache = SetAssociativeCache(CacheConfig(1024, 2, line_size=64))
+        for index in line_indices:
+            if cache.lookup(index * 64) is None:
+                cache.fill(index * 64)
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+        assert (cache.stats.fills
+                == cache.stats.evictions + cache.resident_lines())
+
+
+class TestMatcherProperties:
+    @given(addresses, addresses)
+    @settings(max_examples=300)
+    def test_candidate_shares_upper_compare_bits(self, word, effective):
+        matcher = VirtualAddressMatcher(ContentConfig())
+        if matcher.is_candidate(word, effective):
+            assert word >> 24 == effective >> 24
+            assert word & 1 == 0
+
+    @given(st.integers(0, (1 << 24) - 1))
+    @settings(max_examples=200)
+    def test_aligned_same_region_heap_pointer_always_matches(self, offset):
+        matcher = VirtualAddressMatcher(ContentConfig())
+        pointer = (0x0800_0000 + offset) & ~1
+        assert matcher.is_candidate(pointer, 0x0800_0000 + 0x40)
+
+    @given(addresses)
+    def test_odd_words_never_match_with_align_bit(self, word):
+        matcher = VirtualAddressMatcher(ContentConfig(align_bits=1))
+        assert not matcher.is_candidate(word | 1, 0x0840_0000)
+
+    @given(st.binary(min_size=64, max_size=64), addresses)
+    @settings(max_examples=100)
+    def test_scan_results_are_all_candidates(self, line, effective):
+        matcher = VirtualAddressMatcher(ContentConfig())
+        for found in matcher.scan(line, effective):
+            assert matcher.is_candidate(found, effective)
+
+
+class TestPageTableProperties:
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_translation_is_stable_and_unique(self, vaddrs):
+        table = PageTable()
+        seen = {}
+        for vaddr in vaddrs:
+            paddr = table.translate(vaddr)
+            assert paddr == table.translate(vaddr)
+            vpn = vaddr >> 12
+            frame = paddr >> 12
+            if vpn in seen:
+                assert seen[vpn] == frame
+            else:
+                assert frame not in seen.values()
+                seen[vpn] = frame
+
+
+class TestTLBProperties:
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_occupancy_bounded(self, vpns):
+        tlb = DataTLB(TLBConfig(entries=16, associativity=4))
+        for vpn in vpns:
+            tlb.insert(vpn << 12, vpn << 12)
+            assert tlb.occupancy() <= 16
+
+
+class TestArbiterProperties:
+    @given(st.lists(
+        st.tuples(
+            st.integers(0, 100),
+            st.sampled_from(list(Requester)),
+            st.integers(0, 3),
+        ),
+        min_size=1, max_size=60,
+    ))
+    @settings(max_examples=100)
+    def test_pop_order_is_priority_order(self, entries):
+        arbiter = PriorityArbiter(64)
+        for i, (line, requester, depth) in enumerate(entries):
+            arbiter.enqueue(MemoryRequest(
+                line_paddr=line * 64, line_vaddr=line * 64,
+                requester=requester, depth=depth, create_time=i,
+            ))
+        popped = []
+        while True:
+            request = arbiter.pop()
+            if request is None:
+                break
+            popped.append(request.priority_key())
+        assert popped == sorted(popped)

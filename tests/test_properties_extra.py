@@ -1,0 +1,161 @@
+"""Additional property-based tests over the newer subsystems."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.line import Requester
+from repro.cache.prefetchbuffer import PrefetchBuffer
+from repro.prefetch.dependence import DependencePrefetcher
+from repro.prefetch.stream import StreamBufferPrefetcher
+from repro.stats.charts import bar_chart, line_chart, stacked_bar
+from repro.trace.ops import TraceBuilder
+from repro.trace.serialize import load_trace, save_trace
+
+addresses = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+class TestTraceSerializationProperties:
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("load"), addresses,
+                      st.integers(0, 1 << 20), st.integers(-1, 50)),
+            st.tuples(st.just("store"), addresses, st.integers(0, 1 << 20)),
+            st.tuples(st.just("compute"), st.integers(1, 1000)),
+            st.tuples(st.just("branch"), st.booleans()),
+        ),
+        min_size=0, max_size=60,
+    ))
+    @settings(max_examples=60)
+    def test_any_trace_roundtrips(self, spec):
+        import os
+        import tempfile
+
+        builder = TraceBuilder("prop")
+        load_count = 0
+        for item in spec:
+            if item[0] == "load":
+                dep = item[3] if item[3] < load_count else -1
+                builder.load(item[1], item[2], dep=dep)
+                load_count = len(builder._ops)
+            elif item[0] == "store":
+                builder.store(item[1], item[2])
+            elif item[0] == "compute":
+                builder.compute(item[1])
+            else:
+                builder.branch(item[1])
+        trace = builder.build()
+        handle, path = tempfile.mkstemp(suffix=".cdpt")
+        os.close(handle)
+        try:
+            save_trace(trace, path)
+            loaded = load_trace(path)
+        finally:
+            os.unlink(path)
+        assert loaded.ops == trace.ops
+        assert loaded.uop_count == trace.uop_count
+
+
+class TestStreamBufferProperties:
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200),
+           st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=80)
+    def test_head_count_bounded_by_buffers(self, lines, buffers, depth):
+        pf = StreamBufferPrefetcher(num_buffers=buffers, depth=depth)
+        for line in lines:
+            candidates = pf.observe_miss(line * 64)
+            # A miss yields either one tail extension or a full stream.
+            assert len(candidates) in (1, depth)
+            assert len(pf.tracked_heads()) <= buffers
+
+    @given(st.integers(0, 1 << 16), st.integers(1, 16))
+    def test_sequential_run_always_hits_after_allocation(self, start, depth):
+        pf = StreamBufferPrefetcher(num_buffers=2, depth=depth)
+        pf.observe_miss(start * 64)
+        for k in range(1, 5):
+            pf.observe_miss((start + k) * 64)
+        assert pf.stats.head_hits == 4
+
+
+class TestPrefetchBufferProperties:
+    @given(st.lists(st.integers(0, 1 << 12), min_size=1, max_size=300),
+           st.integers(1, 32))
+    @settings(max_examples=80)
+    def test_occupancy_never_exceeds_capacity(self, lines, entries):
+        buffer = PrefetchBuffer(entries=entries)
+        for line in lines:
+            buffer.fill(line * 64, line * 64, Requester.CONTENT, 1)
+            assert len(buffer) <= entries
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=100))
+    def test_promote_is_linear_in_hits(self, lines):
+        buffer = PrefetchBuffer(entries=256)
+        for line in lines:
+            buffer.fill(line * 64, 0, Requester.CONTENT, 1)
+        hits = 0
+        for line in set(lines):
+            if buffer.promote(line * 64) is not None:
+                hits += 1
+            assert buffer.promote(line * 64) is None  # gone after first
+        assert hits == buffer.stats.hits
+
+
+class TestDependenceProperties:
+    @given(st.lists(
+        st.tuples(st.integers(0, 64), addresses, addresses),
+        min_size=1, max_size=150,
+    ))
+    @settings(max_examples=60)
+    def test_table_and_window_bounded(self, observations):
+        pf = DependencePrefetcher(table_entries=16, window=8, fanout=2)
+        for pc, vaddr, value in observations:
+            pf.observe_load(0x1000 + pc * 4, vaddr, value)
+            assert len(pf._table) <= 16
+            assert len(pf._recent) <= 8
+            for entry in pf._table.values():
+                assert len(entry) <= 2
+
+    @given(addresses, st.integers(0, 127))
+    def test_prediction_targets_value_plus_offset(self, value, offset):
+        pf = DependencePrefetcher()
+        value = value | 1  # non-zero
+        pf.observe_load(0x100, 0x0840_0000, value)
+        pf.observe_load(0x104, (value + offset) & 0xFFFF_FFFF, 1)
+        candidates = pf.observe_load(0x100, 0x0841_0000, value)
+        if candidates:
+            assert candidates[0].vaddr == (value + offset) & 0xFFFF_FFFF
+
+
+class TestChartProperties:
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                           min_value=-1e6, max_value=1e6),
+                 min_size=1, max_size=30),
+        min_size=1, max_size=4,
+    ))
+    @settings(max_examples=50)
+    def test_line_chart_never_crashes(self, series):
+        text = line_chart(series, width=30, height=8)
+        assert isinstance(text, str) and text
+
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.floats(allow_nan=False, allow_infinity=False,
+                  min_value=-1e6, max_value=1e6),
+        min_size=1, max_size=10,
+    ))
+    @settings(max_examples=50)
+    def test_bar_chart_never_crashes(self, values):
+        assert bar_chart(values, width=20)
+        assert bar_chart(values, width=20, baseline=1.0)
+
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=6),
+        st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                        st.floats(min_value=0, max_value=1),
+                        min_size=3, max_size=3),
+        min_size=1, max_size=5,
+    ))
+    @settings(max_examples=50)
+    def test_stacked_bar_never_crashes(self, rows):
+        assert stacked_bar(rows, width=20)

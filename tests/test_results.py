@@ -1,0 +1,91 @@
+"""Tests for repro.core.results."""
+
+import pytest
+
+from repro.core.results import (
+    FunctionalResult,
+    PrefetchAccounting,
+    TimingResult,
+)
+
+
+class TestPrefetchAccounting:
+    def test_useful_and_accuracy(self):
+        acct = PrefetchAccounting(issued=10, full_hits=3, partial_hits=1)
+        assert acct.useful == 4
+        assert acct.accuracy == pytest.approx(0.4)
+
+    def test_accuracy_zero_when_nothing_issued(self):
+        assert PrefetchAccounting().accuracy == 0.0
+
+    def test_full_fraction(self):
+        acct = PrefetchAccounting(issued=10, full_hits=3, partial_hits=1)
+        assert acct.full_fraction == pytest.approx(0.75)
+        assert PrefetchAccounting().full_fraction == 0.0
+
+    def test_kind_tracking(self):
+        acct = PrefetchAccounting()
+        acct.record_issue_kind("chain")
+        acct.record_issue_kind("chain")
+        acct.record_issue_kind("next")
+        acct.record_useful_kind("chain")
+        assert acct.kind_accuracy("chain") == pytest.approx(0.5)
+        assert acct.kind_accuracy("next") == 0.0
+        assert acct.kind_accuracy("prev") == 0.0
+
+
+class TestTimingResult:
+    def test_speedup_over(self):
+        fast = TimingResult("fast", cycles=100.0)
+        slow = TimingResult("slow", cycles=150.0)
+        assert fast.speedup_over(slow) == pytest.approx(1.5)
+        assert slow.speedup_over(fast) == pytest.approx(2.0 / 3.0)
+
+    def test_speedup_of_empty_run(self):
+        assert TimingResult("x").speedup_over(TimingResult("y")) == 0.0
+
+    def test_ipc(self):
+        result = TimingResult("r", cycles=200.0, uops=400)
+        assert result.ipc == 2.0
+        assert TimingResult("r").ipc == 0.0
+
+    def test_distribution_fractions(self):
+        result = TimingResult("r", unmasked_l2_misses=40)
+        result.stride.full_hits = 20
+        result.stride.partial_hits = 10
+        result.content.full_hits = 20
+        result.content.partial_hits = 10
+        distribution = result.load_request_distribution()
+        assert distribution["str-full"] == pytest.approx(0.2)
+        assert distribution["ul2-miss"] == pytest.approx(0.4)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+
+class TestFunctionalResult:
+    def test_mptu(self):
+        result = FunctionalResult("r", uops=10_000, demand_l2_misses=25)
+        assert result.mptu == pytest.approx(2.5)
+        assert FunctionalResult("r").mptu == 0.0
+
+    def test_coverage_equation(self):
+        result = FunctionalResult("r", demand_l2_misses=60)
+        result.content.issued = 100
+        result.content.full_hits = 40
+        # misses without prefetching = 60 + 40 = 100
+        assert result.coverage("content") == pytest.approx(0.4)
+        assert result.accuracy("content") == pytest.approx(0.4)
+
+    def test_adjusted_metrics_subtract_overlap(self):
+        result = FunctionalResult("r", demand_l2_misses=60)
+        result.content.issued = 100
+        result.content.full_hits = 40
+        result.content_issued_overlap = 20
+        result.content_useful_overlap = 10
+        assert result.adjusted_content_coverage == pytest.approx(0.3)
+        assert result.adjusted_content_accuracy == pytest.approx(30 / 80)
+
+    def test_adjusted_accuracy_handles_full_overlap(self):
+        result = FunctionalResult("r")
+        result.content.issued = 10
+        result.content_issued_overlap = 10
+        assert result.adjusted_content_accuracy == 0.0

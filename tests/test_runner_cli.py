@@ -1,0 +1,33 @@
+"""Tests for the repro-experiments command-line runner."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_single_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "4-GHz system configuration" in out
+        assert "completed in" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_out_file_written(self, tmp_path, capsys):
+        out_file = tmp_path / "results.txt"
+        assert main(["table3", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        content = out_file.read_text()
+        assert "markov_big" in content
+
+    def test_scale_forwarded(self, capsys):
+        # A scaled functional experiment must run end to end.
+        assert main(["fig1", "--scale", "0.01", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "MPTU trace" in out
+
+    def test_registry_complete(self):
+        assert len(EXPERIMENTS) == 17

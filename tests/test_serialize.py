@@ -1,0 +1,114 @@
+"""Tests for repro.trace.serialize."""
+
+import pytest
+
+from repro.memory.backing import BackingMemory
+from repro.trace.ops import TraceBuilder
+from repro.trace.serialize import (
+    load_trace,
+    load_workload,
+    save_trace,
+    save_workload,
+)
+from repro.workloads.suite import build_benchmark
+
+
+def sample_trace():
+    builder = TraceBuilder("sample")
+    first = builder.load(0x0840_0000, pc=0x0804_8000)
+    builder.load(0x0840_0040, pc=0x0804_8004, dep=first)
+    builder.store(0x0840_0080, pc=0x0804_8008)
+    builder.compute(17)
+    builder.branch(True)
+    builder.branch(False)
+    return builder.build(uops_per_instruction=1.5)
+
+
+class TestTraceRoundtrip:
+    def test_ops_identical(self, tmp_path):
+        trace = sample_trace()
+        path = str(tmp_path / "t.cdpt")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.ops == trace.ops
+        assert loaded.name == trace.name
+        assert loaded.uop_count == trace.uop_count
+        assert loaded.instruction_count == trace.instruction_count
+
+    def test_benchmark_trace_roundtrip(self, tmp_path):
+        workload = build_benchmark("b2c", scale=0.005, seed=5)
+        path = str(tmp_path / "bench.cdpt")
+        save_trace(workload.trace, path)
+        loaded = load_trace(path)
+        assert loaded.ops == workload.trace.ops
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.cdpt"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(ValueError):
+            load_trace(str(path))
+
+
+class TestWorkloadRoundtrip:
+    def test_memory_image_restored(self, tmp_path):
+        memory = BackingMemory()
+        memory.write_word(0x0840_0000, 0xAABBCCDD)
+        memory.write_word(0x0900_1234, 0x11223344)
+        path = str(tmp_path / "w.cdpt")
+        save_workload(sample_trace(), memory, path)
+        trace, restored = load_workload(path)
+        assert trace.ops == sample_trace().ops
+        assert restored.read_word(0x0840_0000) == 0xAABBCCDD
+        assert restored.read_word(0x0900_1234) == 0x11223344
+        assert restored.touched_pages == memory.touched_pages
+
+    def test_simulation_identical_after_roundtrip(self, tmp_path):
+        from repro.core.simulator import TimingSimulator
+        from repro.experiments.common import model_machine
+
+        workload = build_benchmark("b2c", scale=0.01, seed=6)
+        path = str(tmp_path / "b2c.cdpt")
+        save_workload(workload.trace, workload.memory, path)
+        trace, memory = load_workload(path)
+        original = TimingSimulator(model_machine(), workload.memory).run(
+            workload.trace
+        )
+        restored = TimingSimulator(model_machine(), memory).run(trace)
+        assert restored.cycles == original.cycles
+        assert restored.content.issued == original.content.issued
+
+
+class TestWorkloadDiskCache:
+    def test_build_benchmark_persists_and_reloads(self, tmp_path):
+        from repro.workloads.suite import build_benchmark, clear_cache
+
+        cache_dir = str(tmp_path / "cache")
+        first = build_benchmark("b2c", scale=0.004, seed=9,
+                                cache_dir=cache_dir)
+        import os
+        files = os.listdir(cache_dir)
+        assert any(f.endswith(".cdpt") for f in files)
+        clear_cache()
+        second = build_benchmark("b2c", scale=0.004, seed=9,
+                                 cache_dir=cache_dir)
+        assert second.trace.ops == first.trace.ops
+        assert second.memory.touched_pages == first.memory.touched_pages
+
+    def test_cached_workload_simulates_identically(self, tmp_path):
+        from repro.core.simulator import TimingSimulator
+        from repro.experiments.common import model_machine
+        from repro.workloads.suite import build_benchmark, clear_cache
+
+        cache_dir = str(tmp_path / "cache")
+        fresh = build_benchmark("b2c", scale=0.004, seed=10,
+                                cache_dir=cache_dir)
+        fresh_run = TimingSimulator(model_machine(), fresh.memory).run(
+            fresh.trace
+        )
+        clear_cache()
+        reloaded = build_benchmark("b2c", scale=0.004, seed=10,
+                                   cache_dir=cache_dir)
+        reload_run = TimingSimulator(
+            model_machine(), reloaded.memory
+        ).run(reloaded.trace)
+        assert reload_run.cycles == fresh_run.cycles

@@ -1,0 +1,134 @@
+"""Tests for repro.cache.setassoc and repro.cache.line."""
+
+from repro.cache.line import CacheLine, Requester
+from repro.cache.setassoc import SetAssociativeCache
+from repro.params import CacheConfig
+
+
+def make_cache(size=8 * 1024, assoc=4, line=64):
+    return SetAssociativeCache(CacheConfig(size, assoc, line_size=line))
+
+
+class TestRequester:
+    def test_priority_order_matches_paper(self):
+        # Demand > stride > content (Section 3.5).
+        assert Requester.DEMAND < Requester.STRIDE < Requester.CONTENT
+
+    def test_is_prefetch(self):
+        assert not Requester.DEMAND.is_prefetch
+        assert Requester.STRIDE.is_prefetch
+        assert Requester.CONTENT.is_prefetch
+        assert Requester.MARKOV.is_prefetch
+
+
+class TestCacheLinePromotion:
+    def test_promote_lowers_depth_only(self):
+        line = CacheLine(1, 0x100, Requester.CONTENT, depth=3)
+        line.promote(1, Requester.CONTENT)
+        assert line.depth == 1
+        line.promote(2, Requester.CONTENT)
+        assert line.depth == 1  # never raised
+
+    def test_demand_promotion_marks_referenced(self):
+        line = CacheLine(1, 0x100, Requester.CONTENT, depth=2)
+        assert not line.referenced
+        line.promote(0, Requester.DEMAND)
+        assert line.referenced
+        assert line.depth == 0
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(0x1000) is None
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_offsets_hit(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        assert cache.lookup(0x103F) is not None
+
+    def test_peek_does_not_touch_stats_or_lru(self):
+        cache = make_cache(size=256, assoc=2)
+        cache.fill(0x000)   # set 0
+        cache.fill(0x100)   # set 0 (2 sets of 64B lines: 0x100 -> set 0)
+        before = cache.lru_order(0x000)
+        cache.peek(0x000)
+        assert cache.lru_order(0x000) == before
+        assert cache.stats.accesses == 0
+
+    def test_true_lru_eviction(self):
+        cache = make_cache(size=512, assoc=2)  # 4 sets
+        stride = 4 * 64  # same-set stride
+        cache.fill(0 * stride)
+        cache.fill(4 * stride)
+        cache.lookup(0 * stride)       # make the first line MRU
+        cache.fill(8 * stride)         # evicts the LRU (4*stride)
+        assert cache.peek(0) is not None
+        assert cache.peek(4 * stride) is None
+
+    def test_fill_of_resident_line_promotes_instead(self):
+        cache = make_cache()
+        cache.fill(0x1000, requester=Requester.CONTENT, depth=3)
+        victim = cache.fill(0x1000, requester=Requester.CONTENT, depth=1)
+        assert victim is None
+        assert cache.peek(0x1000).depth == 1
+        assert cache.stats.fills == 1  # no refill
+
+    def test_fill_returns_victim(self):
+        cache = make_cache(size=512, assoc=2)
+        stride = 4 * 64
+        cache.fill(0)
+        cache.fill(stride)
+        victim = cache.fill(2 * stride)
+        assert victim is not None
+        assert cache.stats.evictions == 1
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(0x2000)
+        line = cache.invalidate(0x2000)
+        assert line is not None
+        assert cache.peek(0x2000) is None
+        assert cache.invalidate(0x2000) is None
+
+
+class TestPrefetchAccounting:
+    def test_prefetch_fill_counted_by_requester(self):
+        cache = make_cache()
+        cache.fill(0x1000, requester=Requester.CONTENT)
+        cache.fill(0x2000, requester=Requester.STRIDE)
+        assert cache.stats.prefetch_fills_by == {"CONTENT": 1, "STRIDE": 1}
+
+    def test_unreferenced_prefetch_eviction_is_pollution(self):
+        cache = make_cache(size=512, assoc=2)
+        stride = 4 * 64
+        cache.fill(0, requester=Requester.CONTENT)
+        cache.fill(stride)
+        cache.fill(2 * stride)  # evicts the never-referenced prefetch
+        assert cache.stats.polluting_evictions == 1
+
+    def test_referenced_prefetch_eviction_not_pollution(self):
+        cache = make_cache(size=512, assoc=2)
+        stride = 4 * 64
+        cache.fill(0, requester=Requester.CONTENT)
+        cache.lookup(0)  # demand touch... (lookup does not promote)
+        cache.peek(0).promote(0, Requester.DEMAND)
+        cache.fill(stride)
+        cache.fill(2 * stride)
+        assert cache.stats.polluting_evictions == 0
+
+    def test_line_kind_recorded(self):
+        cache = make_cache()
+        cache.fill(0x1000, requester=Requester.CONTENT, kind="next")
+        assert cache.peek(0x1000).kind == "next"
+
+    def test_resident_lines_and_contents(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        cache.fill(0x2000)
+        assert cache.resident_lines() == 2
+        assert len(cache.contents()) == 2

@@ -1,0 +1,70 @@
+"""Tests for repro.prefetch.stream (Jouppi stream buffers)."""
+
+import pytest
+
+from repro.prefetch.stream import StreamBufferPrefetcher
+
+
+LINE = 64
+
+
+def lines(*indices):
+    return [0x0840_0000 + i * LINE for i in indices]
+
+
+class TestAllocation:
+    def test_new_miss_allocates_full_depth(self):
+        pf = StreamBufferPrefetcher(num_buffers=2, depth=4)
+        candidates = pf.observe_miss(0x0840_0000)
+        assert [c.vaddr for c in candidates] == lines(1, 2, 3, 4)
+        assert pf.stats.allocations == 1
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            StreamBufferPrefetcher(num_buffers=0)
+        with pytest.raises(ValueError):
+            StreamBufferPrefetcher(depth=0)
+
+
+class TestStreamContinuation:
+    def test_sequential_misses_extend_stream(self):
+        pf = StreamBufferPrefetcher(num_buffers=2, depth=4)
+        pf.observe_miss(0x0840_0000)
+        candidates = pf.observe_miss(0x0840_0000 + LINE)
+        # Head hit: only the new tail line is issued.
+        assert [c.vaddr for c in candidates] == lines(5)
+        assert pf.stats.head_hits == 1
+
+    def test_head_tracks_forward(self):
+        pf = StreamBufferPrefetcher(num_buffers=1, depth=2)
+        pf.observe_miss(0x0840_0000)
+        pf.observe_miss(0x0840_0000 + LINE)
+        assert 0x0840_0000 + 2 * LINE in pf.tracked_heads()
+
+    def test_unaligned_addresses_match_by_line(self):
+        pf = StreamBufferPrefetcher(num_buffers=1, depth=2)
+        pf.observe_miss(0x0840_0004)
+        candidates = pf.observe_miss(0x0840_0000 + LINE + 60)
+        assert len(candidates) == 1
+        assert pf.stats.head_hits == 1
+
+
+class TestReplacement:
+    def test_lru_buffer_reallocated(self):
+        pf = StreamBufferPrefetcher(num_buffers=2, depth=1)
+        pf.observe_miss(lines(0)[0])      # stream A
+        pf.observe_miss(lines(100)[0])    # stream B
+        pf.observe_miss(lines(1)[0])      # continues A (A now MRU)
+        pf.observe_miss(lines(200)[0])    # new stream: evicts B
+        heads = pf.tracked_heads()
+        assert lines(2)[0] in heads       # A still tracked
+        assert lines(101)[0] not in heads  # B gone
+
+    def test_interleaved_streams_both_tracked(self):
+        pf = StreamBufferPrefetcher(num_buffers=2, depth=2)
+        a, b = lines(0)[0], lines(500)[0]
+        pf.observe_miss(a)
+        pf.observe_miss(b)
+        pf.observe_miss(a + LINE)
+        pf.observe_miss(b + LINE)
+        assert pf.stats.head_hits == 2

@@ -1,0 +1,99 @@
+"""Tests for repro.prefetch.stride."""
+
+from repro.params import StrideConfig
+from repro.prefetch.base import PrefetchKind
+from repro.prefetch.stride import StridePrefetcher
+
+
+def make(distance=2, threshold=2, entries=256):
+    return StridePrefetcher(StrideConfig(
+        prefetch_distance=distance,
+        confidence_threshold=threshold,
+        table_entries=entries,
+    ))
+
+
+PC = 0x0804_8000
+
+
+class TestTraining:
+    def test_needs_confidence_before_issuing(self):
+        pf = make(threshold=2)
+        assert pf.observe(PC, 0x1000) == []   # first sighting
+        assert pf.observe(PC, 0x1100) == []   # stride learned
+        assert pf.observe(PC, 0x1200) == []   # confidence 1
+        assert pf.observe(PC, 0x1300) != []   # confidence 2 -> issue
+
+    def test_issues_distance_ahead(self):
+        pf = make(distance=2)
+        for addr in (0x1000, 0x1100, 0x1200):
+            pf.observe(PC, addr)
+        candidates = pf.observe(PC, 0x1300)
+        assert [c.vaddr for c in candidates] == [0x1400, 0x1500]
+        assert all(c.kind is PrefetchKind.STRIDE for c in candidates)
+
+    def test_stride_change_resets_confidence(self):
+        pf = make(threshold=2)
+        for addr in (0x1000, 0x1100, 0x1200, 0x1300):
+            pf.observe(PC, addr)
+        assert pf.observe(PC, 0x1340) == []   # new stride 0x40
+        assert pf.observe(PC, 0x1380) == []   # confidence 1
+        assert pf.observe(PC, 0x13C0) != []
+
+    def test_zero_stride_never_issues(self):
+        pf = make()
+        for _ in range(10):
+            assert pf.observe(PC, 0x1000) == []
+
+    def test_negative_stride(self):
+        pf = make(distance=1)
+        for addr in (0x2000, 0x1F00, 0x1E00):
+            pf.observe(PC, addr)
+        candidates = pf.observe(PC, 0x1D00)
+        assert [c.vaddr for c in candidates] == [0x1C00]
+
+    def test_distinct_pcs_tracked_independently(self):
+        pf = make()
+        for addr in (0x1000, 0x1100, 0x1200, 0x1300):
+            pf.observe(PC, addr)
+        assert pf.observe(PC + 4, 0x9000) == []  # new PC must train
+
+    def test_small_stride_within_line_not_duplicated(self):
+        pf = make(distance=2)
+        for addr in (0x1000, 0x1008, 0x1010, 0x1018):
+            pf.observe(PC, addr)
+        candidates = pf.observe(PC, 0x1020)
+        lines = {c.vaddr & ~63 for c in candidates}
+        assert len(lines) == len(candidates)  # line-deduplicated
+
+    def test_disabled_prefetcher_is_inert(self):
+        pf = StridePrefetcher(StrideConfig(enabled=False))
+        for addr in (0x1000, 0x1100, 0x1200, 0x1300):
+            assert pf.observe(PC, addr) == []
+        assert pf.stats.observations == 0
+
+
+class TestWouldCover:
+    def test_predicts_trained_next_lines(self):
+        pf = make(distance=2)
+        for addr in (0x1000, 0x1100, 0x1200, 0x1300):
+            pf.observe(PC, addr)
+        assert pf.would_cover(PC, 0x1400)
+        assert pf.would_cover(PC, 0x1500)
+        assert not pf.would_cover(PC, 0x1900)
+
+    def test_untrained_pc_covers_nothing(self):
+        assert not make().would_cover(PC, 0x1000)
+
+
+class TestCapacity:
+    def test_lru_eviction_of_pcs(self):
+        pf = make(entries=2)
+        pf.observe(0x100, 0x1000)
+        pf.observe(0x104, 0x2000)
+        pf.observe(0x100, 0x1100)  # touch first PC
+        pf.observe(0x108, 0x3000)  # evicts PC 0x104
+        assert len(pf) == 2
+        assert pf.stats.entries_evicted == 1
+        # PC 0x104 must retrain from scratch.
+        assert pf.observe(0x104, 0x2100) == []

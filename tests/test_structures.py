@@ -1,0 +1,181 @@
+"""Tests for repro.workloads.structures: real bytes in simulated memory."""
+
+import pytest
+
+from repro.workloads.base import WorkloadContext
+from repro.workloads.structures import (
+    build_binary_tree,
+    build_data_array,
+    build_hash_table,
+    build_linked_list,
+    build_pointer_array,
+)
+
+
+def ctx(**kwargs):
+    return WorkloadContext("test", seed=3, **kwargs)
+
+
+class TestLinkedList:
+    def test_pointers_written_to_memory(self):
+        context = ctx()
+        lst = build_linked_list(context, 50, payload_words=6)
+        for here, nxt in zip(lst.nodes, lst.nodes[1:]):
+            assert context.memory.read_word(here + lst.next_offset) == nxt
+        last = lst.nodes[-1]
+        assert context.memory.read_word(last + lst.next_offset) == 0
+
+    def test_full_locality_is_allocation_order(self):
+        context = ctx()
+        lst = build_linked_list(context, 50, locality=1.0)
+        assert lst.nodes == sorted(lst.nodes)
+
+    def test_zero_locality_shuffles(self):
+        context = ctx()
+        lst = build_linked_list(context, 200, locality=0.0)
+        assert lst.nodes != sorted(lst.nodes)
+        assert sorted(lst.nodes) == sorted(set(lst.nodes))
+
+    def test_next_offset_places_pointer_mid_node(self):
+        context = ctx()
+        lst = build_linked_list(context, 10, payload_words=20,
+                                next_offset_words=10)
+        assert lst.next_offset == 40
+        first, second = lst.nodes[0], lst.nodes[1]
+        assert context.memory.read_word(first + 40) == second
+
+    def test_next_offset_bounds_checked(self):
+        with pytest.raises(ValueError):
+            build_linked_list(ctx(), 10, payload_words=4,
+                              next_offset_words=9)
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            build_linked_list(ctx(), 0)
+
+    def test_packed_context_pads_node(self):
+        context = ctx(alignment=2)
+        assert context.packed
+        lst = build_linked_list(context, 40, payload_words=6)
+        remainders = {addr % 4 for addr in lst.nodes}
+        assert 2 in remainders  # some nodes land off word boundaries
+
+
+class TestBinaryTree:
+    def test_children_written(self):
+        context = ctx()
+        tree = build_binary_tree(context, 31)
+        root = tree.nodes[0]
+        assert context.memory.read_word(root) == tree.nodes[1]
+        assert context.memory.read_word(root + 4) == tree.nodes[2]
+
+    def test_leaves_have_null_children(self):
+        context = ctx()
+        tree = build_binary_tree(context, 31)
+        leaf = tree.nodes[-1]
+        assert context.memory.read_word(leaf) == 0
+        assert context.memory.read_word(leaf + 4) == 0
+
+    def test_inorder_keys_are_bst_ordered(self):
+        context = ctx()
+        tree = build_binary_tree(context, 63)
+
+        def inorder(i):
+            if i >= len(tree.nodes):
+                return []
+            return inorder(2 * i + 1) + [tree.keys[i]] + inorder(2 * i + 2)
+
+        assert inorder(0) == list(range(63))
+
+    def test_keys_written_to_memory(self):
+        context = ctx()
+        tree = build_binary_tree(context, 15)
+        for address, key in zip(tree.nodes, tree.keys):
+            assert context.memory.read_word(address + 8) == key
+
+
+class TestHashTable:
+    def test_bucket_heads_written(self):
+        context = ctx()
+        table = build_hash_table(context, 32, 200)
+        for bucket in range(32):
+            head = context.memory.read_word(table.bucket_base + bucket * 4)
+            chain = table.chains[bucket]
+            assert head == (chain[0] if chain else 0)
+
+    def test_chain_links_written(self):
+        context = ctx()
+        table = build_hash_table(context, 16, 100)
+        for chain in table.chains:
+            for here, nxt in zip(chain, chain[1:]):
+                assert context.memory.read_word(here) == nxt
+            if chain:
+                assert context.memory.read_word(chain[-1]) == 0
+
+    def test_all_items_reachable(self):
+        context = ctx()
+        table = build_hash_table(context, 16, 100)
+        assert sum(len(c) for c in table.chains) == 100
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            build_hash_table(ctx(), 0, 10)
+
+
+class TestPointerArray:
+    def test_slots_point_at_targets(self):
+        context = ctx()
+        parray = build_pointer_array(context, 50, payload_words=8)
+        for i, target in enumerate(parray.targets):
+            slot = context.memory.read_word(parray.array_base + i * 4)
+            assert slot == target
+
+    def test_unshuffled_targets_sequential(self):
+        context = ctx()
+        parray = build_pointer_array(
+            context, 20, shuffle_targets=False
+        )
+        assert parray.targets == sorted(parray.targets)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_pointer_array(ctx(), 0)
+
+
+class TestDataArray:
+    def test_array_has_contents(self):
+        context = ctx()
+        array = build_data_array(context, 256)
+        words = {context.memory.read_word(array.base + i * 4)
+                 for i in range(256)}
+        assert len(words) > 10  # random payloads, not all zero
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_data_array(ctx(), 0)
+
+
+class TestGraph:
+    def test_records_and_edge_arrays_written(self):
+        from repro.workloads.structures import build_graph
+        context = ctx()
+        graph = build_graph(context, 60, avg_degree=3, payload_words=8)
+        for index, record in enumerate(graph.nodes):
+            degree = context.memory.read_word(record)
+            assert degree == len(graph.edges[index])
+            edge_ptr = context.memory.read_word(record + 4)
+            assert edge_ptr == graph.edge_arrays[index]
+            for slot, successor in enumerate(graph.edges[index]):
+                stored = context.memory.read_word(edge_ptr + slot * 4)
+                assert stored == graph.nodes[successor]
+
+    def test_every_node_has_an_edge(self):
+        from repro.workloads.structures import build_graph
+        graph = build_graph(ctx(), 40)
+        assert all(len(edges) >= 1 for edges in graph.edges)
+
+    def test_rejects_bad_shape(self):
+        from repro.workloads.structures import build_graph
+        import pytest
+        with pytest.raises(ValueError):
+            build_graph(ctx(), 0)

@@ -1,0 +1,97 @@
+"""Consistency checks across the benchmark-suite profiles.
+
+These are the guard rails that keep future profile tuning from silently
+breaking the Table 2 calibration story.
+"""
+
+from repro.workloads.mixed import MixedWorkload
+from repro.workloads.suite import (
+    REPRESENTATIVES,
+    WORKLOAD_PROFILES,
+    benchmark_names,
+)
+
+
+class TestProfileInvariants:
+    def test_every_profile_has_memory_phases(self):
+        for profile in WORKLOAD_PROFILES.values():
+            memory_weight = sum(
+                weight for phase, weight in profile.mix.items()
+                if phase != "stack"
+            )
+            assert memory_weight > 0, profile.name
+
+    def test_mix_phases_are_known(self):
+        for profile in WORKLOAD_PROFILES.values():
+            assert set(profile.mix) <= set(MixedWorkload.PHASES), profile.name
+
+    def test_hot_fractions_sane(self):
+        for profile in WORKLOAD_PROFILES.values():
+            assert 0.0 <= profile.hot_fraction <= 1.0, profile.name
+            assert profile.hot_set_kb > 0, profile.name
+
+    def test_work_density_in_modelled_regime(self):
+        # Compute density is what keeps misses-per-uop in the regime the
+        # model machine is calibrated for.
+        for profile in WORKLOAD_PROFILES.values():
+            assert 10 <= profile.work_per_node <= 80, profile.name
+
+    def test_payload_words_give_multi_line_nodes(self):
+        # Nodes must be roughly cache-line-sized or larger: sub-line nodes
+        # give every line multiple chain pointers and the depth threshold
+        # stops binding (see DESIGN.md).
+        for profile in WORKLOAD_PROFILES.values():
+            node_bytes = (1 + profile.payload_words) * 4
+            assert node_bytes >= 48, profile.name
+
+    def test_packed_profiles_exist(self):
+        # Figure 8's align-bit tradeoff needs 2-byte-aligned heaps.
+        packed = [p.name for p in WORKLOAD_PROFILES.values()
+                  if p.alignment == 2]
+        assert packed
+
+    def test_representatives_cover_every_suite(self):
+        suites = {WORKLOAD_PROFILES[name].suite for name in REPRESENTATIVES}
+        assert suites == {
+            "Internet", "Multimedia", "Productivity", "Server",
+            "Workstation", "Runtime",
+        }
+
+
+class TestCalibrationGroups:
+    def test_capacity_bound_group_straddles_model_caches(self):
+        # The 1/4-scale model's UL2 sizes are 256 KB and 1024 KB; the
+        # capacity-bound benchmarks' probe working sets must sit between.
+        for name in ("tpcc-1", "tpcc-2", "tpcc-3", "tpcc-4", "speech"):
+            profile = WORKLOAD_PROFILES[name]
+            assert 64 <= profile.hot_set_kb <= 1024, name
+            assert profile.footprint_kb > 256, name
+
+    def test_flat_small_group_fits_both(self):
+        for name in ("b2c", "proE"):
+            profile = WORKLOAD_PROFILES[name]
+            assert profile.footprint_kb <= 256, name
+
+    def test_streaming_group_exceeds_both(self):
+        for name in ("verilog-func", "verilog-gate", "slsb", "b2b"):
+            profile = WORKLOAD_PROFILES[name]
+            assert profile.footprint_kb > 1024, name
+            assert profile.hot_fraction < 0.9, name
+
+    def test_verilog_gate_is_the_miss_monster(self):
+        gate = WORKLOAD_PROFILES["verilog-gate"]
+        assert gate.footprint_kb == max(
+            p.footprint_kb for p in WORKLOAD_PROFILES.values()
+        )
+        # Low compute density (pointer-bound) relative to the suite.
+        assert gate.work_per_node <= 30
+
+
+class TestTraceBudgets:
+    def test_target_uops_scale_with_footprint(self):
+        # Bigger footprints need longer traces to exhibit reuse; the
+        # cheapest workloads must stay cheap for test/bench speed.
+        names = benchmark_names()
+        uops = {n: WORKLOAD_PROFILES[n].target_uops for n in names}
+        assert uops["verilog-gate"] == max(uops.values())
+        assert uops["b2c"] <= 500_000

@@ -1,0 +1,91 @@
+"""Tests for repro.trace.ops."""
+
+from repro.trace.ops import BRANCH, COMPUTE, LOAD, STORE, Trace, TraceBuilder
+
+
+class TestTraceBuilder:
+    def test_load_returns_dependence_handle(self):
+        builder = TraceBuilder("t")
+        first = builder.load(0x1000, pc=4)
+        second = builder.load(0x2000, pc=8, dep=first)
+        assert first == 0
+        assert second == 1
+        trace = builder.build()
+        assert trace.ops[1] == (LOAD, 0x2000, 8, 0)
+
+    def test_compute_runs_coalesce(self):
+        builder = TraceBuilder("t")
+        builder.compute(3)
+        builder.compute(4)
+        trace = builder.build()
+        assert trace.ops == [(COMPUTE, 7)]
+        assert trace.uop_count == 7
+
+    def test_compute_zero_ignored(self):
+        builder = TraceBuilder("t")
+        builder.compute(0)
+        assert len(builder) == 0
+
+    def test_intervening_op_breaks_coalescing(self):
+        builder = TraceBuilder("t")
+        builder.compute(2)
+        builder.branch()
+        builder.compute(2)
+        trace = builder.build()
+        assert len(trace.ops) == 3
+
+    def test_branch_encoding(self):
+        builder = TraceBuilder("t")
+        builder.branch(False)
+        builder.branch(True)
+        trace = builder.build()
+        assert trace.ops == [(BRANCH, 0), (BRANCH, 1)]
+
+    def test_store_encoding(self):
+        builder = TraceBuilder("t")
+        builder.store(0x3000, pc=12)
+        assert builder.build().ops == [(STORE, 0x3000, 12)]
+
+    def test_addresses_masked_to_32_bits(self):
+        builder = TraceBuilder("t")
+        builder.load(0x1_0000_0040, pc=0)
+        assert builder.build().ops[0][1] == 0x40
+
+    def test_incremental_uop_count_matches_final(self):
+        builder = TraceBuilder("t")
+        builder.load(0x1000, 0)
+        builder.compute(9)
+        builder.store(0x2000, 4)
+        builder.branch()
+        assert builder.uop_count == 12
+        assert builder.build().uop_count == 12
+
+
+class TestTrace:
+    def test_counts(self):
+        builder = TraceBuilder("t")
+        builder.load(0x1000, 0)
+        builder.load(0x2000, 4)
+        builder.store(0x3000, 8)
+        builder.compute(5)
+        builder.branch()
+        trace = builder.build()
+        assert trace.load_count == 2
+        assert trace.store_count == 1
+        assert trace.uop_count == 9
+        assert len(trace) == 5
+
+    def test_instruction_count_derived_from_ratio(self):
+        builder = TraceBuilder("t")
+        builder.compute(150)
+        trace = builder.build(uops_per_instruction=1.5)
+        assert trace.instruction_count == 100
+
+    def test_explicit_instruction_count_wins(self):
+        trace = Trace("t", [(COMPUTE, 10)], instruction_count=7)
+        assert trace.instruction_count == 7
+
+    def test_iterable(self):
+        builder = TraceBuilder("t")
+        builder.compute(1)
+        assert list(builder.build()) == [(COMPUTE, 1)]

@@ -1,0 +1,33 @@
+"""Tests for repro.tlb.walker."""
+
+from repro.memory.pagetable import PageTable
+from repro.tlb.walker import PageWalker
+
+
+class TestPageWalker:
+    def test_walk_translates_and_reports_lines(self):
+        table = PageTable()
+        walker = PageWalker(table)
+        result = walker.walk(0x0840_2345)
+        assert result.paddr & 0xFFF == 0x345
+        assert len(result.line_addrs) == 2
+        for line in result.line_addrs:
+            assert line % 64 == 0
+
+    def test_prefetch_walks_counted_separately(self):
+        walker = PageWalker(PageTable())
+        walker.walk(0x0840_0000)
+        walker.walk(0x0841_0000, for_prefetch=True)
+        assert walker.walks == 2
+        assert walker.prefetch_walks == 1
+
+    def test_walk_result_flags_prefetch(self):
+        walker = PageWalker(PageTable())
+        assert walker.walk(0x1000, for_prefetch=True).triggered_by_prefetch
+        assert not walker.walk(0x2000).triggered_by_prefetch
+
+    def test_walks_in_same_region_share_pde_line(self):
+        walker = PageWalker(PageTable())
+        a = walker.walk(0x0840_0000)
+        b = walker.walk(0x0841_0000)
+        assert a.line_addrs[0] == b.line_addrs[0]

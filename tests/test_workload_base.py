@@ -1,0 +1,58 @@
+"""Tests for repro.workloads.base (WorkloadContext)."""
+
+import pytest
+
+from repro.workloads.base import WorkloadContext
+
+
+class TestWorkloadContext:
+    def test_pcs_are_distinct_and_in_code_region(self):
+        ctx = WorkloadContext("t", seed=1)
+        pcs = [ctx.new_pc() for _ in range(50)]
+        assert len(set(pcs)) == 50
+        for pc in pcs:
+            assert ctx.layout.code.contains(pc)
+
+    def test_stack_slots_descend_within_stack(self):
+        ctx = WorkloadContext("t", seed=1)
+        first = ctx.stack_slot()
+        second = ctx.stack_slot(4)
+        assert second < first
+        assert ctx.layout.stack.contains(second)
+
+    def test_stack_exhaustion_raises(self):
+        ctx = WorkloadContext("t", seed=1)
+        with pytest.raises(MemoryError):
+            for _ in range(100_000):
+                ctx.stack_slot(16)
+
+    def test_write_word_reaches_memory(self):
+        ctx = WorkloadContext("t", seed=1)
+        ctx.write_word(0x0840_0000, 0xDEAD)
+        assert ctx.memory.read_word(0x0840_0000) == 0xDEAD
+
+    def test_random_payload_mixes_magnitudes(self):
+        ctx = WorkloadContext("t", seed=2)
+        base = 0x0840_0000
+        ctx.write_random_payload(base, 400)
+        values = [ctx.memory.read_word(base + 4 * i) for i in range(400)]
+        assert any(v < 4096 for v in values)
+        assert any(v >= (1 << 24) for v in values)
+
+    def test_packed_flag_follows_alignment(self):
+        assert WorkloadContext("t", alignment=2).packed
+        assert not WorkloadContext("t", alignment=4).packed
+
+    def test_static_allocator_targets_low_region(self):
+        ctx = WorkloadContext("t", seed=1)
+        address = ctx.static_allocator.alloc(64)
+        assert ctx.layout.static.contains(address)
+
+    def test_build_produces_workload(self):
+        ctx = WorkloadContext("t", seed=1)
+        ctx.trace.compute(30)
+        built = ctx.build(uops_per_instruction=1.5)
+        assert built.name == "t"
+        assert built.trace.uop_count == 30
+        assert built.trace.instruction_count == 20
+        assert built.footprint_bytes == ctx.allocator.bytes_in_use

@@ -1,0 +1,31 @@
+"""Smoke tests for the extended zoo and sensitivity experiments."""
+
+from repro.experiments import sensitivity, zoo
+from repro.experiments.zoo import SequentialAdapter
+from repro.prefetch.stream import StreamBufferPrefetcher
+
+
+class TestZoo:
+    def test_structure(self):
+        result = zoo.run(scale=0.01, benchmarks=("b2c",))
+        assert set(result.extra["means"]) == {
+            "none", "stride", "stream", "stride+content", "stream+content",
+        }
+        assert result.extra["means"]["none"] == 1.0
+
+    def test_adapter_matches_observe_protocol(self):
+        adapter = SequentialAdapter(StreamBufferPrefetcher())
+        candidates = adapter.observe(pc=0x100, vaddr=0x0840_0000)
+        assert candidates
+        assert adapter.would_cover(0x100, 0x0840_0040)
+
+
+class TestSensitivity:
+    def test_structure(self):
+        result = sensitivity.run(
+            scale=0.01, benchmarks=("b2c",),
+            l2_sizes_kb=(128, 256), bus_latencies=(230, 460),
+        )
+        assert set(result.extra["l2_series"]) == {128, 256}
+        assert set(result.extra["latency_series"]) == {230, 460}
+        assert len(result.rows) == 4
