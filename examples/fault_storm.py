@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Graceful-degradation demo: the prefetcher under a fault storm.
+
+Injects every supported fault type (dropped/delayed bus grants, DTLB
+drops and miss storms, corrupted fill data that *passes* the pointer
+matcher, MSHR exhaustion bursts, prefetch thrash) at rising intensity and
+plots the speedup curve — with the full invariant checker validating each
+run, so any bookkeeping violation crashes loudly instead of skewing the
+curve.
+
+Run::
+
+    python examples/fault_storm.py [scale] [benchmark]
+"""
+
+import sys
+
+from repro.experiments.faultsweep import run
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    benchmarks = (sys.argv[2],) if len(sys.argv) > 2 else ("b2c", "tpcc-2")
+    result = run(scale=scale, benchmarks=benchmarks)
+    print(result.render())
+    print()
+    curve = result.extra["curve"]
+    baseline = curve[0.0]
+    worst = min(curve.values())
+    print("Degradation curve (mean speedup, every run integrity-checked):")
+    span = max(baseline - worst, 1e-9)
+    for intensity, mean in sorted(curve.items()):
+        bar = "#" * (1 + int(40 * max(0.0, mean - worst) / span))
+        print("  intensity %.2f  %.4f  %s" % (intensity, mean, bar))
+    print()
+    if baseline > 1.0:
+        if worst > 1.0:
+            retained = 100.0 * (worst - 1.0) / (baseline - 1.0)
+            print("At full storm intensity %.0f%% of the fault-free win "
+                  "remains." % retained)
+        else:
+            print("The full storm erases the prefetch win entirely "
+                  "(%.2fx, a net slowdown)." % worst)
+    print("Every run completed with conserved prefetch accounting -")
+    print("degradation, not collapse.")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,12 +3,18 @@
 
 Used to generate the numbers recorded in EXPERIMENTS.md.  Scales are per
 experiment: functional drivers afford longer traces than the timing sweeps.
+
+Pass ``--check-invariants`` to validate every timing run with the full
+simulation-integrity checker (repro.core.invariants): the sweep then
+fails loudly on any bookkeeping violation instead of recording bad
+numbers.
 """
 
 import json
 import sys
 import time
 
+from repro.core import invariants
 from repro.experiments.runner import EXPERIMENTS
 
 SCALES = {
@@ -27,13 +33,17 @@ SCALES = {
     "zoo": 0.3,
     "sensitivity": 0.3,
     "related": 0.2,
+    "faultsweep": 0.1,
     "fig2": None,
     "fig3": None,
 }
 
 
 def main() -> int:
-    out_path = sys.argv[1] if len(sys.argv) > 1 else "experiment_results.txt"
+    argv = [arg for arg in sys.argv[1:] if arg != "--check-invariants"]
+    if len(argv) != len(sys.argv) - 1:
+        invariants.set_global_checks(True)
+    out_path = argv[0] if argv else "experiment_results.txt"
     extras = {}
     with open(out_path, "w") as out:
         for name, scale in SCALES.items():

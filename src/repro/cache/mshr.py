@@ -42,9 +42,19 @@ class MissStatus:
 
 
 class MSHRFile:
-    """Tracks fills in flight between the L2 and memory."""
+    """Tracks fills in flight between the L2 and memory.
 
-    def __init__(self) -> None:
+    *capacity* bounds prefetch allocations: callers consult :attr:`full`
+    before allocating on behalf of a prefetcher and squash when no entry
+    is free.  Demand allocations are never refused (the machine would
+    stall the core instead; the timing cost surfaces as queueing delay),
+    so ``allocate`` itself does not enforce the bound.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None)")
+        self.capacity = capacity
         self._inflight: dict[int, MissStatus] = {}
         self.peak_occupancy = 0
 
@@ -54,10 +64,26 @@ class MSHRFile:
     def __contains__(self, line_paddr: int) -> bool:
         return line_paddr in self._inflight
 
+    @property
+    def full(self) -> bool:
+        """No entry free for a new *prefetch* allocation."""
+        return (
+            self.capacity is not None
+            and len(self._inflight) >= self.capacity
+        )
+
     def lookup(self, line_paddr: int) -> MissStatus | None:
         return self._inflight.get(line_paddr)
 
     def allocate(self, status: MissStatus) -> None:
+        """Register an in-flight fill.
+
+        A duplicate ``line_paddr`` raises rather than clobbering the
+        existing entry: the arbiters' in-flight check (Section 3.5) must
+        have dropped the request before it got here, so a duplicate is a
+        simulator bug — silently replacing the entry would orphan the
+        original fill event and corrupt the prefetch accounting.
+        """
         if status.line_paddr in self._inflight:
             raise ValueError(
                 "duplicate in-flight fill for line 0x%x" % status.line_paddr

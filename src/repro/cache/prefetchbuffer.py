@@ -88,6 +88,13 @@ class PrefetchBuffer:
             self.stats.hits += 1
         return line
 
+    def evict(self, line_paddr: int) -> CacheLine | None:
+        """Drop a line without a demand hit (thrash / invalidation)."""
+        line = self._lines.pop(line_paddr, None)
+        if line is not None:
+            self.stats.evictions += 1
+        return line
+
     def peek(self, line_paddr: int) -> CacheLine | None:
         return self._lines.get(line_paddr)
 

@@ -19,6 +19,7 @@ from repro.params import (
     CacheConfig,
     ContentConfig,
     CoreConfig,
+    FaultConfig,
     MachineConfig,
     MarkovConfig,
     StrideConfig,
@@ -41,6 +42,7 @@ _COMPONENTS = {
     "stride": StrideConfig,
     "content": ContentConfig,
     "markov": MarkovConfig,
+    "faults": FaultConfig,
 }
 
 
@@ -67,8 +69,13 @@ def machine_config_from_dict(data: dict) -> MachineConfig:
     for name, cls in _COMPONENTS.items():
         if name not in data:
             continue
-        fields = {f.name for f in dataclasses.fields(cls)}
         component = data[name]
+        if not isinstance(component, dict):
+            raise ValueError(
+                "component %r must be an object, got %s"
+                % (name, type(component).__name__)
+            )
+        fields = {f.name for f in dataclasses.fields(cls)}
         bad = set(component) - fields
         if bad:
             raise ValueError(
@@ -92,6 +99,23 @@ def save_machine_config(config: MachineConfig, path: str) -> None:
 
 
 def load_machine_config(path: str) -> MachineConfig:
-    """Read a machine configuration from a JSON file."""
+    """Read a machine configuration from a JSON file.
+
+    Malformed files raise :class:`ValueError` naming the offending path —
+    a config typo must not surface as a bare ``json.JSONDecodeError`` (or
+    worse, an ``AttributeError`` off a non-dict top level) deep inside an
+    experiment sweep.
+    """
     with open(path) as handle:
-        return machine_config_from_dict(json.load(handle))
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                "machine config %r is not valid JSON: %s" % (path, exc)
+            ) from exc
+    if not isinstance(data, dict):
+        raise ValueError(
+            "machine config %r must contain a JSON object at the top "
+            "level, got %s" % (path, type(data).__name__)
+        )
+    return machine_config_from_dict(data)

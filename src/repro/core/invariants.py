@@ -1,0 +1,183 @@
+"""Runtime invariant checking for the timing simulator.
+
+A simulation that silently violates its own bookkeeping produces wrong
+speedups that *look* plausible — the worst failure mode for a
+reproduction.  This module validates, after (and partly during) a run:
+
+* **event-time monotonicity** — no event is ever posted in the past of
+  the memory system's clock (checked live when enabled);
+* **MSHR leak-freedom** — every in-flight fill completes: the MSHR file
+  and the event queue are empty once :meth:`finalize` has drained;
+* **depth bound** — every resident line's stored request depth fits the
+  per-line depth bits (the paper's ~2-bit budget);
+* **arbiter integrity** — the bus arbiter is drained and its priority
+  heap well-ordered (demand > stride > content, shallow before deep);
+* **prefetch-accounting conservation** — per prefetcher,
+  ``issued = completed + in-flight`` with in-flight zero after the drain,
+  ``useful <= issued`` (useless = completed − useful), and the per-kind
+  breakdowns summing to their totals.  Squashed/dropped candidates are
+  counted before issue and so never enter the equation.
+
+Under fault injection the simulator must either complete with all of the
+above conserved or raise :class:`SimulationIntegrityError` — never
+silently produce wrong numbers.
+
+Enable globally with :func:`set_global_checks` (the CLI's
+``--check-invariants`` flag and the ``REPRO_CHECK_INVARIANTS``
+environment variable both route here) or per run via
+``TimingSimulator(..., check_invariants=True)``.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "SimulationIntegrityError",
+    "set_global_checks",
+    "checks_enabled",
+    "collect_violations",
+    "assert_integrity",
+]
+
+_GLOBAL_CHECKS = False
+
+
+class SimulationIntegrityError(RuntimeError):
+    """A simulation run violated an internal consistency invariant."""
+
+
+def set_global_checks(enabled: bool) -> bool:
+    """Toggle process-wide invariant checking; returns the previous value."""
+    global _GLOBAL_CHECKS
+    previous = _GLOBAL_CHECKS
+    _GLOBAL_CHECKS = bool(enabled)
+    return previous
+
+
+def checks_enabled() -> bool:
+    """Process-wide flag, or the ``REPRO_CHECK_INVARIANTS`` env variable."""
+    if _GLOBAL_CHECKS:
+        return True
+    return os.environ.get("REPRO_CHECK_INVARIANTS", "") not in ("", "0")
+
+
+# ----------------------------------------------------------------------
+# checks
+# ----------------------------------------------------------------------
+
+_ACCT_COUNTERS = (
+    "issued", "completed", "full_hits", "partial_hits", "dropped_resident",
+    "dropped_inflight", "squashed_queue_full", "squashed_mshr_full",
+    "dropped_untranslated", "dropped_unmapped", "evicted_unused",
+)
+
+
+def _check_accounting(name: str, acct, out: list) -> None:
+    for counter in _ACCT_COUNTERS:
+        value = getattr(acct, counter)
+        if value < 0:
+            out.append("%s.%s is negative (%d)" % (name, counter, value))
+    if acct.issued != acct.completed:
+        out.append(
+            "%s accounting not conserved: issued=%d but completed=%d "
+            "(%d fill(s) lost in flight)"
+            % (name, acct.issued, acct.completed,
+               acct.issued - acct.completed)
+        )
+    if acct.useful > acct.issued:
+        out.append(
+            "%s useful (%d) exceeds issued (%d)"
+            % (name, acct.useful, acct.issued)
+        )
+    by_kind = sum(acct.issued_by_kind.values())
+    if by_kind != acct.issued:
+        out.append(
+            "%s per-kind issue counts (%d) do not sum to issued (%d)"
+            % (name, by_kind, acct.issued)
+        )
+    useful_by_kind = sum(acct.useful_by_kind.values())
+    if useful_by_kind > acct.useful:
+        out.append(
+            "%s per-kind useful counts (%d) exceed useful (%d)"
+            % (name, useful_by_kind, acct.useful)
+        )
+
+
+def collect_violations(simulator) -> list:
+    """All invariant violations of a finished run (empty list = clean).
+
+    *simulator* is a :class:`repro.core.simulator.TimingSimulator` whose
+    :meth:`run` has completed (events drained via ``finalize``).
+    """
+    memsys = simulator.memsys
+    result = simulator.result
+    violations: list = list(memsys.integrity_log)
+
+    if memsys._events:
+        violations.append(
+            "event queue not drained: %d event(s) pending after finalize"
+            % len(memsys._events)
+        )
+    leaked = memsys.mshr.inflight_lines()
+    if leaked:
+        violations.append(
+            "MSHR leak: %d entr%s still in flight after drain (lines %s)"
+            % (len(leaked), "y" if len(leaked) == 1 else "ies",
+               ", ".join("0x%x" % line for line in leaked[:8]))
+        )
+    if len(memsys.bus_arbiter):
+        violations.append(
+            "bus arbiter not drained: %d request(s) still queued"
+            % len(memsys.bus_arbiter)
+        )
+    if not memsys.bus_arbiter.verify_priority_order():
+        violations.append("bus arbiter heap violates priority ordering")
+
+    max_depth = (1 << simulator.content.depth_bits) - 1
+    for store_name, lines in (
+        ("L1", memsys.hier.l1.contents()),
+        ("UL2", memsys.hier.l2.contents()),
+        ("prefetch buffer",
+         [] if memsys.prefetch_buffer is None
+         else [memsys.prefetch_buffer.peek(p)
+               for p in memsys.prefetch_buffer.resident_lines()]),
+    ):
+        for line in lines:
+            if not 0 <= line.depth <= max_depth:
+                violations.append(
+                    "%s line 0x%x depth %d outside the %d-bit bound [0, %d]"
+                    % (store_name, line.tag, line.depth,
+                       simulator.content.depth_bits, max_depth)
+                )
+                break  # one per store is enough to fail the run
+
+    for name, acct in (
+        ("stride", result.stride),
+        ("content", result.content),
+        ("markov", result.markov),
+    ):
+        _check_accounting(name, acct, violations)
+
+    if result.unmasked_l2_misses > result.demand_l2_requests:
+        violations.append(
+            "unmasked L2 misses (%d) exceed demand L2 requests (%d)"
+            % (result.unmasked_l2_misses, result.demand_l2_requests)
+        )
+    return violations
+
+
+def assert_integrity(simulator) -> None:
+    """Raise :class:`SimulationIntegrityError` on any violation.
+
+    On success, stamps ``result.integrity_verified`` so downstream
+    consumers (experiments, sweeps) can tell a checked run from an
+    unchecked one.
+    """
+    violations = collect_violations(simulator)
+    if violations:
+        raise SimulationIntegrityError(
+            "simulation integrity violated (%d finding(s)):\n  - %s"
+            % (len(violations), "\n  - ".join(violations))
+        )
+    simulator.result.integrity_verified = True

@@ -62,6 +62,7 @@ class TimingMemorySystem:
         markov: MarkovPrefetcher | None = None,
         result: TimingResult | None = None,
         adaptive=None,
+        faults=None,
     ) -> None:
         self.config = config
         self.hier = hierarchy
@@ -108,13 +109,36 @@ class TimingMemorySystem:
         # Optional observer (see repro.analysis): receives prefetch
         # lifecycle callbacks.  Kept None in normal runs.
         self.observer = None
+        # Optional fault injector (see repro.faults): perturbs bus grants,
+        # DTLB state, scanned line bytes, MSHR availability, and resident
+        # prefetched lines.  None in normal runs.
+        self.faults = None
+        if faults is not None:
+            faults.attach(self)
+        # Live invariant checking (see repro.core.invariants): when on,
+        # monotonicity violations are recorded here and surfaced by the
+        # post-run checker.
+        self.integrity_checks = False
+        self.integrity_log: list = []
 
     # ------------------------------------------------------------------
     # event machinery
     # ------------------------------------------------------------------
 
     def _post(self, time: int, kind: int, payload) -> None:
+        if self.integrity_checks and time < self.now:
+            self.integrity_log.append(
+                "event posted in the past: t=%d with now=%d (kind=%d)"
+                % (time, self.now, kind)
+            )
         heapq.heappush(self._events, (time, next(self._seq), kind, payload))
+
+    def _grant_bus(self, time: int) -> tuple:
+        """Grant a bus transfer, applying any injected grant fault."""
+        grant, fill = self.bus.grant(time)
+        if self.faults is not None:
+            fill += self.faults.bus_grant_penalty()
+        return grant, fill
 
     def _advance(self, time: int) -> None:
         events = self._events
@@ -173,6 +197,8 @@ class TimingMemorySystem:
         stride_candidates = self.stride.observe(pc, vaddr)
         # Translation: the L2 is physically indexed.
         walk_latency = 0
+        if self.faults is not None:
+            self.faults.pre_translation(self.hier.dtlb, vaddr)
         paddr = self.hier.dtlb.translate(vaddr)
         if paddr is None:
             self.result.demand_page_walks += 1
@@ -293,7 +319,7 @@ class TimingMemorySystem:
         if status.fill_time == _NOT_GRANTED:
             # Still queued at the bus arbiter: the demand claims the bus
             # itself (top priority); the queued prefetch earned nothing.
-            grant, fill = self.bus.grant(slot)
+            grant, fill = self._grant_bus(slot)
             status.fill_time = fill
             self._post(fill, _EV_FILL, status)
             if is_load and first_match:
@@ -323,7 +349,7 @@ class TimingMemorySystem:
     ) -> int:
         if is_load:
             self.result.unmasked_l2_misses += 1
-        grant, fill = self.bus.grant(slot)
+        grant, fill = self._grant_bus(slot)
         status = MissStatus(
             line_p, line_v, Requester.DEMAND, depth=0,
             issue_time=slot, fill_time=fill,
@@ -392,7 +418,7 @@ class TimingMemorySystem:
                     walk_line, vaddr=walk_line, time=slot + self.bus.latency
                 )
             else:
-                grant, fill = self.bus.grant(slot)
+                grant, fill = self._grant_bus(slot)
                 latency = fill - time
                 self.hier.l2.fill(walk_line, vaddr=walk_line, time=fill)
         self.hier.dtlb.insert(vaddr, paddr, prefetch=prefetch)
@@ -469,6 +495,14 @@ class TimingMemorySystem:
                 status.depth = candidate.depth
             acct.dropped_inflight += 1
             return
+        # MSHR exhaustion (a real capacity bound, or an injected burst):
+        # the prefetch finds no free entry and is squashed.  Demand misses
+        # are never refused — see MSHRFile.
+        if self.mshr.full or (
+            self.faults is not None and self.faults.mshr_exhausted(time)
+        ):
+            acct.squashed_mshr_full += 1
+            return
         request = MemoryRequest(
             line_p, line_v, requester, candidate.depth, create_time=time
         )
@@ -511,7 +545,7 @@ class TimingMemorySystem:
                 # Cancelled, or a demand already claimed this line's fill.
                 continue
             break
-        grant, fill = self.bus.grant(time)
+        grant, fill = self._grant_bus(time)
         status.fill_time = fill
         self._post(fill, _EV_FILL, status)
         if len(self.bus_arbiter):
@@ -560,6 +594,10 @@ class TimingMemorySystem:
             acct.completed += 1
             if self.observer is not None:
                 self.observer.on_prefetch_fill(status.line_paddr, time)
+            if self.faults is not None and not status.promoted:
+                # Thrash strikes freshly-filled *prefetched* lines; a
+                # promoted fill is demand data and is left alone.
+                self.faults.maybe_thrash(self)
         if status.extra.get("fill_l1") or status.promoted:
             self.hier.l1.fill(status.line_vaddr, vaddr=status.line_vaddr)
         # A copy of all UL2 fill traffic goes to the content prefetcher.
@@ -574,6 +612,10 @@ class TimingMemorySystem:
             return
         slot = self.l2_port.reserve(time, is_rescan=rescan)
         line_bytes = self.hier.read_line_bytes(line_vaddr)
+        if self.faults is not None:
+            line_bytes = self.faults.maybe_corrupt_line(
+                line_bytes, effective_vaddr, self.config.content
+            )
         candidates = self.content.scan_fill(
             line_vaddr, line_bytes, effective_vaddr, depth, is_rescan=rescan
         )
@@ -608,6 +650,8 @@ class TimingMemorySystem:
     def finalize(self) -> None:
         """Drain events and fold component stats into the result."""
         self.drain()
+        if self.faults is not None:
+            self.result.fault_injections = self.faults.stats.as_dict()
         self.result.bus_transfers = self.bus.stats.transfers
         self.result.bus_queue_delay = self.bus.stats.total_queue_delay
         self.result.l2_pollution_evictions = (

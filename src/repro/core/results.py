@@ -24,6 +24,9 @@ class PrefetchAccounting:
     dropped_resident: int = 0
     dropped_inflight: int = 0
     squashed_queue_full: int = 0
+    # Prefetches squashed because no MSHR entry was free (real capacity
+    # pressure or an injected exhaustion burst); demands are never blocked.
+    squashed_mshr_full: int = 0
     dropped_untranslated: int = 0
     # Candidates whose page walk found no valid mapping (junk values that
     # passed the matcher but point into unmapped space): the walk fails
@@ -175,6 +178,12 @@ class TimingResult:
     l2_pollution_evictions: int = 0
     # Dirty L2 victims written back to memory (each consumes bus occupancy).
     writebacks: int = 0
+    # Fault-injection counts by type (empty when no injector was attached;
+    # see repro.faults.FaultStats.as_dict).
+    fault_injections: dict = field(default_factory=dict)
+    # Set by repro.core.invariants.assert_integrity when this run passed
+    # the full post-run invariant check.
+    integrity_verified: bool = False
 
     @property
     def ipc(self) -> float:

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from repro.cache.hierarchy import CacheHierarchy
+from repro.core import invariants
 from repro.core.cpu import OutOfOrderCore
 from repro.core.memsys import TimingMemorySystem
 from repro.core.results import TimingResult
+from repro.faults import FaultInjector
 from repro.memory.backing import BackingMemory
 from repro.memory.pagetable import PageTable
 from repro.params import MachineConfig
@@ -34,6 +36,16 @@ class TimingSimulator:
     adaptive:
         If ``True``, attach the runtime heuristic-tuning controller
         (the paper's future-work extension).
+    check_invariants:
+        If ``True``, enable live event-monotonicity checks and run the
+        full :mod:`repro.core.invariants` validation after :meth:`run`,
+        raising :class:`~repro.core.invariants.SimulationIntegrityError`
+        on any violation.  Also switched on process-wide by
+        :func:`repro.core.invariants.set_global_checks` (the CLI's
+        ``--check-invariants``).
+
+    A fault injector (:mod:`repro.faults`) is attached automatically when
+    ``config.faults.enabled`` is true.
     """
 
     def __init__(
@@ -42,6 +54,7 @@ class TimingSimulator:
         memory: BackingMemory,
         page_table: PageTable | None = None,
         adaptive: bool = False,
+        check_invariants: bool = False,
     ) -> None:
         self.config = config
         self.hierarchy = CacheHierarchy(config, memory, page_table)
@@ -56,6 +69,9 @@ class TimingSimulator:
         if adaptive:
             controller = AdaptiveController(self.content)
         self.adaptive = controller
+        self.faults = (
+            FaultInjector(config.faults) if config.faults.enabled else None
+        )
         self.memsys = TimingMemorySystem(
             config,
             self.hierarchy,
@@ -64,11 +80,21 @@ class TimingSimulator:
             markov=self.markov,
             result=self.result,
             adaptive=controller,
+            faults=self.faults,
         )
+        self.check_invariants = check_invariants
+        if check_invariants or invariants.checks_enabled():
+            self.memsys.integrity_checks = True
         self.core = OutOfOrderCore(config.core, self.memsys)
 
     def run(self, trace: Trace, warmup_uops: int = 0) -> TimingResult:
-        """Simulate *trace* and return the populated :class:`TimingResult`."""
+        """Simulate *trace* and return the populated :class:`TimingResult`.
+
+        With invariant checking enabled (per-instance or globally), the
+        run is validated end to end and raises
+        :class:`~repro.core.invariants.SimulationIntegrityError` rather
+        than returning inconsistent numbers.
+        """
         self.result.name = trace.name
         cycles = self.core.run(trace, warmup_uops=warmup_uops)
         self.memsys.finalize()
@@ -76,6 +102,8 @@ class TimingSimulator:
         self.result.uops = trace.uop_count - warmup_uops
         self.result.instructions = trace.instruction_count
         self.result.loads = self.core.loads_executed
+        if self.check_invariants or invariants.checks_enabled():
+            invariants.assert_integrity(self)
         return self.result
 
 

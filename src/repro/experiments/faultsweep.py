@@ -1,0 +1,98 @@
+"""Graceful-degradation curve: speedup vs injected fault intensity.
+
+The paper argues the content prefetcher degrades gracefully: junk
+candidates are filtered by the failing page walk, squashed by the
+priority arbiters, and never stall demand traffic.  This sweep stresses
+that claim directly — every supported fault type (dropped/delayed bus
+grants, DTLB drops and miss storms, matcher-passing corrupted fill data,
+MSHR exhaustion bursts, prefetch thrash) is injected at increasing
+intensity (see :func:`repro.faults.fault_storm`) and each run is
+validated by the full invariant checker: the simulator must either
+complete with conserved prefetch accounting or raise
+``SimulationIntegrityError``.
+
+Expected shape: speedup over the fault-free stride baseline decays
+smoothly toward (and below) 1.0 as intensity rises; no cliff, no crash,
+no accounting leak.  The content machine under faults should stay close
+to the *baseline* machine under the same faults — the prefetcher's junk
+must not amplify the damage.
+"""
+
+from __future__ import annotations
+
+from repro.core.simulator import TimingSimulator
+from repro.experiments.common import (
+    ExperimentResult,
+    model_machine,
+    warmup_uops_for,
+)
+from repro.faults import fault_storm
+from repro.stats.metrics import arithmetic_mean
+from repro.workloads.suite import build_benchmark
+
+__all__ = ["INTENSITIES", "BENCHMARKS", "run"]
+
+INTENSITIES = (0.0, 0.1, 0.25, 0.5, 1.0)
+
+#: A pointer-chasing and a server representative keep the sweep fast while
+#: covering both chain-bound and capacity-bound behaviour.
+BENCHMARKS = ("b2c", "tpcc-2")
+
+
+def run(
+    scale: float = 0.05,
+    benchmarks=BENCHMARKS,
+    intensities=INTENSITIES,
+    seed: int = 1,
+) -> ExperimentResult:
+    workloads = {
+        name: build_benchmark(name, scale=scale, seed=seed)
+        for name in benchmarks
+    }
+    base_config = model_machine()
+    baseline_config = base_config.with_content(enabled=False)
+    # The fault-free stride-only baseline anchors every speedup.
+    baselines = {}
+    for name, workload in workloads.items():
+        simulator = TimingSimulator(
+            baseline_config, workload.memory, check_invariants=True
+        )
+        baselines[name] = simulator.run(
+            workload.trace, warmup_uops_for(workload.trace)
+        )
+    rows = []
+    curve: dict = {}
+    for intensity in intensities:
+        faults = fault_storm(intensity, seed=seed)
+        config = base_config.replace(faults=faults)
+        speedups = {}
+        injected = 0
+        for name, workload in workloads.items():
+            simulator = TimingSimulator(
+                config, workload.memory, check_invariants=True
+            )
+            result = simulator.run(
+                workload.trace, warmup_uops_for(workload.trace)
+            )
+            assert result.integrity_verified
+            speedups[name] = result.speedup_over(baselines[name])
+            injected += sum(result.fault_injections.values())
+        mean = arithmetic_mean(speedups.values())
+        curve[intensity] = mean
+        rows.append(
+            ["%.2f" % intensity]
+            + ["%.4f" % speedups[name] for name in benchmarks]
+            + ["%.4f" % mean, str(injected)]
+        )
+    return ExperimentResult(
+        experiment_id="faultsweep",
+        title="Fault sweep: speedup vs injected fault intensity",
+        headers=["intensity"] + list(benchmarks) + ["mean", "faults"],
+        rows=rows,
+        notes=(
+            "Every run passed the invariant checker (accounting "
+            "conservation, MSHR leak-freedom, depth bounds).  Expected: "
+            "smooth decay with no cliff — the graceful-degradation claim."
+        ),
+        extra={"curve": curve},
+    )

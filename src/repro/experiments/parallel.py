@@ -1,4 +1,4 @@
-"""Multiprocess sweep execution.
+"""Crash-safe multiprocess sweep execution.
 
 Timing simulations are single-threaded Python; sweeps over benchmarks are
 embarrassingly parallel.  :func:`parallel_speedups` is a drop-in for
@@ -8,15 +8,61 @@ benchmark's baseline+enhanced pair out to a worker process.
 Workers rebuild the workload from its (name, scale, seed) key — the
 builders are deterministic, and each process keeps its own image cache, so
 nothing large crosses the process boundary.
+
+Unlike a bare ``Pool.map``, jobs are dispatched individually with a
+per-job timeout and bounded retry: one benchmark that crashes, hangs, or
+has its worker killed does not take the sweep down.  The surviving
+benchmarks' results are returned and every failure is recorded with its
+error and attempt count (:class:`SweepOutcome`).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time as _time
+from dataclasses import dataclass, field
 
 from repro.params import MachineConfig
 
-__all__ = ["parallel_speedups"]
+__all__ = [
+    "JobFailure",
+    "SweepOutcome",
+    "run_sweep",
+    "parallel_speedups",
+]
+
+#: Per-attempt backoff base (seconds); attempt *n* waits ``backoff * n``.
+DEFAULT_BACKOFF = 0.25
+
+
+@dataclass
+class JobFailure:
+    """One benchmark the sweep could not complete."""
+
+    benchmark: str
+    error: str
+    attempts: int
+    timed_out: bool = False
+
+
+@dataclass
+class SweepOutcome:
+    """Results of a crash-safe sweep: survivors plus recorded failures."""
+
+    speedups: dict = field(default_factory=dict)
+    failures: dict = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+    def describe_failures(self) -> str:
+        return "; ".join(
+            "%s: %s (after %d attempt%s)"
+            % (f.benchmark, f.error, f.attempts,
+               "" if f.attempts == 1 else "s")
+            for f in self.failures.values()
+        )
 
 
 def _run_benchmark_pair(args) -> tuple:
@@ -36,7 +82,31 @@ def _run_benchmark_pair(args) -> tuple:
     return name, enhanced.speedup_over(baseline)
 
 
-def parallel_speedups(
+def _run_serial(jobs, job_runner, retries, backoff) -> SweepOutcome:
+    """In-process execution (``processes=1``) with the same retry rules."""
+    outcome = SweepOutcome()
+    for job in jobs:
+        name = job[0]
+        last_error = None
+        for attempt in range(1, retries + 2):
+            try:
+                result_name, value = job_runner(job)
+            except Exception as exc:  # noqa: BLE001 - worker may raise anything
+                last_error = "%s: %s" % (type(exc).__name__, exc)
+                if attempt <= retries:
+                    _time.sleep(backoff * attempt)
+                continue
+            outcome.speedups[result_name] = value
+            last_error = None
+            break
+        if last_error is not None:
+            outcome.failures[name] = JobFailure(
+                name, last_error, attempts=retries + 1
+            )
+    return outcome
+
+
+def run_sweep(
     config: MachineConfig,
     benchmarks,
     scale: float,
@@ -44,12 +114,22 @@ def parallel_speedups(
     baseline_config: MachineConfig | None = None,
     processes: int | None = None,
     warmup_fraction: float = 0.25,
-) -> dict:
-    """Per-benchmark speedups, computed across worker processes.
+    timeout: float | None = None,
+    retries: int = 1,
+    backoff: float = DEFAULT_BACKOFF,
+    job_runner=_run_benchmark_pair,
+) -> SweepOutcome:
+    """Per-benchmark speedups with per-job timeout, retry, and survival.
 
-    Returns the same ``{benchmark: speedup}`` mapping as
-    :func:`timing_speedups`.  With ``processes=1`` (or a single
-    benchmark) everything runs in-process — useful for debugging.
+    Each benchmark is dispatched as its own job.  A job that raises or
+    exceeds *timeout* seconds is retried up to *retries* more times with
+    linear backoff; if it still fails it is recorded in
+    :attr:`SweepOutcome.failures` and the sweep continues with the
+    remaining benchmarks.  A worker process that dies (or hangs) only
+    loses its own job: stragglers are killed when the pool is torn down.
+
+    *job_runner* exists for testing — it must be a picklable module-level
+    callable taking the job tuple and returning ``(name, speedup)``.
     """
     if baseline_config is None:
         baseline_config = config.with_content(enabled=False).with_markov(
@@ -60,8 +140,72 @@ def parallel_speedups(
         for name in benchmarks
     ]
     if processes == 1 or len(jobs) <= 1:
-        results = [_run_benchmark_pair(job) for job in jobs]
-    else:
-        with multiprocessing.Pool(processes=processes) as pool:
-            results = pool.map(_run_benchmark_pair, jobs)
-    return dict(results)
+        return _run_serial(jobs, job_runner, retries, backoff)
+
+    outcome = SweepOutcome()
+    job_by_name = {job[0]: job for job in jobs}
+    attempts = {job[0]: 0 for job in jobs}
+    with multiprocessing.Pool(processes=processes) as pool:
+        pending = {}
+        for job in jobs:
+            attempts[job[0]] += 1
+            pending[job[0]] = pool.apply_async(job_runner, (job,))
+        while pending:
+            retry_names = []
+            for name, handle in pending.items():
+                timed_out = False
+                try:
+                    result_name, value = handle.get(timeout)
+                except multiprocessing.TimeoutError:
+                    timed_out = True
+                    error = (
+                        "timed out after %.1fs" % timeout
+                        if timeout is not None else "timed out"
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    error = "%s: %s" % (type(exc).__name__, exc)
+                else:
+                    outcome.speedups[result_name] = value
+                    continue
+                if attempts[name] <= retries:
+                    retry_names.append(name)
+                else:
+                    outcome.failures[name] = JobFailure(
+                        name, error, attempts[name], timed_out=timed_out
+                    )
+            pending = {}
+            for name in retry_names:
+                _time.sleep(backoff * attempts[name])
+                attempts[name] += 1
+                pending[name] = pool.apply_async(
+                    job_runner, (job_by_name[name],)
+                )
+        # Pool.__exit__ terminates the pool, killing any worker still
+        # stuck on a timed-out job.
+    return outcome
+
+
+def parallel_speedups(
+    config: MachineConfig,
+    benchmarks,
+    scale: float,
+    seed: int = 1,
+    baseline_config: MachineConfig | None = None,
+    processes: int | None = None,
+    warmup_fraction: float = 0.25,
+    timeout: float | None = None,
+    retries: int = 1,
+) -> dict:
+    """Per-benchmark speedups, computed across worker processes.
+
+    Returns the same ``{benchmark: speedup}`` mapping as
+    :func:`timing_speedups`, containing the benchmarks that completed.
+    Use :func:`run_sweep` directly to also inspect recorded failures.
+    With ``processes=1`` (or a single benchmark) everything runs
+    in-process — useful for debugging.
+    """
+    return run_sweep(
+        config, benchmarks, scale, seed=seed,
+        baseline_config=baseline_config, processes=processes,
+        warmup_fraction=warmup_fraction, timeout=timeout, retries=retries,
+    ).speedups

@@ -5,16 +5,27 @@ Examples::
     repro-experiments table1
     repro-experiments fig9 --scale 0.2
     repro-experiments all --scale 0.1 --out results.txt
+    repro-experiments all --out results.txt --resume   # skip finished ones
+    repro-experiments faultsweep --check-invariants
+
+Long ``all`` runs are crash-safe: with ``--out``, each experiment's
+rendered output is appended (and a checkpoint sidecar updated) as soon as
+it completes, and ``--resume`` skips experiments the checkpoint already
+records — a crash mid-sweep loses only the experiment that was running.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
+from repro.core import invariants
 from repro.experiments import (
     ablation,
+    faultsweep,
     fig1,
     fig2,
     fig3,
@@ -53,10 +64,48 @@ EXPERIMENTS = {
     "zoo": zoo.run,
     "sensitivity": sensitivity.run,
     "related": related.run,
+    "faultsweep": faultsweep.run,
 }
 
 # Experiments whose run() takes no scale (configuration dumps).
 _UNSCALED = {"table1", "table3", "fig2", "fig3"}
+
+
+def _checkpoint_path(out_path: str) -> str:
+    return out_path + ".ckpt.json"
+
+
+def _load_checkpoint(out_path: str, fingerprint: dict) -> dict:
+    """Completed-experiment records from a previous (crashed) run.
+
+    The checkpoint is ignored when the sweep parameters changed — resuming
+    a ``--scale 0.1`` sweep with ``--scale 0.5`` results would silently
+    mix incomparable numbers.
+    """
+    path = _checkpoint_path(out_path)
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (json.JSONDecodeError, OSError):
+        return {}
+    if not isinstance(data, dict) or data.get("fingerprint") != fingerprint:
+        return {}
+    completed = data.get("completed", {})
+    return completed if isinstance(completed, dict) else {}
+
+
+def _save_checkpoint(out_path: str, fingerprint: dict, completed: dict) -> None:
+    """Atomically persist the finished experiments."""
+    path = _checkpoint_path(out_path)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(
+            {"fingerprint": fingerprint, "completed": completed},
+            handle, indent=1,
+        )
+    os.replace(tmp, path)
 
 
 def main(argv=None) -> int:
@@ -78,7 +127,17 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out", type=str, default=None,
-        help="also append rendered output to this file",
+        help="also append rendered output to this file (incrementally, "
+             "with a resumable checkpoint sidecar)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip experiments already recorded in the --out checkpoint",
+    )
+    parser.add_argument(
+        "--check-invariants", action="store_true",
+        help="run the full simulation-integrity checker after every "
+             "timing run (fails loudly instead of reporting bad numbers)",
     )
     parser.add_argument(
         "--chart", action="store_true",
@@ -88,30 +147,45 @@ def main(argv=None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
     ]
-    output_chunks = []
-    for name in names:
-        run = EXPERIMENTS[name]
-        kwargs = {}
-        if name not in _UNSCALED:
-            kwargs["seed"] = args.seed
-            if args.scale is not None:
-                kwargs["scale"] = args.scale
-        started = time.time()
-        result = run(**kwargs)
-        elapsed = time.time() - started
-        text = result.render()
-        if args.chart:
-            from repro.experiments.chartrender import render_chart
+    fingerprint = {"scale": args.scale, "seed": args.seed}
+    completed: dict = {}
+    if args.out and args.resume:
+        completed = _load_checkpoint(args.out, fingerprint)
+    previous_checks = invariants.set_global_checks(
+        args.check_invariants or invariants.checks_enabled()
+    )
+    try:
+        for name in names:
+            if name in completed:
+                print("[%s skipped: already in checkpoint]" % name)
+                continue
+            run = EXPERIMENTS[name]
+            kwargs = {}
+            if name not in _UNSCALED:
+                kwargs["seed"] = args.seed
+                if args.scale is not None:
+                    kwargs["scale"] = args.scale
+            started = time.time()
+            result = run(**kwargs)
+            elapsed = time.time() - started
+            text = result.render()
+            if args.chart:
+                from repro.experiments.chartrender import render_chart
 
-            chart = render_chart(result)
-            if chart:
-                text += "\n\n" + chart
-        text += "\n\n[%s completed in %.1fs]\n" % (name, elapsed)
-        print(text)
-        output_chunks.append(text)
-    if args.out:
-        with open(args.out, "a") as handle:
-            handle.write("\n".join(output_chunks))
+                chart = render_chart(result)
+                if chart:
+                    text += "\n\n" + chart
+            text += "\n\n[%s completed in %.1fs]\n" % (name, elapsed)
+            print(text)
+            if args.out:
+                # Append immediately: a crash on a later experiment loses
+                # nothing that already finished.
+                with open(args.out, "a") as handle:
+                    handle.write(text + "\n")
+                completed[name] = {"elapsed": elapsed, "text": text}
+                _save_checkpoint(args.out, fingerprint, completed)
+    finally:
+        invariants.set_global_checks(previous_checks)
     return 0
 
 

@@ -1,0 +1,20 @@
+"""Seeded fault injection for the timing memory system.
+
+The paper's graceful-degradation claim — mispredicted pointers are
+squashed by the priority arbiters and never stall demand traffic — is
+asserted by the happy path alone in a plain simulation run.  This package
+supplies the adversarial conditions: a :class:`FaultInjector` attached to
+:class:`repro.core.memsys.TimingMemorySystem` perturbs bus grants, DTLB
+state, scanned line contents, MSHR availability, and prefetched-line
+residency at configurable, seeded rates (:class:`repro.params.FaultConfig`).
+
+Under any fault scenario the simulator must still satisfy the invariants of
+:mod:`repro.core.invariants` (accounting conservation, MSHR leak-freedom,
+event-time monotonicity, ...) or raise a typed
+``SimulationIntegrityError`` — it must never silently produce wrong
+speedups.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats, fault_storm
+
+__all__ = ["FaultInjector", "FaultStats", "fault_storm"]

@@ -1,0 +1,197 @@
+"""The fault injector: one seeded PRNG driving every fault type.
+
+Hook points (called by :class:`repro.core.memsys.TimingMemorySystem`):
+
+* :meth:`FaultInjector.bus_grant_penalty` — extra fill delay per grant
+  (a lost grant retries after a full bus latency; a delayed grant adds a
+  fixed penalty).  Fills always complete, so accounting stays conserved.
+* :meth:`FaultInjector.pre_translation` — before a demand translation:
+  may invalidate the accessed entry (forced miss) or storm-invalidate a
+  batch of random entries (miss storm).
+* :meth:`FaultInjector.maybe_corrupt_line` — replaces a scanned line with
+  adversarial bytes whose every word *passes* the virtual-address matcher
+  (garbage pointers sharing the compare bits of the effective address).
+* :meth:`FaultInjector.mshr_exhausted` — during a storm window, prefetch
+  issues find no free MSHR and are squashed; demands are never blocked.
+* :meth:`FaultInjector.maybe_thrash` — after a prefetch fill, evicts a
+  prefetched-but-unreferenced line from the prefetch buffer (or UL2).
+
+Every decision comes from ``random.Random(config.seed)``, so a fault
+scenario is exactly reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+
+from repro.params import ContentConfig, FaultConfig
+
+__all__ = ["FaultStats", "FaultInjector", "fault_storm"]
+
+
+@dataclass
+class FaultStats:
+    """Counts of injected faults, by type."""
+
+    bus_drops: int = 0
+    bus_delays: int = 0
+    tlb_drops: int = 0
+    tlb_storms: int = 0
+    tlb_entries_invalidated: int = 0
+    corrupted_scans: int = 0
+    mshr_storms: int = 0
+    mshr_rejections: int = 0
+    thrash_evictions: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.bus_drops + self.bus_delays + self.tlb_drops
+            + self.tlb_storms + self.corrupted_scans + self.mshr_storms
+            + self.thrash_evictions
+        )
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class FaultInjector:
+    """Injects the faults described by one :class:`FaultConfig`."""
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self.stats = FaultStats()
+        self._rng = random.Random(config.seed)
+        # Set by attach(); the bus latency prices a dropped grant's retry.
+        self._bus_latency = 0
+        self._mshr_storm_until = -1
+
+    def attach(self, memsys) -> None:
+        """Bind to a memory system (records timing constants)."""
+        self._bus_latency = memsys.bus.latency
+        memsys.faults = self
+
+    # -- bus ----------------------------------------------------------------
+
+    def bus_grant_penalty(self) -> int:
+        """Extra cycles added to one granted transfer's fill time."""
+        cfg = self.config
+        roll = self._rng.random()
+        if roll < cfg.bus_drop_rate:
+            self.stats.bus_drops += 1
+            # The grant was lost in flight: the requester re-arbitrates and
+            # pays the memory latency again.
+            return self._bus_latency
+        if roll < cfg.bus_drop_rate + cfg.bus_delay_rate:
+            self.stats.bus_delays += 1
+            return cfg.bus_delay_cycles
+        return 0
+
+    # -- DTLB ---------------------------------------------------------------
+
+    def pre_translation(self, dtlb, vaddr: int) -> None:
+        """Perturb the DTLB before a demand translation of *vaddr*."""
+        cfg = self.config
+        if cfg.tlb_storm_rate and self._rng.random() < cfg.tlb_storm_rate:
+            self.stats.tlb_storms += 1
+            self.stats.tlb_entries_invalidated += dtlb.invalidate_random(
+                self._rng, cfg.tlb_storm_size
+            )
+        if cfg.tlb_drop_rate and self._rng.random() < cfg.tlb_drop_rate:
+            if dtlb.invalidate(vaddr):
+                self.stats.tlb_drops += 1
+
+    # -- content scanner ----------------------------------------------------
+
+    def maybe_corrupt_line(
+        self, line_bytes: bytes, effective_vaddr: int, content: ContentConfig
+    ) -> bytes:
+        """Possibly replace *line_bytes* with matcher-passing garbage.
+
+        The adversarial line is built so every scanned word shares the
+        effective address's compare bits and satisfies the align bits —
+        the worst case for the matcher: garbage it cannot reject.  The
+        memory system must then squash the junk via its failing page walks
+        and arbiter priorities.
+        """
+        if self._rng.random() >= self.config.corrupt_fill_rate:
+            return line_bytes
+        self.stats.corrupted_scans += 1
+        bits = content.address_bits
+        compare_shift = bits - content.compare_bits
+        upper = (effective_vaddr & ((1 << bits) - 1)) >> compare_shift
+        align_mask = (1 << content.align_bits) - 1
+        word_size = content.word_size
+        words = []
+        for _ in range(len(line_bytes) // word_size):
+            low = self._rng.getrandbits(compare_shift) & ~align_mask
+            word = (upper << compare_shift) | low
+            words.append(word.to_bytes(word_size, "little"))
+        garbage = b"".join(words)
+        return garbage + line_bytes[len(garbage):]
+
+    # -- MSHR ---------------------------------------------------------------
+
+    def mshr_exhausted(self, time: int) -> bool:
+        """Is a prefetch issue at *time* rejected by an MSHR storm?"""
+        cfg = self.config
+        if time < self._mshr_storm_until:
+            self.stats.mshr_rejections += 1
+            return True
+        if cfg.mshr_storm_rate and self._rng.random() < cfg.mshr_storm_rate:
+            self.stats.mshr_storms += 1
+            self._mshr_storm_until = time + cfg.mshr_storm_cycles
+            self.stats.mshr_rejections += 1
+            return True
+        return False
+
+    # -- prefetch thrash ----------------------------------------------------
+
+    def maybe_thrash(self, memsys) -> None:
+        """Possibly evict a prefetched-but-unreferenced line."""
+        if self._rng.random() >= self.config.thrash_rate:
+            return
+        buffer = memsys.prefetch_buffer
+        if buffer is not None and len(buffer):
+            victim = self._rng.choice(buffer.resident_lines())
+            buffer.evict(victim)
+            self.stats.thrash_evictions += 1
+            return
+        l2 = memsys.hier.l2
+        line_shift = memsys.config.line_size.bit_length() - 1
+        candidates = [
+            line.tag << line_shift
+            for line in l2.contents()
+            if line.was_prefetched and not line.referenced
+        ]
+        if not candidates:
+            return
+        l2.invalidate(self._rng.choice(candidates))
+        l2.stats.evictions += 1
+        l2.stats.polluting_evictions += 1
+        self.stats.thrash_evictions += 1
+
+
+def fault_storm(intensity: float, seed: int = 1) -> FaultConfig:
+    """A scenario exercising *every* fault type, scaled by *intensity*.
+
+    ``intensity=1.0`` corrupts every scanned line, delays or drops most
+    bus grants, and keeps the DTLB and MSHRs under sustained pressure;
+    ``intensity=0.0`` is an attached-but-silent injector (the control
+    point of the graceful-degradation curve).
+    """
+    if intensity < 0:
+        raise ValueError("intensity must be non-negative")
+    base = FaultConfig(
+        enabled=True,
+        seed=seed,
+        bus_drop_rate=0.10,
+        bus_delay_rate=0.30,
+        tlb_drop_rate=0.20,
+        tlb_storm_rate=0.02,
+        corrupt_fill_rate=0.50,
+        mshr_storm_rate=0.05,
+        thrash_rate=0.20,
+    )
+    return base.scaled(intensity)

@@ -156,3 +156,20 @@ class PriorityArbiter:
         while self._heap and self._heap[0][2] is None:
             heapq.heappop(self._heap)
         return self._heap[0][2] if self._heap else None
+
+    # -- integrity ----------------------------------------------------------
+
+    def verify_priority_order(self) -> bool:
+        """Check the internal heap invariant (used by the invariant checker).
+
+        A violated heap would dequeue requests out of priority order —
+        demand-before-prefetch and shallow-before-deep would silently stop
+        holding.  Lazy-deleted entries participate via their frozen keys,
+        which heapq keeps ordered regardless.
+        """
+        heap = self._heap
+        for index in range(1, len(heap)):
+            parent = (index - 1) // 2
+            if heap[parent][:2] > heap[index][:2]:
+                return False
+        return True

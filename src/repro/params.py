@@ -29,6 +29,7 @@ __all__ = [
     "StrideConfig",
     "ContentConfig",
     "MarkovConfig",
+    "FaultConfig",
     "MachineConfig",
     "KB",
     "MB",
@@ -204,6 +205,78 @@ class MarkovConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Seeded fault-injection scenario for the timing memory system.
+
+    All rates are per-opportunity probabilities in ``[0, 1]``: a bus rate
+    applies per grant, a TLB rate per demand translation, the corrupt-fill
+    rate per scanned line, the MSHR-storm rate per prefetch issue attempt,
+    and the thrash rate per prefetch fill.  Everything is driven by one
+    seeded PRNG (see :class:`repro.faults.FaultInjector`), so a fault
+    scenario is exactly reproducible.
+
+    The injector never touches demand correctness: demand fills always
+    complete (a dropped bus grant is modelled as a full-latency retry), so
+    a faulted run must still satisfy every invariant in
+    :mod:`repro.core.invariants` — that is the graceful-degradation claim
+    under test.
+    """
+
+    enabled: bool = False
+    seed: int = 1
+    # Front-side bus: a grant is lost (full-latency retransmission) or
+    # delayed by a fixed penalty.
+    bus_drop_rate: float = 0.0
+    bus_delay_rate: float = 0.0
+    bus_delay_cycles: int = 200
+    # DTLB: a present translation spuriously misses (forced walk), or a
+    # storm invalidates a batch of random entries at once.
+    tlb_drop_rate: float = 0.0
+    tlb_storm_rate: float = 0.0
+    tlb_storm_size: int = 16
+    # Content scanner: the scanned line is replaced with adversarial bytes
+    # whose every word *passes* the virtual-address matcher.
+    corrupt_fill_rate: float = 0.0
+    # MSHR exhaustion: a storm window during which no prefetch can
+    # allocate an MSHR (demands are never blocked).
+    mshr_storm_rate: float = 0.0
+    mshr_storm_cycles: int = 2000
+    # Prefetch thrash: a prefetched-but-unreferenced line is evicted from
+    # the prefetch buffer (or the UL2) right after a prefetch fill.
+    thrash_rate: float = 0.0
+
+    _RATE_FIELDS = (
+        "bus_drop_rate", "bus_delay_rate", "tlb_drop_rate",
+        "tlb_storm_rate", "corrupt_fill_rate", "mshr_storm_rate",
+        "thrash_rate",
+    )
+
+    def __post_init__(self) -> None:
+        for name in self._RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("%s must be in [0, 1], got %r" % (name, rate))
+        if self.bus_delay_cycles < 0:
+            raise ValueError("bus_delay_cycles must be non-negative")
+        if self.tlb_storm_size <= 0:
+            raise ValueError("tlb_storm_size must be positive")
+        if self.mshr_storm_cycles <= 0:
+            raise ValueError("mshr_storm_cycles must be positive")
+
+    @property
+    def any_rate_nonzero(self) -> bool:
+        return any(getattr(self, name) > 0 for name in self._RATE_FIELDS)
+
+    def scaled(self, factor: float) -> "FaultConfig":
+        """Copy with every rate multiplied by *factor* (clamped to 1)."""
+        rates = {
+            name: min(1.0, getattr(self, name) * factor)
+            for name in self._RATE_FIELDS
+        }
+        return dataclasses.replace(self, **rates)
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """A complete simulated machine: Table 1 plus prefetcher knobs."""
 
@@ -219,6 +292,7 @@ class MachineConfig:
     stride: StrideConfig = field(default_factory=StrideConfig)
     content: ContentConfig = field(default_factory=ContentConfig)
     markov: MarkovConfig = field(default_factory=MarkovConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if self.l1d.line_size != self.ul2.line_size:
@@ -248,6 +322,10 @@ class MachineConfig:
 
     def with_dtlb(self, **kwargs: object) -> "MachineConfig":
         return self.replace(dtlb=dataclasses.replace(self.dtlb, **kwargs))
+
+    def with_faults(self, **kwargs: object) -> "MachineConfig":
+        """Return a copy with fault-injection fields replaced."""
+        return self.replace(faults=dataclasses.replace(self.faults, **kwargs))
 
     def describe(self) -> str:
         """Render the configuration as a Table 1-style report."""

@@ -86,6 +86,29 @@ class DataTLB:
         vpn = vaddr >> self._page_shift
         return vpn in self._set_of(vpn)
 
+    def invalidate(self, vaddr: int) -> bool:
+        """Drop the translation covering *vaddr*; True if one was present."""
+        vpn = vaddr >> self._page_shift
+        return self._set_of(vpn).pop(vpn, None) is not None
+
+    def invalidate_random(self, rng, count: int) -> int:
+        """Drop up to *count* randomly-chosen entries (fault injection).
+
+        Returns the number actually invalidated.  *rng* is the caller's
+        seeded ``random.Random`` so the storm is reproducible.
+        """
+        resident = [
+            (index, vpn)
+            for index, entries in enumerate(self._sets)
+            for vpn in entries
+        ]
+        if not resident:
+            return 0
+        victims = rng.sample(resident, min(count, len(resident)))
+        for index, vpn in victims:
+            del self._sets[index][vpn]
+        return len(victims)
+
     def reset_stats(self) -> None:
         self.stats = TLBStats()
 

@@ -70,6 +70,34 @@ class TestValidation:
         data = machine_config_to_dict(MachineConfig())
         assert set(data) == {
             "core", "l1d", "ul2", "dtlb", "bus", "stride", "content",
-            "markov",
+            "markov", "faults",
         }
         assert data["content"]["compare_bits"] == 8
+        assert data["faults"]["enabled"] is False
+
+
+class TestMalformedFiles:
+    def test_invalid_json_raises_value_error_naming_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"content": {"depth_threshold": 3,}}')  # trailing comma
+        with pytest.raises(ValueError, match="broken.json"):
+            load_machine_config(str(path))
+
+    def test_truncated_file_raises_value_error(self, tmp_path):
+        path = tmp_path / "truncated.json"
+        path.write_text('{"content": {"dep')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_machine_config(str(path))
+
+    def test_non_dict_top_level_raises_value_error(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text('[1, 2, 3]')
+        with pytest.raises(ValueError, match="JSON object"):
+            load_machine_config(str(path))
+        path.write_text('"just a string"')
+        with pytest.raises(ValueError, match="list.json"):
+            load_machine_config(str(path))
+
+    def test_non_dict_component_raises_value_error(self):
+        with pytest.raises(ValueError, match="content"):
+            machine_config_from_dict({"content": [1, 2]})

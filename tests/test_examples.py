@@ -34,6 +34,12 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "markov_big" in result.stdout
 
+    def test_fault_storm(self):
+        result = run_example("fault_storm.py", "0.01", "b2c")
+        assert result.returncode == 0, result.stderr
+        assert "Degradation curve" in result.stdout
+        assert "intensity" in result.stdout
+
     def test_tune_matcher_importable(self):
         # The full tune_matcher run is long; just verify it imports and
         # its workload builder works.

@@ -122,7 +122,7 @@ class TestRunnerRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "fig1", "fig2", "fig3", "table2", "fig7", "fig8", "fig9",
             "tlb", "fig10", "table3", "fig11", "pollution", "ablation",
-            "zoo", "sensitivity", "related",
+            "zoo", "sensitivity", "related", "faultsweep",
         }
 
     def test_render_produces_text(self):

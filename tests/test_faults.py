@@ -1,0 +1,176 @@
+"""Tests for repro.faults: configuration, injector, end-to-end storms."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.simulator import TimingSimulator
+from repro.experiments.common import model_machine, warmup_uops_for
+from repro.faults import FaultInjector, fault_storm
+from repro.params import ContentConfig, FaultConfig
+from repro.prefetch.matcher import VirtualAddressMatcher
+from repro.workloads.suite import build_benchmark
+
+
+def tiny_workload(name="b2c", scale=0.02, seed=1):
+    return build_benchmark(name, scale=scale, seed=seed)
+
+
+class TestFaultConfig:
+    def test_defaults_inert(self):
+        config = FaultConfig()
+        assert not config.enabled
+        assert not config.any_rate_nonzero
+
+    @pytest.mark.parametrize("field", FaultConfig._RATE_FIELDS)
+    def test_rates_validated(self, field):
+        with pytest.raises(ValueError, match=field):
+            FaultConfig(**{field: 1.5})
+        with pytest.raises(ValueError, match=field):
+            FaultConfig(**{field: -0.1})
+
+    def test_scaled_clamps_to_one(self):
+        config = FaultConfig(corrupt_fill_rate=0.6, bus_delay_rate=0.2)
+        doubled = config.scaled(2.0)
+        assert doubled.corrupt_fill_rate == 1.0
+        assert doubled.bus_delay_rate == pytest.approx(0.4)
+
+    def test_storm_covers_every_fault_type(self):
+        storm = fault_storm(1.0)
+        assert storm.enabled
+        for field in FaultConfig._RATE_FIELDS:
+            assert getattr(storm, field) > 0, field
+
+    def test_storm_zero_intensity_is_silent(self):
+        assert not fault_storm(0.0).any_rate_nonzero
+
+    def test_machine_config_wiring(self):
+        machine = model_machine().with_faults(enabled=True, tlb_drop_rate=0.5)
+        assert machine.faults.enabled
+        assert machine.faults.tlb_drop_rate == 0.5
+
+
+class TestInjectorUnits:
+    def test_bus_penalty_rates(self):
+        injector = FaultInjector(FaultConfig(bus_drop_rate=1.0))
+        injector._bus_latency = 460
+        assert injector.bus_grant_penalty() == 460
+        assert injector.stats.bus_drops == 1
+        delayer = FaultInjector(
+            FaultConfig(bus_delay_rate=1.0, bus_delay_cycles=99)
+        )
+        assert delayer.bus_grant_penalty() == 99
+        assert delayer.stats.bus_delays == 1
+
+    def test_corrupted_words_pass_the_matcher(self):
+        content = ContentConfig()
+        injector = FaultInjector(FaultConfig(corrupt_fill_rate=1.0))
+        effective = 0x4000_1234
+        garbage = injector.maybe_corrupt_line(b"\x00" * 64, effective, content)
+        assert len(garbage) == 64
+        matcher = VirtualAddressMatcher(content)
+        candidates = matcher.scan(garbage, effective)
+        # Every word-aligned position was crafted to pass the pointer test
+        # (the 2-byte scan step also reads straddling words, which may not).
+        word_positions = 64 // content.word_size
+        assert len(candidates) >= word_positions
+        for word in candidates[:word_positions]:
+            assert matcher.is_candidate(word, effective)
+
+    def test_mshr_storm_window(self):
+        injector = FaultInjector(
+            FaultConfig(mshr_storm_rate=1.0, mshr_storm_cycles=100)
+        )
+        assert injector.mshr_exhausted(1000)
+        assert injector.stats.mshr_storms == 1
+        # Inside the window every attempt is rejected without a new storm.
+        assert injector.mshr_exhausted(1050)
+        assert injector.stats.mshr_storms == 1
+        assert injector.stats.mshr_rejections == 2
+
+    def test_determinism_same_seed(self):
+        def run():
+            workload = tiny_workload()
+            config = model_machine().replace(faults=fault_storm(0.5, seed=7))
+            simulator = TimingSimulator(config, workload.memory)
+            result = simulator.run(
+                workload.trace, warmup_uops_for(workload.trace)
+            )
+            return result.cycles, dict(result.fault_injections)
+
+        first, second = run(), run()
+        assert first == second
+
+
+@pytest.mark.integrity
+class TestFaultedRuns:
+    def test_full_storm_completes_with_conserved_accounting(self):
+        """Acceptance: every fault type active, invariants all hold."""
+        workload = tiny_workload()
+        storm = fault_storm(0.5)
+        config = model_machine().replace(faults=storm)
+        simulator = TimingSimulator(
+            config, workload.memory, check_invariants=True
+        )
+        result = simulator.run(workload.trace, warmup_uops_for(workload.trace))
+        assert result.integrity_verified
+        injections = result.fault_injections
+        for key in (
+            "bus_drops", "bus_delays", "tlb_drops", "corrupted_scans",
+            "mshr_rejections", "thrash_evictions",
+        ):
+            assert injections[key] > 0, key
+        for acct in (result.stride, result.content, result.markov):
+            assert acct.issued == acct.completed
+            assert acct.useful <= acct.issued
+
+    def test_faults_slow_the_machine_down(self):
+        workload = tiny_workload()
+        clean = TimingSimulator(model_machine(), workload.memory).run(
+            workload.trace, warmup_uops_for(workload.trace)
+        )
+        stormy_config = model_machine().replace(faults=fault_storm(1.0))
+        stormy = TimingSimulator(
+            stormy_config, workload.memory, check_invariants=True
+        ).run(workload.trace, warmup_uops_for(workload.trace))
+        assert stormy.cycles > clean.cycles
+
+    def test_storm_with_prefetch_buffer_target(self):
+        workload = tiny_workload()
+        config = (
+            model_machine()
+            .with_content(fill_target="buffer")
+            .replace(faults=fault_storm(0.5))
+        )
+        simulator = TimingSimulator(
+            config, workload.memory, check_invariants=True
+        )
+        result = simulator.run(workload.trace, warmup_uops_for(workload.trace))
+        assert result.integrity_verified
+
+    def test_disabled_faults_leave_run_untouched(self):
+        workload = tiny_workload()
+        plain = TimingSimulator(model_machine(), workload.memory).run(
+            workload.trace, warmup_uops_for(workload.trace)
+        )
+        gated = model_machine().with_faults(enabled=False, tlb_drop_rate=1.0)
+        off = TimingSimulator(gated, workload.memory).run(
+            workload.trace, warmup_uops_for(workload.trace)
+        )
+        assert off.cycles == plain.cycles
+        assert off.fault_injections == {}
+
+
+class TestFaultConfigSerialization:
+    def test_roundtrips_through_configio(self, tmp_path):
+        from repro.configio import load_machine_config, save_machine_config
+
+        config = model_machine().replace(faults=fault_storm(0.3, seed=9))
+        path = str(tmp_path / "faulty.json")
+        save_machine_config(config, path)
+        loaded = load_machine_config(path)
+        assert loaded.faults == config.faults
+
+    def test_dataclass_replace_keeps_validation(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(FaultConfig(), tlb_storm_size=0)

@@ -1,0 +1,139 @@
+"""Tests for repro.core.invariants: the post-run integrity checker."""
+
+import pytest
+
+from repro.cache.line import Requester
+from repro.cache.mshr import MissStatus
+from repro.core import invariants
+from repro.core.invariants import (
+    SimulationIntegrityError,
+    assert_integrity,
+    collect_violations,
+    set_global_checks,
+)
+from repro.core.simulator import TimingSimulator
+from repro.experiments.common import model_machine, warmup_uops_for
+from repro.workloads.suite import build_benchmark
+
+
+@pytest.fixture
+def finished_sim():
+    workload = build_benchmark("b2c", scale=0.02, seed=1)
+    simulator = TimingSimulator(
+        model_machine(), workload.memory, check_invariants=True
+    )
+    simulator.run(workload.trace, warmup_uops_for(workload.trace))
+    return simulator
+
+
+class TestCleanRun:
+    def test_no_violations(self, finished_sim):
+        assert collect_violations(finished_sim) == []
+
+    def test_integrity_flag_stamped(self, finished_sim):
+        assert finished_sim.result.integrity_verified
+
+    def test_unchecked_run_not_stamped(self):
+        workload = build_benchmark("b2c", scale=0.02, seed=1)
+        simulator = TimingSimulator(model_machine(), workload.memory)
+        result = simulator.run(workload.trace, 0)
+        assert not result.integrity_verified
+
+
+class TestViolationDetection:
+    def test_mshr_leak_detected(self, finished_sim):
+        finished_sim.memsys.mshr.allocate(
+            MissStatus(0x9990_0000, 0x9990_0000, Requester.CONTENT,
+                       depth=1, issue_time=0, fill_time=100)
+        )
+        violations = collect_violations(finished_sim)
+        assert any("MSHR leak" in v for v in violations)
+        with pytest.raises(SimulationIntegrityError, match="MSHR leak"):
+            assert_integrity(finished_sim)
+
+    def test_accounting_conservation_violation_detected(self, finished_sim):
+        finished_sim.result.content.issued += 3
+        violations = collect_violations(finished_sim)
+        assert any("not conserved" in v for v in violations)
+
+    def test_per_kind_sum_mismatch_detected(self, finished_sim):
+        finished_sim.result.content.issued_by_kind["chain"] = (
+            finished_sim.result.content.issued_by_kind.get("chain", 0) + 1
+        )
+        assert any(
+            "per-kind" in v for v in collect_violations(finished_sim)
+        )
+
+    def test_depth_bound_violation_detected(self, finished_sim):
+        lines = finished_sim.memsys.hier.l2.contents()
+        assert lines, "expected a warm L2"
+        lines[0].depth = 99
+        violations = collect_violations(finished_sim)
+        assert any("depth" in v for v in violations)
+
+    def test_undrained_events_detected(self, finished_sim):
+        finished_sim.memsys._post(finished_sim.memsys.now + 10**6, 0, None)
+        assert any(
+            "not drained" in v for v in collect_violations(finished_sim)
+        )
+
+    def test_negative_counter_detected(self, finished_sim):
+        finished_sim.result.stride.completed -= 10**6
+        assert any(
+            "negative" in v or "not conserved" in v
+            for v in collect_violations(finished_sim)
+        )
+
+    def test_runtime_monotonicity_log_surfaces(self, finished_sim):
+        memsys = finished_sim.memsys
+        assert memsys.integrity_checks
+        memsys._post(memsys.now - 5, 0, None)  # event in the past
+        memsys._events.clear()
+        assert any(
+            "posted in the past" in v
+            for v in collect_violations(finished_sim)
+        )
+
+
+class TestGlobalToggle:
+    def test_set_and_restore(self):
+        previous = set_global_checks(True)
+        try:
+            assert invariants.checks_enabled()
+        finally:
+            set_global_checks(previous)
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+        assert invariants.checks_enabled()
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "0")
+        assert not invariants.checks_enabled()
+
+    def test_global_flag_checks_simulator_runs(self):
+        workload = build_benchmark("b2c", scale=0.02, seed=1)
+        previous = set_global_checks(True)
+        try:
+            simulator = TimingSimulator(model_machine(), workload.memory)
+            result = simulator.run(workload.trace, 0)
+            assert result.integrity_verified
+        finally:
+            set_global_checks(previous)
+
+
+@pytest.mark.integrity
+class TestTier1Smoke:
+    """Tier-1-safe smoke test: every PR exercises the integrity checks."""
+
+    def test_tiny_benchmark_with_checker_forced_on(self):
+        workload = build_benchmark("rc3", scale=0.02, seed=1)
+        simulator = TimingSimulator(
+            model_machine(), workload.memory, check_invariants=True
+        )
+        result = simulator.run(workload.trace, warmup_uops_for(workload.trace))
+        assert result.integrity_verified
+        assert result.cycles > 0
+        # The conservation law the checker enforces, restated explicitly:
+        # issued = useful + useless + squashed-in-flight(0 after drain).
+        for acct in (result.stride, result.content, result.markov):
+            useless = acct.completed - acct.useful
+            assert acct.issued == acct.useful + useless

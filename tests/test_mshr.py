@@ -25,8 +25,42 @@ class TestMSHRFile:
     def test_duplicate_allocation_rejected(self):
         mshr = MSHRFile()
         mshr.allocate(make_status())
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="duplicate"):
             mshr.allocate(make_status())
+
+    def test_duplicate_does_not_clobber_original(self):
+        """Regression: a rejected duplicate must leave the in-flight
+        entry (and its pending fill event) untouched."""
+        mshr = MSHRFile()
+        original = make_status(requester=Requester.DEMAND, depth=0)
+        original.demand_waiters = 2
+        mshr.allocate(original)
+        with pytest.raises(ValueError):
+            mshr.allocate(make_status(requester=Requester.CONTENT, depth=3))
+        survivor = mshr.lookup(0x1000)
+        assert survivor is original
+        assert survivor.requester is Requester.DEMAND
+        assert survivor.demand_waiters == 2
+        assert len(mshr) == 1
+
+    def test_capacity_bounds_prefetch_allocations(self):
+        mshr = MSHRFile(capacity=2)
+        assert not mshr.full
+        mshr.allocate(make_status(line=0x1000))
+        mshr.allocate(make_status(line=0x2000))
+        assert mshr.full
+        mshr.complete(0x1000)
+        assert not mshr.full
+
+    def test_unbounded_by_default(self):
+        mshr = MSHRFile()
+        for i in range(1000):
+            mshr.allocate(make_status(line=0x1000 + i * 64))
+        assert not mshr.full
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MSHRFile(capacity=0)
 
     def test_complete_removes(self):
         mshr = MSHRFile()

@@ -1,11 +1,32 @@
-"""Tests for the multiprocess sweep runner."""
+"""Tests for the crash-safe multiprocess sweep runner."""
+
+import multiprocessing
+import time
 
 import pytest
 
 from repro.experiments.common import model_machine, timing_speedups
-from repro.experiments.parallel import parallel_speedups
+from repro.experiments.parallel import (
+    parallel_speedups,
+    run_sweep,
+)
 
 BENCHMARKS = ("b2c", "rc3")
+
+
+def _flaky_runner(args):
+    """Picklable test worker: behaviour keyed by the benchmark name."""
+    name = args[0]
+    if name.startswith("boom"):
+        raise RuntimeError("worker exploded on %s" % name)
+    if name.startswith("hang"):
+        time.sleep(120)
+    return name, 1.5
+
+
+def _needs_fork():
+    if multiprocessing.get_start_method() != "fork":
+        pytest.skip("failure-path tests need the fork start method")
 
 
 class TestParallelSpeedups:
@@ -33,3 +54,51 @@ class TestParallelSpeedups:
             baseline_config=config, processes=1,
         )
         assert same["b2c"] == pytest.approx(1.0)
+
+
+class TestFailurePaths:
+    def test_raising_worker_does_not_kill_the_sweep(self):
+        _needs_fork()
+        outcome = run_sweep(
+            model_machine(), ("ok-1", "boom", "ok-2"), scale=0.01,
+            processes=2, retries=1, backoff=0.01,
+            job_runner=_flaky_runner,
+        )
+        assert outcome.speedups == {"ok-1": 1.5, "ok-2": 1.5}
+        assert set(outcome.failures) == {"boom"}
+        failure = outcome.failures["boom"]
+        assert "worker exploded" in failure.error
+        assert failure.attempts == 2  # initial try + one retry
+        assert not failure.timed_out
+        assert not outcome.complete
+        assert "boom" in outcome.describe_failures()
+
+    def test_hanging_worker_times_out_and_survivors_complete(self):
+        _needs_fork()
+        outcome = run_sweep(
+            model_machine(), ("hang", "ok-1"), scale=0.01,
+            processes=2, timeout=1.0, retries=0,
+            job_runner=_flaky_runner,
+        )
+        assert outcome.speedups == {"ok-1": 1.5}
+        assert set(outcome.failures) == {"hang"}
+        assert outcome.failures["hang"].timed_out
+        assert "timed out" in outcome.failures["hang"].error
+
+    def test_serial_path_records_failures_too(self):
+        outcome = run_sweep(
+            model_machine(), ("boom", "ok-1"), scale=0.01,
+            processes=1, retries=0,
+            job_runner=_flaky_runner,
+        )
+        assert outcome.speedups == {"ok-1": 1.5}
+        assert "worker exploded" in outcome.failures["boom"].error
+
+    def test_all_benchmarks_surviving_is_complete(self):
+        _needs_fork()
+        outcome = run_sweep(
+            model_machine(), ("ok-1", "ok-2"), scale=0.01,
+            processes=2, job_runner=_flaky_runner,
+        )
+        assert outcome.complete
+        assert outcome.describe_failures() == ""

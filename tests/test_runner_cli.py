@@ -30,4 +30,65 @@ class TestCLI:
         assert "MPTU trace" in out
 
     def test_registry_complete(self):
-        assert len(EXPERIMENTS) == 17
+        assert len(EXPERIMENTS) == 18
+        assert "faultsweep" in EXPERIMENTS
+
+
+class TestCheckpointResume:
+    def test_checkpoint_written_alongside_out(self, tmp_path, capsys):
+        out_file = tmp_path / "results.txt"
+        assert main(["table3", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        ckpt = tmp_path / "results.txt.ckpt.json"
+        assert ckpt.exists()
+        import json
+
+        data = json.loads(ckpt.read_text())
+        assert "table3" in data["completed"]
+
+    def test_resume_skips_completed_experiments(self, tmp_path, capsys):
+        out_file = tmp_path / "results.txt"
+        assert main(["table3", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        first_content = out_file.read_text()
+        assert main(["table3", "--out", str(out_file), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "skipped: already in checkpoint" in out
+        # Nothing was re-run, so nothing was re-appended.
+        assert out_file.read_text() == first_content
+
+    def test_resume_ignores_checkpoint_on_parameter_change(
+        self, tmp_path, capsys
+    ):
+        out_file = tmp_path / "results.txt"
+        assert main(["fig1", "--scale", "0.01", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main([
+            "fig1", "--scale", "0.02", "--out", str(out_file), "--resume",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "skipped" not in out
+
+    def test_without_resume_flag_experiments_rerun(self, tmp_path, capsys):
+        out_file = tmp_path / "results.txt"
+        assert main(["table3", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["table3", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "skipped" not in out
+
+
+class TestInvariantFlag:
+    def test_check_invariants_flag_restores_global_state(self, capsys):
+        from repro.core import invariants
+
+        assert not invariants.checks_enabled()
+        assert main(["table1", "--check-invariants"]) == 0
+        capsys.readouterr()
+        assert not invariants.checks_enabled()
+
+    def test_faultsweep_runs_from_cli(self, capsys):
+        assert main(["faultsweep", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault sweep" in out
+        assert "intensity" in out
