@@ -19,7 +19,17 @@ TIMING_BENCHMARKS = ("b2c", "tpcc-2", "verilog-func", "specjbb-vsnet")
 
 @pytest.fixture(scope="session", autouse=True)
 def warm_workload_cache():
-    """Benchmarks share built workload images through the suite cache."""
+    """Pre-build every workload image the harness uses, exactly once.
+
+    The suite cache (:func:`repro.workloads.suite.warm_cache`) keys images
+    by (name, scale, seed), so warming here means no benchmark pays an
+    image rebuild inside its timed region, and repeated configurations
+    within a sweep share one image.
+    """
+    from repro.workloads.suite import benchmark_names, warm_cache
+
+    warm_cache(benchmark_names(), scales=(FUNCTIONAL_SCALE,))
+    warm_cache(TIMING_BENCHMARKS, scales=(TIMING_SCALE,))
     yield
 
 

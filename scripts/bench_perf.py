@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Performance benchmark: records the repo's throughput trajectory.
+
+Measures three numbers and writes them to ``BENCH_perf.json`` at the repo
+root:
+
+* ``matcher`` — scan throughput (words/sec) of the vectorized
+  :meth:`VirtualAddressMatcher.scan` and of the word-at-a-time
+  :meth:`~VirtualAddressMatcher.scan_reference` oracle on the same seeded
+  line set, plus their ratio.  The run *asserts* bit-identical candidates
+  and stats between the two before timing anything.
+* ``functional uops/sec`` — one functional simulation of a Table 2
+  benchmark, µops simulated per wall-clock second.
+* ``timing uops/sec`` — the same for the cycle-accounting timing
+  simulator.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py            # measure + write
+    PYTHONPATH=src python scripts/bench_perf.py --check    # regression gate
+
+``--check`` re-measures and exits nonzero if either simulator's uops/sec
+(or the matcher's vectorized throughput) dropped more than
+``--tolerance`` (default 30%) below the committed ``BENCH_perf.json`` —
+the CI hook that keeps the perf trajectory monotone.  Wall-clock numbers
+are machine-dependent: regenerate the committed file on the reference
+machine, not a laptop, when it legitimately shifts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro import perf  # noqa: E402
+from repro.experiments.common import (  # noqa: E402
+    run_functional,
+    run_timing,
+    model_machine,
+)
+from repro.params import ContentConfig  # noqa: E402
+from repro.prefetch.matcher import VirtualAddressMatcher  # noqa: E402
+from repro.workloads.suite import build_benchmark  # noqa: E402
+
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_perf.json")
+
+#: Benchmark + scale for the simulator throughput runs: big enough that
+#: interpreter warm-up noise is small, small enough to finish in seconds.
+SIM_BENCHMARK = "b2c"
+FUNCTIONAL_SCALE = 0.4
+TIMING_SCALE = 0.15
+
+MATCHER_LINES = 400
+MATCHER_REPEATS = 40
+
+
+def bench_matcher(seed: int = 1234) -> dict:
+    """Equivalence-checked scan throughput, vectorized vs reference."""
+    rng = random.Random(seed)
+    config = ContentConfig()
+    lines = []
+    for i in range(MATCHER_LINES):
+        if i % 4 == 3:
+            # Pointer-dense lines: candidate-heavy, the simulator's hot
+            # case on linked-structure workloads.
+            base = 0x0840_0000
+            lines.append(b"".join(
+                ((base | rng.getrandbits(16)) & ~1).to_bytes(4, "little")
+                for _ in range(16)
+            ))
+        else:
+            lines.append(bytes(rng.getrandbits(8) for _ in range(64)))
+    effs = [0x0840_1000 + 64 * i for i in range(8)]
+
+    fast = VirtualAddressMatcher(config)
+    reference = VirtualAddressMatcher(config)
+    for line in lines:
+        for eff in effs[:2]:
+            got = fast.scan(line, eff)
+            want = reference.scan_reference(line, eff)
+            if got != want:
+                raise SystemExit(
+                    "matcher equivalence FAILED: %r != %r" % (got, want)
+                )
+    if fast.stats != reference.stats:
+        raise SystemExit(
+            "matcher stats diverged: %r != %r"
+            % (fast.stats, reference.stats)
+        )
+
+    def timed(method) -> float:
+        matcher = VirtualAddressMatcher(config)
+        scan = getattr(matcher, method)
+        started = time.perf_counter()
+        for _ in range(MATCHER_REPEATS):
+            for line in lines:
+                scan(line, effs[0])
+        elapsed = time.perf_counter() - started
+        return matcher.stats.words_examined / elapsed
+
+    vec = timed("scan")
+    ref = timed("scan_reference")
+    return {
+        "words_per_sec_vectorized": round(vec),
+        "words_per_sec_reference": round(ref),
+        "speedup": round(vec / ref, 2),
+    }
+
+
+def bench_simulators(seed: int = 1) -> dict:
+    """Functional and timing uops/sec via the perf recorder."""
+    config = model_machine()
+    previous = perf.set_enabled(True)
+    perf.RECORDER.reset()
+    try:
+        workload = build_benchmark(SIM_BENCHMARK, scale=FUNCTIONAL_SCALE,
+                                   seed=seed)
+        run_functional(config, workload)
+        workload = build_benchmark(SIM_BENCHMARK, scale=TIMING_SCALE,
+                                   seed=seed)
+        run_timing(config, workload)
+        return {
+            "functional_uops_per_sec": round(
+                perf.RECORDER.uops_per_second("functional uops/sec")
+            ),
+            "timing_uops_per_sec": round(
+                perf.RECORDER.uops_per_second("timing uops/sec")
+            ),
+        }
+    finally:
+        perf.set_enabled(previous)
+
+
+def measure() -> dict:
+    return {
+        "benchmark": SIM_BENCHMARK,
+        "functional_scale": FUNCTIONAL_SCALE,
+        "timing_scale": TIMING_SCALE,
+        "matcher": bench_matcher(),
+        **bench_simulators(),
+    }
+
+
+#: The metrics the --check gate enforces, as (path, human name).
+_GATED = [
+    (("functional_uops_per_sec",), "functional uops/sec"),
+    (("timing_uops_per_sec",), "timing uops/sec"),
+    (("matcher", "words_per_sec_vectorized"), "matcher words/sec"),
+]
+
+
+def _dig(data: dict, path) -> float:
+    for key in path:
+        data = data[key]
+    return float(data)
+
+
+def check(current: dict, committed: dict, tolerance: float) -> int:
+    failures = 0
+    for path, name in _GATED:
+        try:
+            old = _dig(committed, path)
+        except (KeyError, TypeError):
+            print("check: %s missing from committed file, skipping" % name)
+            continue
+        new = _dig(current, path)
+        floor = old * (1.0 - tolerance)
+        verdict = "ok" if new >= floor else "REGRESSED"
+        print(
+            "check: %-22s %12.0f -> %12.0f (floor %12.0f) %s"
+            % (name, old, new, floor, verdict)
+        )
+        if new < floor:
+            failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed BENCH_perf.json and exit "
+             "nonzero on a throughput regression (does not rewrite it)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional drop before --check fails (default 0.30)",
+    )
+    parser.add_argument(
+        "--out", default=RESULT_PATH,
+        help="result path (default: repo-root BENCH_perf.json)",
+    )
+    args = parser.parse_args(argv)
+
+    current = measure()
+    print(json.dumps(current, indent=2))
+
+    if args.check:
+        if not os.path.exists(args.out):
+            print("check: no committed %s to compare against" % args.out)
+            return 2
+        with open(args.out) as handle:
+            committed = json.load(handle)
+        failures = check(current, committed, args.tolerance)
+        if failures:
+            print("check: %d metric(s) regressed >%.0f%%"
+                  % (failures, 100 * args.tolerance))
+            return 1
+        print("check: all throughput metrics within tolerance")
+        return 0
+
+    with open(args.out, "w") as handle:
+        json.dump(current, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

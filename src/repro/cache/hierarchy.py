@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.setassoc import SetAssociativeCache
+from repro.memory.address import line_mask
 from repro.memory.backing import BackingMemory
 from repro.memory.pagetable import PageTable
 from repro.params import MachineConfig
@@ -51,7 +52,9 @@ class CacheHierarchy:
         self.l1 = SetAssociativeCache(config.l1d, name="L1D")
         self.l2 = SetAssociativeCache(config.ul2, name="UL2")
         self.dtlb = DataTLB(config.dtlb)
-        self._line_mask = ~(config.line_size - 1) & 0xFFFF_FFFF
+        self._line_mask = line_mask(
+            config.line_size, config.content.address_bits
+        )
         # Pages the workload image actually contains are mapped up front —
         # a real allocator mapped them at allocation time.  The TLB stays
         # cold (translations still require walks), but prefetches to

@@ -80,6 +80,12 @@ class CacheLine:
         less than the stored request depth in the matching cache line ...
         the stored request depth of the prefetched cache line is updated
         (promoted)."
+
+        Promotion is strictly monotone: the stored depth only ever
+        decreases, the owning :class:`Requester` is never overwritten, and
+        ``referenced`` is never cleared — so a deep prefetch racing a
+        demand fill (``SetAssociativeCache.fill`` on a resident line) can
+        never demote the line's metadata.
         """
         if depth < self.depth:
             self.depth = depth

@@ -54,6 +54,12 @@ class SetAssociativeCache:
         self.stats = CacheStats()
         self._num_sets = config.num_sets
         self._line_shift = config.line_size.bit_length() - 1
+        # Power-of-two set counts (every real configuration) index with a
+        # mask; the modulo fallback only exists for odd test geometries.
+        if self._num_sets & (self._num_sets - 1) == 0:
+            self._set_mask = self._num_sets - 1
+        else:
+            self._set_mask = None
         self._sets: list[OrderedDict[int, CacheLine]] = [
             OrderedDict() for _ in range(self._num_sets)
         ]
@@ -61,6 +67,8 @@ class SetAssociativeCache:
     # -- geometry -----------------------------------------------------------
 
     def set_index(self, address: int) -> int:
+        if self._set_mask is not None:
+            return (address >> self._line_shift) & self._set_mask
         return (address >> self._line_shift) % self._num_sets
 
     def tag_of(self, address: int) -> int:
@@ -75,21 +83,30 @@ class SetAssociativeCache:
         non-architectural probes (e.g. the prefetcher checking whether a
         candidate already resides in the cache).
         """
-        self.stats.accesses += 1
-        cache_set = self._sets[self.set_index(address)]
-        tag = self.tag_of(address)
+        stats = self.stats
+        stats.accesses += 1
+        tag = address >> self._line_shift
+        mask = self._set_mask
+        cache_set = self._sets[
+            tag & mask if mask is not None else tag % self._num_sets
+        ]
         line = cache_set.get(tag)
         if line is None:
-            self.stats.misses += 1
+            stats.misses += 1
             return None
-        self.stats.hits += 1
+        stats.hits += 1
         if update_lru:
             cache_set.move_to_end(tag)
         return line
 
     def peek(self, address: int) -> CacheLine | None:
         """Probe without touching LRU state or statistics."""
-        return self._sets[self.set_index(address)].get(self.tag_of(address))
+        tag = address >> self._line_shift
+        mask = self._set_mask
+        cache_set = self._sets[
+            tag & mask if mask is not None else tag % self._num_sets
+        ]
+        return cache_set.get(tag)
 
     def fill(
         self,

@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.line import Requester
 from repro.core.results import FunctionalResult
+from repro.memory.address import line_mask
 from repro.memory.backing import BackingMemory
 from repro.memory.pagetable import PageTable
 from repro.params import MachineConfig
@@ -45,15 +46,23 @@ class FunctionalSimulator:
     ) -> None:
         self.config = config
         self.hier = CacheHierarchy(config, memory, page_table)
-        self.stride = StridePrefetcher(config.stride, config.line_size)
+        self.stride = StridePrefetcher(
+            config.stride, config.line_size,
+            address_bits=config.content.address_bits,
+        )
         self.content = ContentPrefetcher(config.content, config.line_size)
         self.markov = (
-            MarkovPrefetcher(config.markov, config.line_size)
+            MarkovPrefetcher(
+                config.markov, config.line_size,
+                address_bits=config.content.address_bits,
+            )
             if config.markov.enabled else None
         )
         self.result = FunctionalResult("run")
         self.result.mptu_window_uops = mptu_window_uops
-        self._line_mask = ~(config.line_size - 1) & 0xFFFF_FFFF
+        self._line_mask = line_mask(
+            config.line_size, config.content.address_bits
+        )
         # Lines the stride prefetcher has issued, and the subset of
         # content-prefetched lines that overlap them (for the adjusted
         # metrics of Figures 7/8).

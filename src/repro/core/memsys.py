@@ -34,6 +34,7 @@ from repro.cache.prefetchbuffer import PrefetchBuffer
 from repro.core.results import PrefetchAccounting, TimingResult
 from repro.interconnect.arbiter import MemoryRequest, PriorityArbiter
 from repro.interconnect.bus import Bus, L2Port
+from repro.memory.address import line_mask
 from repro.params import BusConfig, MachineConfig
 from repro.prefetch.base import PrefetchCandidate
 from repro.prefetch.content import ContentPrefetcher
@@ -86,7 +87,14 @@ class TimingMemorySystem:
         self._events: list = []
         self._seq = itertools.count()
         self._bus_service_pending = False
-        self._line_mask = ~(config.line_size - 1) & 0xFFFF_FFFF
+        self._line_mask = line_mask(
+            config.line_size, config.content.address_bits
+        )
+        # Recycled MemoryRequest objects: prefetch issue is the hottest
+        # allocation site in the event loop, and a request's life ends the
+        # moment the bus grants it — so granted requests go back to this
+        # free list instead of the garbage collector.
+        self._request_pool: list = []
         # L2-queue backlog limit: rescans are dropped once the port backlog
         # (in accesses) exceeds the 128-entry L2 queue.
         self._l2_queue_limit = (
@@ -503,10 +511,21 @@ class TimingMemorySystem:
         ):
             acct.squashed_mshr_full += 1
             return
-        request = MemoryRequest(
-            line_p, line_v, requester, candidate.depth, create_time=time
-        )
+        if self._request_pool:
+            request = self._request_pool.pop()
+            request.line_paddr = line_p
+            request.line_vaddr = line_v
+            request.requester = requester
+            request.depth = candidate.depth
+            request.create_time = time
+            request.pc = 0
+            request.scannable = True
+        else:
+            request = MemoryRequest(
+                line_p, line_v, requester, candidate.depth, create_time=time
+            )
         if not self.bus_arbiter.enqueue(request):
+            self._request_pool.append(request)
             acct.squashed_queue_full += 1
             return
         acct.issued += 1
@@ -536,11 +555,13 @@ class TimingMemorySystem:
         if self.bus.busy_at(time):
             self._schedule_bus_service(self.bus.next_free)
             return
+        pool = self._request_pool
         while True:
             request = self.bus_arbiter.pop()
             if request is None:
                 return
             status = self.mshr.lookup(request.line_paddr)
+            pool.append(request)
             if status is None or status.fill_time != _NOT_GRANTED:
                 # Cancelled, or a demand already claimed this line's fill.
                 continue

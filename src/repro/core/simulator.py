@@ -58,10 +58,16 @@ class TimingSimulator:
     ) -> None:
         self.config = config
         self.hierarchy = CacheHierarchy(config, memory, page_table)
-        self.stride = StridePrefetcher(config.stride, config.line_size)
+        self.stride = StridePrefetcher(
+            config.stride, config.line_size,
+            address_bits=config.content.address_bits,
+        )
         self.content = ContentPrefetcher(config.content, config.line_size)
         self.markov = (
-            MarkovPrefetcher(config.markov, config.line_size)
+            MarkovPrefetcher(
+                config.markov, config.line_size,
+                address_bits=config.content.address_bits,
+            )
             if config.markov.enabled else None
         )
         self.result = TimingResult("run")

@@ -13,8 +13,10 @@ we correspondingly discard the first quarter of each trace.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.core.results import TimingResult
 from repro.core.simulator import TimingSimulator
 from repro.params import MachineConfig
@@ -29,6 +31,7 @@ __all__ = [
     "ExperimentResult",
     "REPRESENTATIVES",
     "model_machine",
+    "run_functional",
     "run_timing",
     "timing_speedups",
     "warmup_uops_for",
@@ -110,6 +113,36 @@ def warmup_uops_for(trace: Trace) -> int:
     return int(trace.uop_count * WARMUP_FRACTION)
 
 
+def run_functional(
+    config: MachineConfig,
+    workload: BuiltWorkload,
+    mptu_window_uops: int = 0,
+    warmup_uops: int | None = None,
+):
+    """Run one functional simulation with the standard warm-up discipline.
+
+    *warmup_uops* overrides the standard quarter-trace discard (pass 0 to
+    measure the transient, as Figure 1 does).
+    """
+    from repro.core.functional import FunctionalSimulator
+
+    if warmup_uops is None:
+        warmup_uops = warmup_uops_for(workload.trace)
+    simulator = FunctionalSimulator(
+        config, workload.memory, mptu_window_uops=mptu_window_uops
+    )
+    if not perf.enabled():
+        return simulator.run(workload.trace, warmup_uops)
+    started = time.perf_counter()
+    with perf.stage("functional-sim"):
+        result = simulator.run(workload.trace, warmup_uops)
+    perf.record_throughput(
+        "functional uops/sec", workload.trace.uop_count,
+        time.perf_counter() - started,
+    )
+    return result
+
+
 def run_timing(
     config: MachineConfig,
     workload: BuiltWorkload,
@@ -122,7 +155,18 @@ def run_timing(
     )
     if inject_pollution:
         simulator.memsys.inject_pollution = True
-    return simulator.run(workload.trace, warmup_uops_for(workload.trace))
+    if not perf.enabled():
+        return simulator.run(workload.trace, warmup_uops_for(workload.trace))
+    started = time.perf_counter()
+    with perf.stage("timing-sim"):
+        result = simulator.run(
+            workload.trace, warmup_uops_for(workload.trace)
+        )
+    perf.record_throughput(
+        "timing uops/sec", workload.trace.uop_count,
+        time.perf_counter() - started,
+    )
+    return result
 
 
 def timing_speedups(

@@ -11,11 +11,11 @@ trace everywhere else.
 
 from __future__ import annotations
 
-from repro.core.functional import FunctionalSimulator
 from repro.experiments.common import (
     ExperimentResult,
     REPRESENTATIVES,
     model_machine,
+    run_functional,
 )
 from repro.workloads.suite import build_benchmark
 
@@ -43,10 +43,10 @@ def run(
     for name in benchmarks:
         workload = build_benchmark(name, scale=scale, seed=seed)
         window_uops = max(500, workload.trace.uop_count // windows)
-        simulator = FunctionalSimulator(
-            config, workload.memory, mptu_window_uops=window_uops
+        result = run_functional(
+            config, workload, mptu_window_uops=window_uops,
+            warmup_uops=0,
         )
-        result = simulator.run(workload.trace)
         traces[name] = result.mptu_trace
         transient = (
             max(result.mptu_trace[:5]) if result.mptu_trace else 0.0

@@ -60,7 +60,10 @@ def _run_side(reinforcement: bool):
     hierarchy = CacheHierarchy(config, memory)
     memsys = TimingMemorySystem(
         config, hierarchy,
-        StridePrefetcher(config.stride, config.line_size),
+        StridePrefetcher(
+            config.stride, config.line_size,
+            address_bits=config.content.address_bits,
+        ),
         ContentPrefetcher(config.content, config.line_size),
         result=TimingResult("fig3"),
     )

@@ -14,12 +14,11 @@ configuration under study in Section 4.1.
 
 from __future__ import annotations
 
-from repro.core.functional import FunctionalSimulator
 from repro.experiments.common import (
     ExperimentResult,
     REPRESENTATIVES,
     model_machine,
-    warmup_uops_for,
+    run_functional,
 )
 from repro.stats.metrics import arithmetic_mean
 from repro.workloads.suite import build_benchmark
@@ -55,10 +54,7 @@ def run(
         accuracies = []
         for name in benchmarks:
             workload = build_benchmark(name, scale=scale, seed=seed)
-            simulator = FunctionalSimulator(config, workload.memory)
-            result = simulator.run(
-                workload.trace, warmup_uops=warmup_uops_for(workload.trace)
-            )
+            result = run_functional(config, workload)
             coverages.append(result.adjusted_content_coverage)
             accuracies.append(result.adjusted_content_accuracy)
         label = "%02d.%d" % (compare_bits, filter_bits)

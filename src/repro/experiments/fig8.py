@@ -13,11 +13,10 @@ reproduce exactly that effect.)
 
 from __future__ import annotations
 
-from repro.core.functional import FunctionalSimulator
 from repro.experiments.common import (
     ExperimentResult,
     model_machine,
-    warmup_uops_for,
+    run_functional,
 )
 from repro.stats.metrics import arithmetic_mean
 from repro.workloads.suite import build_benchmark
@@ -59,10 +58,7 @@ def run(
         accuracies = []
         for name in benchmarks:
             workload = build_benchmark(name, scale=scale, seed=seed)
-            simulator = FunctionalSimulator(config, workload.memory)
-            result = simulator.run(
-                workload.trace, warmup_uops=warmup_uops_for(workload.trace)
-            )
+            result = run_functional(config, workload)
             coverages.append(result.adjusted_content_coverage)
             accuracies.append(result.adjusted_content_accuracy)
         label = "8.4.%d.%d" % (align_bits, scan_step)

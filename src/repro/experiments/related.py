@@ -15,10 +15,10 @@ This experiment quantifies that contrast in the functional metric space
 
 from __future__ import annotations
 
-from repro.core.functional import FunctionalSimulator
 from repro.experiments.common import (
     ExperimentResult,
     model_machine,
+    run_functional,
     warmup_uops_for,
 )
 from repro.prefetch.dependence import simulate_value_coverage
@@ -39,9 +39,9 @@ def run(
     for name in benchmarks:
         workload = build_benchmark(name, scale=scale, seed=seed)
         warmup = warmup_uops_for(workload.trace)
-        content_result = FunctionalSimulator(
-            model_machine(), workload.memory
-        ).run(workload.trace, warmup_uops=warmup)
+        content_result = run_functional(
+            model_machine(), workload, warmup_uops=warmup
+        )
         dependence = simulate_value_coverage(
             workload, model_machine(), warmup_uops=warmup
         )

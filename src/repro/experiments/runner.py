@@ -22,6 +22,7 @@ import os
 import sys
 import time
 
+from repro import perf
 from repro.core import invariants
 from repro.experiments import (
     ablation,
@@ -143,6 +144,11 @@ def main(argv=None) -> int:
         "--chart", action="store_true",
         help="render an ASCII chart of the result where supported",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="record stage timings and simulator throughput "
+             "(repro.perf) and print the profile after each experiment",
+    )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
@@ -154,6 +160,7 @@ def main(argv=None) -> int:
     previous_checks = invariants.set_global_checks(
         args.check_invariants or invariants.checks_enabled()
     )
+    previous_profile = perf.set_enabled(args.profile or perf.enabled())
     try:
         for name in names:
             if name in completed:
@@ -166,9 +173,13 @@ def main(argv=None) -> int:
                 if args.scale is not None:
                     kwargs["scale"] = args.scale
             started = time.time()
+            if args.profile:
+                perf.RECORDER.reset()
             result = run(**kwargs)
             elapsed = time.time() - started
             text = result.render()
+            if args.profile:
+                text += "\n\n" + perf.report()
             if args.chart:
                 from repro.experiments.chartrender import render_chart
 
@@ -186,6 +197,7 @@ def main(argv=None) -> int:
                 _save_checkpoint(args.out, fingerprint, completed)
     finally:
         invariants.set_global_checks(previous_checks)
+        perf.set_enabled(previous_profile)
     return 0
 
 

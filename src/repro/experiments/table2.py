@@ -10,10 +10,10 @@ most of their misses at 4 MB while footprint-exceeding ones do not.
 
 from __future__ import annotations
 
-from repro.core.functional import FunctionalSimulator
 from repro.experiments.common import (
     ExperimentResult,
     model_machine,
+    run_functional,
     warmup_uops_for,
 )
 from repro.workloads.suite import SUITE_OF, benchmark_names, build_benchmark
@@ -37,8 +37,7 @@ def run(
         warmup = warmup_uops_for(workload.trace)
         mptus = []
         for config in (config_1mb, config_4mb):
-            simulator = FunctionalSimulator(config, workload.memory)
-            result = simulator.run(workload.trace, warmup_uops=warmup)
+            result = run_functional(config, workload, warmup_uops=warmup)
             mptus.append(result.mptu)
         mptu_by_bench[name] = tuple(mptus)
         rows.append([

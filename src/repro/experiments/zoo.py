@@ -51,7 +51,8 @@ def _build_simulator(label: str, config, memory) -> TimingSimulator:
     simulator = TimingSimulator(config, memory)
     if label.startswith("stream"):
         adapter = SequentialAdapter(StreamBufferPrefetcher(
-            num_buffers=4, depth=4, line_size=config.line_size
+            num_buffers=4, depth=4, line_size=config.line_size,
+            address_bits=config.content.address_bits,
         ))
         simulator.stride = adapter
         simulator.memsys.stride = adapter

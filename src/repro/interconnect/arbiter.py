@@ -26,9 +26,14 @@ from repro.cache.line import Requester
 __all__ = ["MemoryRequest", "ArbiterStats", "PriorityArbiter"]
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
-    """One line-granular memory request flowing through the arbiters."""
+    """One line-granular memory request flowing through the arbiters.
+
+    Requests are pooled and reused by the timing memory system (issue and
+    grant are the hot path of every sweep), so holders must not keep a
+    reference past the bus grant that consumes the request.
+    """
 
     line_paddr: int
     line_vaddr: int

@@ -1,8 +1,14 @@
-"""Address arithmetic helpers for a 32-bit address space.
+"""Address arithmetic helpers.
 
 Functions here are deliberately tiny and free-standing: they are on the
 hottest paths of the simulator (every cache access uses them), so they avoid
 object construction entirely.
+
+The *default* address space is 32 bits (the paper's machine), but every
+component that masks addresses derives its masks from
+``ContentConfig.address_bits`` via :func:`address_mask` /
+:func:`line_mask` — a 64-bit configuration must never silently truncate
+candidates to 32 bits.
 """
 
 from __future__ import annotations
@@ -11,8 +17,10 @@ __all__ = [
     "ADDRESS_BITS",
     "ADDRESS_MASK",
     "AddressSpace",
+    "address_mask",
     "line_base",
     "line_index",
+    "line_mask",
     "page_base",
     "page_index",
     "page_offset",
@@ -20,6 +28,18 @@ __all__ = [
 
 ADDRESS_BITS = 32
 ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+
+
+def address_mask(bits: int = ADDRESS_BITS) -> int:
+    """All-ones mask of an address space *bits* wide."""
+    if bits <= 0:
+        raise ValueError("address width must be positive")
+    return (1 << bits) - 1
+
+
+def line_mask(line_size: int, bits: int = ADDRESS_BITS) -> int:
+    """Mask selecting the line base address in a *bits*-wide space."""
+    return ~(line_size - 1) & address_mask(bits)
 
 
 def line_base(address: int, line_size: int = 64) -> int:

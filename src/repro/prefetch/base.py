@@ -5,6 +5,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.memory.address import ADDRESS_BITS, line_mask
+
 __all__ = ["PrefetchKind", "PrefetchCandidate"]
 
 
@@ -34,5 +36,7 @@ class PrefetchCandidate:
     # for chained scans (the new trigger) and for debugging.
     trigger_vaddr: int = 0
 
-    def line(self, line_size: int = 64) -> int:
-        return self.vaddr & ~(line_size - 1) & 0xFFFF_FFFF
+    def line(
+        self, line_size: int = 64, address_bits: int = ADDRESS_BITS
+    ) -> int:
+        return self.vaddr & line_mask(line_size, address_bits)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.memory.address import address_mask, line_mask
 from repro.params import ContentConfig
 from repro.prefetch.base import PrefetchCandidate, PrefetchKind
 from repro.prefetch.matcher import VirtualAddressMatcher
@@ -41,7 +42,8 @@ class ContentPrefetcher:
         self.matcher = VirtualAddressMatcher(config)
         self.stats = ContentStats()
         self._line_size = line_size
-        self._line_mask = ~(line_size - 1) & 0xFFFF_FFFF
+        self._addr_mask = address_mask(config.address_bits)
+        self._line_mask = line_mask(line_size, config.address_bits)
 
     # -- depth bookkeeping ----------------------------------------------------
 
@@ -139,7 +141,7 @@ class ContentPrefetcher:
         emitted_lines: set[int],
         out: list[PrefetchCandidate],
     ) -> None:
-        line &= 0xFFFF_FFFF
+        line &= self._addr_mask
         if line in emitted_lines:
             return
         emitted_lines.add(line)

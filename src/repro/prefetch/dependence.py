@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.memory.address import ADDRESS_BITS, address_mask, line_mask
 from repro.prefetch.base import PrefetchCandidate, PrefetchKind
 
 __all__ = [
@@ -53,9 +54,11 @@ class DependencePrefetcher:
         window: int = 32,
         max_offset: int = 128,
         fanout: int = 2,
+        address_bits: int = ADDRESS_BITS,
     ) -> None:
         if table_entries <= 0 or window <= 0 or fanout <= 0:
             raise ValueError("table/window/fanout must be positive")
+        self._addr_mask = address_mask(address_bits)
         self.table_entries = table_entries
         self.window = window
         self.max_offset = max_offset
@@ -119,7 +122,7 @@ class DependencePrefetcher:
         self._table.move_to_end(pc)
         candidates = [
             PrefetchCandidate(
-                (value + offset) & 0xFFFF_FFFF, 1, PrefetchKind.CHAIN,
+                (value + offset) & self._addr_mask, 1, PrefetchKind.CHAIN,
                 trigger_vaddr=value,
             )
             for _, offset in entry
@@ -149,7 +152,7 @@ def simulate_value_coverage(workload, config, prefetcher=None, warmup_uops=0):
         prefetcher = DependencePrefetcher()
     cache = SetAssociativeCache(config.ul2, name="UL2")
     memory = workload.memory
-    line_mask = ~(config.line_size - 1) & 0xFFFF_FFFF
+    mask = line_mask(config.line_size, config.content.address_bits)
     counted: set = set()
     misses = issued = useful = 0
     uops_seen = 0
@@ -166,15 +169,15 @@ def simulate_value_coverage(workload, config, prefetcher=None, warmup_uops=0):
             if measuring:
                 misses += 1
             cache.fill(vaddr, requester=Requester.DEMAND)
-            counted.discard(vaddr & line_mask)
+            counted.discard(vaddr & mask)
         elif line.was_prefetched and not line.referenced:
             line.promote(0, Requester.DEMAND)
-            if measuring and (vaddr & line_mask) in counted:
+            if measuring and (vaddr & mask) in counted:
                 useful += 1
-                counted.discard(vaddr & line_mask)
+                counted.discard(vaddr & mask)
         value = memory.read_word(vaddr)
         for candidate in prefetcher.observe_load(op[2], vaddr, value):
-            line_addr = candidate.vaddr & line_mask
+            line_addr = candidate.vaddr & mask
             if cache.peek(line_addr) is None:
                 cache.fill(line_addr, requester=Requester.CONTENT)
                 if measuring:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.memory.address import ADDRESS_BITS, line_mask
 from repro.params import MarkovConfig
 from repro.prefetch.base import PrefetchCandidate, PrefetchKind
 
@@ -43,10 +44,15 @@ class MarkovStats:
 class MarkovPrefetcher:
     """1-history Markov miss predictor with a bounded STAB."""
 
-    def __init__(self, config: MarkovConfig, line_size: int = 64) -> None:
+    def __init__(
+        self,
+        config: MarkovConfig,
+        line_size: int = 64,
+        address_bits: int = ADDRESS_BITS,
+    ) -> None:
         self.config = config
         self.stats = MarkovStats()
-        self._line_mask = ~(line_size - 1) & 0xFFFF_FFFF
+        self._line_mask = line_mask(line_size, address_bits)
         self._stab: OrderedDict[int, list[int]] = OrderedDict()
         self._prev_miss: int | None = None
 

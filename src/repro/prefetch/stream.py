@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.memory.address import ADDRESS_BITS, line_mask
 from repro.prefetch.base import PrefetchCandidate, PrefetchKind
 
 __all__ = ["StreamBufferStats", "StreamBufferPrefetcher"]
@@ -46,6 +47,7 @@ class StreamBufferPrefetcher:
         num_buffers: int = 4,
         depth: int = 4,
         line_size: int = 64,
+        address_bits: int = ADDRESS_BITS,
     ) -> None:
         if num_buffers <= 0 or depth <= 0:
             raise ValueError("buffers and depth must be positive")
@@ -53,7 +55,7 @@ class StreamBufferPrefetcher:
         self.depth = depth
         self.stats = StreamBufferStats()
         self._line_size = line_size
-        self._line_mask = ~(line_size - 1) & 0xFFFF_FFFF
+        self._line_mask = line_mask(line_size, address_bits)
         self._buffers = [_StreamBuffer() for _ in range(num_buffers)]
         self._clock = 0
 

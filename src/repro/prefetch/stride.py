@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.memory.address import ADDRESS_BITS, address_mask, line_mask
 from repro.params import StrideConfig
 from repro.prefetch.base import PrefetchCandidate, PrefetchKind
 
@@ -39,10 +40,16 @@ class StrideStats:
 class StridePrefetcher:
     """PC-indexed reference prediction table."""
 
-    def __init__(self, config: StrideConfig, line_size: int = 64) -> None:
+    def __init__(
+        self,
+        config: StrideConfig,
+        line_size: int = 64,
+        address_bits: int = ADDRESS_BITS,
+    ) -> None:
         self.config = config
         self.stats = StrideStats()
-        self._line_mask = ~(line_size - 1) & 0xFFFF_FFFF
+        self._addr_mask = address_mask(address_bits)
+        self._line_mask = line_mask(line_size, address_bits)
         self._line_size = line_size
         self._table: OrderedDict[int, StrideEntry] = OrderedDict()
 
@@ -72,7 +79,7 @@ class StridePrefetcher:
         candidates = []
         seen_lines = {vaddr & self._line_mask}
         for k in range(1, self.config.prefetch_distance + 1):
-            target = (vaddr + k * stride) & 0xFFFF_FFFF
+            target = (vaddr + k * stride) & self._addr_mask
             line = target & self._line_mask
             if line in seen_lines:
                 continue
@@ -101,7 +108,7 @@ class StridePrefetcher:
         if entry.stride == 0:
             return False
         for k in range(1, self.config.prefetch_distance + 1):
-            predicted = (entry.last_addr + k * entry.stride) & 0xFFFF_FFFF
+            predicted = (entry.last_addr + k * entry.stride) & self._addr_mask
             if predicted & self._line_mask == vaddr & self._line_mask:
                 return True
         return False

@@ -13,6 +13,7 @@ The paper's metric definitions:
 from __future__ import annotations
 
 import math
+import warnings
 
 __all__ = ["mptu", "speedup", "arithmetic_mean", "geometric_mean"]
 
@@ -40,10 +41,24 @@ def arithmetic_mean(values) -> float:
 
 
 def geometric_mean(values) -> float:
-    """Geometric mean of positive values; 0.0 for an empty sequence."""
+    """Geometric mean of the positive values; 0.0 for an empty sequence.
+
+    Non-positive points (a crashed or degenerate run reports ``speedup``
+    0.0) are *skipped with a warning* rather than aborting the whole
+    aggregation: one bad benchmark in a sweep must not discard every
+    other result.  The warning reports how many points were dropped.
+    """
     values = list(values)
-    if not values:
+    positive = [v for v in values if v > 0]
+    skipped = len(values) - len(positive)
+    if skipped:
+        warnings.warn(
+            "geometric_mean skipped %d non-positive value%s "
+            "(of %d points)"
+            % (skipped, "" if skipped == 1 else "s", len(values)),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if not positive:
         return 0.0
-    if any(v <= 0 for v in values):
-        raise ValueError("geometric mean requires positive values")
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))

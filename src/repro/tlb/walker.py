@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.memory.address import ADDRESS_BITS, line_mask
 from repro.memory.pagetable import PageTable
 
 __all__ = ["WalkResult", "PageWalker"]
@@ -35,9 +36,14 @@ class WalkResult:
 class PageWalker:
     """Generates page-walk memory traffic for DTLB misses."""
 
-    def __init__(self, page_table: PageTable, line_size: int = 64) -> None:
+    def __init__(
+        self,
+        page_table: PageTable,
+        line_size: int = 64,
+        address_bits: int = ADDRESS_BITS,
+    ) -> None:
         self.page_table = page_table
-        self._line_mask = ~(line_size - 1) & 0xFFFF_FFFF
+        self._line_mask = line_mask(line_size, address_bits)
         self.walks = 0
         self.prefetch_walks = 0
 

@@ -1,0 +1,124 @@
+"""Regression tests: the address width must come from configuration.
+
+The paper simulates a 32-bit virtual address space, and early versions of
+this repo hardcoded ``0xFFFF_FFFF`` throughout — so setting
+``ContentConfig.address_bits = 64`` silently truncated every derived mask
+to 32 bits.  All masks now flow from :func:`repro.memory.address.
+address_mask` / :func:`~repro.memory.address.line_mask`; these tests pin
+the 64-bit behaviour end to end (matcher, content prefetcher, stride
+prefetcher, trace builder).
+"""
+
+import pytest
+
+from repro.memory.address import ADDRESS_BITS, address_mask, line_mask
+from repro.params import ContentConfig, StrideConfig
+from repro.prefetch.base import PrefetchCandidate, PrefetchKind
+from repro.prefetch.content import ContentPrefetcher
+from repro.prefetch.matcher import VirtualAddressMatcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.trace.ops import LOAD, TraceBuilder
+
+# A pointer well above 4 GiB: truncation to 32 bits mangles it visibly.
+HIGH_PTR = 0x0000_7F5A_DEAD_BE48
+HIGH_EFF = 0x0000_7F5A_0000_1000
+CONFIG_64 = ContentConfig(address_bits=64, word_size=8, compare_bits=16)
+
+
+def line_with(pointer: int, word_size: int = 8) -> bytes:
+    line = bytearray(64)
+    line[0:word_size] = pointer.to_bytes(word_size, "little")
+    return bytes(line)
+
+
+class TestHelpers:
+    def test_address_mask(self):
+        assert address_mask(32) == 0xFFFF_FFFF
+        assert address_mask(64) == 0xFFFF_FFFF_FFFF_FFFF
+        assert address_mask() == address_mask(ADDRESS_BITS)
+
+    def test_address_mask_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            address_mask(0)
+
+    def test_line_mask(self):
+        assert line_mask(64, 32) == 0xFFFF_FFC0
+        assert line_mask(64, 64) == 0xFFFF_FFFF_FFFF_FFC0
+        assert HIGH_PTR & line_mask(64, 64) == 0x0000_7F5A_DEAD_BE40
+
+
+class TestMatcher64Bit:
+    def test_high_pointer_recognised(self):
+        matcher = VirtualAddressMatcher(CONFIG_64)
+        assert matcher.scan(line_with(HIGH_PTR), HIGH_EFF) == [HIGH_PTR]
+
+    def test_high_pointer_not_truncated_to_32_bits(self):
+        # Under the old hardcoded mask the word survived only mod 2^32,
+        # which can never compare-match a >4 GiB effective address.
+        matcher = VirtualAddressMatcher(CONFIG_64)
+        candidates = matcher.scan(line_with(HIGH_PTR), HIGH_EFF)
+        assert candidates and candidates[0] > 0xFFFF_FFFF
+
+    def test_is_candidate_matches_scan(self):
+        scanning = VirtualAddressMatcher(CONFIG_64)
+        single = VirtualAddressMatcher(CONFIG_64)
+        assert single.is_candidate(HIGH_PTR, HIGH_EFF)
+        assert scanning.scan(line_with(HIGH_PTR), HIGH_EFF) == [HIGH_PTR]
+
+
+class TestContentPrefetcher64Bit:
+    def test_chain_and_width_candidates_stay_wide(self):
+        config = ContentConfig(
+            address_bits=64, word_size=8, compare_bits=16, next_lines=3
+        )
+        prefetcher = ContentPrefetcher(config, line_size=64)
+        candidates = prefetcher.scan_fill(
+            line_vaddr=HIGH_EFF & line_mask(64, 64),
+            line_bytes=line_with(HIGH_PTR),
+            effective_vaddr=HIGH_EFF,
+            depth=0,
+        )
+        assert candidates, "no candidates from a 64-bit pointer fill"
+        for candidate in candidates:
+            assert candidate.vaddr > 0xFFFF_FFFF
+            assert candidate.vaddr <= address_mask(64)
+
+
+class TestPrefetchCandidate64Bit:
+    def test_line_respects_address_bits(self):
+        candidate = PrefetchCandidate(
+            vaddr=HIGH_PTR, depth=1, kind=PrefetchKind.CHAIN
+        )
+        assert candidate.line(64, address_bits=64) == (
+            HIGH_PTR & line_mask(64, 64)
+        )
+
+
+class TestStride64Bit:
+    def test_strides_above_4gib(self):
+        prefetcher = StridePrefetcher(
+            StrideConfig(), line_size=64, address_bits=64
+        )
+        base = 0x0001_0000_0000  # 4 GiB boundary
+        candidates = []
+        for i in range(8):
+            candidates = prefetcher.observe(pc=0x400, vaddr=base + 256 * i)
+        assert candidates, "stride never trained"
+        for candidate in candidates:
+            assert candidate.vaddr > 0xFFFF_FFFF
+
+
+class TestTraceBuilder64Bit:
+    def test_load_addresses_not_truncated(self):
+        builder = TraceBuilder("wide", address_bits=64)
+        builder.load(HIGH_PTR, pc=0x400)
+        trace = builder.build()
+        loads = [op for op in trace.ops if op[0] == LOAD]
+        assert loads[0][1] == HIGH_PTR
+
+    def test_default_width_still_wraps_at_32_bits(self):
+        builder = TraceBuilder("narrow")
+        builder.load(HIGH_PTR, pc=0x400)
+        trace = builder.build()
+        loads = [op for op in trace.ops if op[0] == LOAD]
+        assert loads[0][1] == HIGH_PTR & 0xFFFF_FFFF

@@ -28,8 +28,18 @@ class TestMetrics:
     def test_geometric_mean(self):
         assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
         assert geometric_mean([]) == 0.0
-        with pytest.raises(ValueError):
-            geometric_mean([1.0, -1.0])
+
+    def test_geometric_mean_skips_non_positive_with_warning(self):
+        # A crashed run reporting speedup 0.0 must not abort the whole
+        # aggregation — the bad point is skipped and warned about.
+        with pytest.warns(RuntimeWarning, match="skipped 1 non-positive"):
+            assert geometric_mean([2.0, 8.0, 0.0]) == pytest.approx(4.0)
+        with pytest.warns(RuntimeWarning, match="skipped 2 non-positive"):
+            assert geometric_mean([4.0, -1.0, 0.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_all_non_positive(self):
+        with pytest.warns(RuntimeWarning):
+            assert geometric_mean([0.0, -2.0]) == 0.0
 
 
 class TestTables:

@@ -1,0 +1,196 @@
+"""Tests for the repro.perf stage-timer / throughput recorder."""
+
+import pytest
+
+from repro import perf
+from repro.perf import PerfRecorder
+
+
+@pytest.fixture
+def recorder():
+    return PerfRecorder()
+
+
+class TestDisabled:
+    def test_disabled_recorder_records_nothing(self, recorder):
+        with recorder.stage("build"):
+            pass
+        recorder.counter("hits")
+        recorder.record_throughput("timing uops/sec", 1000, 0.5)
+        assert recorder.stage_seconds == {}
+        assert recorder.counters == {}
+        assert recorder.throughput_samples == {}
+
+    def test_report_when_empty(self, recorder):
+        assert "nothing recorded" in recorder.report()
+
+
+class TestRecording:
+    def test_stage_accumulates_across_calls(self, recorder):
+        recorder.enabled = True
+        for _ in range(3):
+            with recorder.stage("build"):
+                pass
+        assert recorder.stage_calls["build"] == 3
+        assert recorder.stage_seconds["build"] >= 0.0
+
+    def test_stage_records_even_on_exception(self, recorder):
+        recorder.enabled = True
+        with pytest.raises(RuntimeError):
+            with recorder.stage("build"):
+                raise RuntimeError("boom")
+        assert recorder.stage_calls["build"] == 1
+
+    def test_counters(self, recorder):
+        recorder.enabled = True
+        recorder.counter("hits")
+        recorder.counter("hits", 4)
+        assert recorder.counters["hits"] == 5
+
+    def test_throughput_aggregates_samples(self, recorder):
+        recorder.enabled = True
+        recorder.record_throughput("timing uops/sec", 1000, 1.0)
+        recorder.record_throughput("timing uops/sec", 3000, 1.0)
+        assert recorder.uops_per_second("timing uops/sec") == 2000.0
+        assert recorder.uops_per_second("missing") == 0.0
+
+    def test_report_mentions_everything(self, recorder):
+        recorder.enabled = True
+        with recorder.stage("build"):
+            pass
+        recorder.counter("hits", 2)
+        recorder.record_throughput("timing uops/sec", 100, 0.1)
+        text = recorder.report()
+        assert "build" in text
+        assert "hits" in text
+        assert "timing uops/sec" in text
+
+    def test_reset(self, recorder):
+        recorder.enabled = True
+        recorder.counter("hits")
+        recorder.reset()
+        assert recorder.counters == {}
+        assert recorder.enabled  # reset clears data, not the switch
+
+
+class TestModuleSingleton:
+    def test_set_enabled_returns_previous(self):
+        previous = perf.set_enabled(True)
+        try:
+            assert perf.enabled()
+            assert perf.set_enabled(False) is True
+            assert not perf.enabled()
+        finally:
+            perf.set_enabled(previous)
+            perf.RECORDER.reset()
+
+    def test_module_functions_hit_singleton(self):
+        previous = perf.set_enabled(True)
+        try:
+            perf.RECORDER.reset()
+            perf.counter("x")
+            with perf.stage("s"):
+                pass
+            perf.record_throughput("k", 10, 1.0)
+            assert perf.RECORDER.counters["x"] == 1
+            assert "s" in perf.report()
+        finally:
+            perf.set_enabled(previous)
+            perf.RECORDER.reset()
+
+
+class TestInstrumentedRuns:
+    def test_run_timing_records_throughput(self):
+        from repro.experiments.common import model_machine, run_timing
+        from repro.workloads.suite import build_benchmark
+
+        workload = build_benchmark("b2c", scale=0.01)
+        previous = perf.set_enabled(True)
+        perf.RECORDER.reset()
+        try:
+            run_timing(model_machine(), workload)
+            assert perf.RECORDER.uops_per_second("timing uops/sec") > 0
+            assert "timing-sim" in perf.RECORDER.stage_seconds
+        finally:
+            perf.set_enabled(previous)
+            perf.RECORDER.reset()
+
+    def test_run_functional_records_throughput(self):
+        from repro.experiments.common import model_machine, run_functional
+        from repro.workloads.suite import build_benchmark
+
+        workload = build_benchmark("b2c", scale=0.01)
+        previous = perf.set_enabled(True)
+        perf.RECORDER.reset()
+        try:
+            run_functional(model_machine(), workload)
+            assert perf.RECORDER.uops_per_second("functional uops/sec") > 0
+        finally:
+            perf.set_enabled(previous)
+            perf.RECORDER.reset()
+
+    def test_disabled_is_default(self):
+        assert not perf.enabled()
+
+
+class TestWorkloadCacheCounters:
+    def test_cache_hit_counted(self, tmp_path):
+        from repro.workloads import suite
+
+        previous = perf.set_enabled(True)
+        perf.RECORDER.reset()
+        try:
+            suite.clear_cache()
+            suite.build_benchmark("b2c", scale=0.01)
+            builds = perf.RECORDER.counters.get("workload-builds", 0)
+            assert builds == 1
+            suite.build_benchmark("b2c", scale=0.01)
+            assert perf.RECORDER.counters["workload-cache-hits"] == 1
+            assert perf.RECORDER.counters["workload-builds"] == builds
+        finally:
+            perf.set_enabled(previous)
+            perf.RECORDER.reset()
+            suite.clear_cache()
+
+    def test_warm_cache_prebuilds(self):
+        from repro.workloads import suite
+
+        previous = perf.set_enabled(True)
+        perf.RECORDER.reset()
+        try:
+            suite.clear_cache()
+            count = suite.warm_cache(["b2c", "proE"], scales=(0.01,))
+            assert count == 2
+            assert perf.RECORDER.counters["workload-builds"] == 2
+            # Warm again: everything is served from the cache.
+            suite.warm_cache(["b2c", "proE"], scales=(0.01,))
+            assert perf.RECORDER.counters["workload-builds"] == 2
+            assert perf.RECORDER.counters["workload-cache-hits"] == 2
+        finally:
+            perf.set_enabled(previous)
+            perf.RECORDER.reset()
+            suite.clear_cache()
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        from repro.workloads import suite
+
+        cache_dir = str(tmp_path / "wlcache")
+        suite.clear_cache()
+        first = suite.build_benchmark("b2c", scale=0.01, cache_dir=cache_dir)
+        # A fresh process is simulated by clearing the in-process cache:
+        # the disk image must satisfy the rebuild.
+        suite.clear_cache()
+        previous = perf.set_enabled(True)
+        perf.RECORDER.reset()
+        try:
+            second = suite.build_benchmark(
+                "b2c", scale=0.01, cache_dir=cache_dir
+            )
+            assert perf.RECORDER.counters.get("workload-disk-cache-hits") == 1
+            assert perf.RECORDER.counters.get("workload-builds") is None
+            assert second.trace.uop_count == first.trace.uop_count
+            assert len(second.trace.ops) == len(first.trace.ops)
+        finally:
+            perf.set_enabled(previous)
+            perf.RECORDER.reset()
+            suite.clear_cache()

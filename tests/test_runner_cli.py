@@ -33,6 +33,16 @@ class TestCLI:
         assert len(EXPERIMENTS) == 18
         assert "faultsweep" in EXPERIMENTS
 
+    def test_profile_flag_prints_report(self, capsys):
+        from repro import perf
+
+        assert main(["fig1", "--scale", "0.01", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "perf profile:" in out
+        assert "functional uops/sec" in out
+        # The flag must not leave recording on for the rest of the process.
+        assert not perf.enabled()
+
 
 class TestCheckpointResume:
     def test_checkpoint_written_alongside_out(self, tmp_path, capsys):

@@ -132,3 +132,52 @@ class TestPrefetchAccounting:
         cache.fill(0x2000)
         assert cache.resident_lines() == 2
         assert len(cache.contents()) == 2
+
+
+class TestPromoteMonotone:
+    """fill() on a resident line must never demote its metadata.
+
+    Regression for the prefetch-races-demand window: a deep content
+    prefetch completing after a demand fill of the same line must not
+    raise the stored depth, steal ownership, or clear the referenced bit.
+    """
+
+    def test_deep_prefetch_cannot_raise_depth(self):
+        cache = make_cache()
+        cache.fill(0x1000, requester=Requester.DEMAND, depth=0)
+        cache.fill(0x1000, requester=Requester.CONTENT, depth=3)
+        line = cache.peek(0x1000)
+        assert line.depth == 0
+        assert line.requester is Requester.DEMAND
+
+    def test_shallow_request_lowers_depth(self):
+        cache = make_cache()
+        cache.fill(0x1000, requester=Requester.CONTENT, depth=3)
+        cache.fill(0x1000, requester=Requester.CONTENT, depth=1)
+        assert cache.peek(0x1000).depth == 1
+
+    def test_requester_never_overwritten(self):
+        cache = make_cache()
+        cache.fill(0x1000, requester=Requester.CONTENT, depth=2)
+        cache.fill(0x1000, requester=Requester.STRIDE, depth=1)
+        line = cache.peek(0x1000)
+        assert line.requester is Requester.CONTENT
+        assert line.depth == 1
+
+    def test_referenced_never_cleared(self):
+        cache = make_cache()
+        cache.fill(0x1000, requester=Requester.CONTENT, depth=2)
+        cache.peek(0x1000).promote(0, Requester.DEMAND)
+        assert cache.peek(0x1000).referenced
+        cache.fill(0x1000, requester=Requester.CONTENT, depth=3)
+        line = cache.peek(0x1000)
+        assert line.referenced
+        assert line.depth == 0
+
+    def test_racing_fill_does_not_refill_or_evict(self):
+        cache = make_cache()
+        cache.fill(0x1000, requester=Requester.DEMAND)
+        fills_before = cache.stats.fills
+        assert cache.fill(0x1000, requester=Requester.CONTENT, depth=2) is None
+        assert cache.stats.fills == fills_before
+        assert cache.stats.evictions == 0
