@@ -96,3 +96,26 @@ class CacheHierarchy:
         self.l1.stats = type(self.l1.stats)()
         self.l2.stats = type(self.l2.stats)()
         self.dtlb.reset_stats()
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """L1 + UL2 + DTLB + page table (backing memory is read-only).
+
+        The workload's memory image is deliberately excluded: timing runs
+        never mutate it (stores are timing-only), and the experiments
+        rebuild it deterministically from the workload key — snapshots
+        stay megabytes smaller for it.
+        """
+        return {
+            "l1": self.l1.state_dict(),
+            "l2": self.l2.state_dict(),
+            "dtlb": self.dtlb.state_dict(),
+            "page_table": self.page_table.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.l1.load_state_dict(state["l1"])
+        self.l2.load_state_dict(state["l2"])
+        self.dtlb.load_state_dict(state["dtlb"])
+        self.page_table.load_state_dict(state["page_table"])

@@ -92,6 +92,34 @@ class CacheLine:
         if requester is Requester.DEMAND:
             self.referenced = True
 
+    def state_dict(self) -> dict:
+        """Snapshot hook: full line metadata as a plain-value tree."""
+        return {
+            "tag": self.tag,
+            "vaddr": self.vaddr,
+            "requester": int(self.requester),
+            "depth": self.depth,
+            "referenced": self.referenced,
+            "dirty": self.dirty,
+            "fill_time": self.fill_time,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CacheLine":
+        """Snapshot hook: rebuild a line from :meth:`state_dict` output."""
+        line = cls(
+            state["tag"],
+            state["vaddr"],
+            requester=Requester(state["requester"]),
+            depth=state["depth"],
+            fill_time=state["fill_time"],
+            kind=state["kind"],
+        )
+        line.referenced = state["referenced"]
+        line.dirty = state["dirty"]
+        return line
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "CacheLine(tag=0x%x, req=%s, depth=%d, ref=%s)" % (
             self.tag, self.requester.name, self.depth, self.referenced,

@@ -40,6 +40,35 @@ class MissStatus:
             self.promoted = True
             self.depth = 0
 
+    def state_dict(self) -> dict:
+        """Snapshot hook: one in-flight fill as a plain-value tree."""
+        return {
+            "line_paddr": self.line_paddr,
+            "line_vaddr": self.line_vaddr,
+            "requester": int(self.requester),
+            "depth": self.depth,
+            "issue_time": self.issue_time,
+            "fill_time": self.fill_time,
+            "demand_waiters": self.demand_waiters,
+            "promoted": self.promoted,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MissStatus":
+        status = cls(
+            state["line_paddr"],
+            state["line_vaddr"],
+            Requester(state["requester"]),
+            state["depth"],
+            state["issue_time"],
+            state["fill_time"],
+            demand_waiters=state["demand_waiters"],
+            promoted=state["promoted"],
+        )
+        status.extra = dict(state["extra"])
+        return status
+
 
 class MSHRFile:
     """Tracks fills in flight between the L2 and memory.
@@ -105,3 +134,21 @@ class MSHRFile:
 
     def inflight_lines(self) -> list[int]:
         return list(self._inflight)
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """In-flight fills in allocation order, plus the peak counter."""
+        return {
+            "inflight": [
+                status.state_dict() for status in self._inflight.values()
+            ],
+            "peak_occupancy": self.peak_occupancy,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._inflight = {}
+        for status_state in state["inflight"]:
+            status = MissStatus.from_state(status_state)
+            self._inflight[status.line_paddr] = status
+        self.peak_occupancy = state["peak_occupancy"]

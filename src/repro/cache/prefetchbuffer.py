@@ -19,6 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.cache.line import CacheLine, Requester
+from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 
 __all__ = ["PrefetchBufferStats", "PrefetchBuffer"]
 
@@ -100,3 +101,22 @@ class PrefetchBuffer:
 
     def resident_lines(self) -> list[int]:
         return list(self._lines)
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Buffered lines in FIFO order plus counters."""
+        return {
+            "stats": dataclass_state(self.stats),
+            "lines": [
+                [line_paddr, line.state_dict()]
+                for line_paddr, line in self._lines.items()
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        load_dataclass_state(self.stats, state["stats"])
+        self._lines = OrderedDict(
+            (line_paddr, CacheLine.from_state(line_state))
+            for line_paddr, line_state in state["lines"]
+        )

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.cache.line import CacheLine, Requester
 from repro.params import CacheConfig
+from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 
 __all__ = ["CacheStats", "SetAssociativeCache"]
 
@@ -166,3 +167,32 @@ class SetAssociativeCache:
     def lru_order(self, address: int) -> list[int]:
         """Tags in the set of *address*, LRU first (test helper)."""
         return list(self._sets[self.set_index(address)])
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full architectural state: every set's lines in LRU order."""
+        return {
+            "stats": dataclass_state(self.stats),
+            "sets": [
+                [line.state_dict() for line in cache_set.values()]
+                for cache_set in self._sets
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore contents, LRU order, and depth bits exactly."""
+        sets = state["sets"]
+        if len(sets) != self._num_sets:
+            raise ValueError(
+                "%s snapshot has %d sets; this cache has %d"
+                % (self.name, len(sets), self._num_sets)
+            )
+        load_dataclass_state(self.stats, state["stats"])
+        self._sets = [
+            OrderedDict(
+                (line_state["tag"], CacheLine.from_state(line_state))
+                for line_state in set_state
+            )
+            for set_state in sets
+        ]

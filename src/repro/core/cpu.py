@@ -17,6 +17,13 @@ modelled directly:
   retired; loads/stores are additionally bounded by the load/store buffer.
 * A mispredicted branch stalls the front end for ``mispredict_penalty``
   cycles after the branch completes.
+
+Execution is *resumable*: all mid-run state lives in one
+:class:`CoreRunState`, and :meth:`OutOfOrderCore.run` executes the trace
+in segments between caller-supplied op-index *boundaries*, invoking a hook
+at each one (the snapshot/digest point of :mod:`repro.snapshot`).  With no
+boundaries the whole trace is one segment and the inner loop is exactly
+the old hot path — zero per-µop overhead when snapshotting is off.
 """
 
 from __future__ import annotations
@@ -27,7 +34,119 @@ from repro.core.memsys import TimingMemorySystem
 from repro.params import CoreConfig
 from repro.trace.ops import BRANCH, COMPUTE, LOAD, Trace
 
-__all__ = ["OutOfOrderCore"]
+__all__ = [
+    "CoreRunState",
+    "OutOfOrderCore",
+    "index_reaching",
+    "snapshot_boundaries",
+]
+
+
+def snapshot_boundaries(ops: list, every: int) -> list[int]:
+    """Interior op indices at which cumulative µops cross multiples of *every*.
+
+    A boundary index ``i`` means "pause after executing ``ops[:i]``" — the
+    first op boundary at which at least ``k * every`` µops have retired.
+    The trace end is never a boundary (the run simply completes there), so
+    an uninterrupted run and a resumed run sample identical boundaries.
+    """
+    if every <= 0:
+        raise ValueError("snapshot interval must be positive")
+    bounds: list[int] = []
+    total = 0
+    target = every
+    for index, op in enumerate(ops):
+        total += op[1] if op[0] == COMPUTE else 1
+        if total >= target:
+            bounds.append(index + 1)
+            while target <= total:
+                target += every
+    if bounds and bounds[-1] >= len(ops):
+        bounds.pop()
+    return bounds
+
+
+def index_reaching(ops: list, uop: int) -> int:
+    """Smallest op index whose prefix covers at least *uop* µops."""
+    if uop <= 0:
+        return 0
+    total = 0
+    for index, op in enumerate(ops):
+        total += op[1] if op[0] == COMPUTE else 1
+        if total >= uop:
+            return index + 1
+    return len(ops)
+
+
+class CoreRunState:
+    """All mid-run execution state of the core — the unit of snapshot.
+
+    Everything the inner loop reads or writes between two op boundaries
+    lives here, so saving this object (plus the memory system) at a
+    boundary and restoring it later continues the run bit-identically.
+    """
+
+    __slots__ = (
+        "next_index",
+        "uop_pos",
+        "issue_time",
+        "mem_issue_time",
+        "inorder_retire",
+        "warmup_cycles",
+        "warmup_marked",
+        "rob_tail",
+        "load_buffer",
+        "store_buffer",
+        "ready",
+    )
+
+    def __init__(self, warmup_marked: bool) -> None:
+        self.next_index = 0
+        self.uop_pos = 0
+        self.issue_time = 0.0
+        self.mem_issue_time = 0.0
+        self.inorder_retire = 0.0
+        self.warmup_cycles = 0.0
+        self.warmup_marked = warmup_marked
+        # (uop position, in-order retire time at that µop) for long-latency
+        # ops; enforces the ROB-occupancy issue constraint.
+        self.rob_tail: deque = deque()
+        self.load_buffer: deque = deque()
+        self.store_buffer: deque = deque()
+        self.ready: dict[int, float] = {}
+
+    def state_dict(self) -> dict:
+        return {
+            "next_index": self.next_index,
+            "uop_pos": self.uop_pos,
+            "issue_time": self.issue_time,
+            "mem_issue_time": self.mem_issue_time,
+            "inorder_retire": self.inorder_retire,
+            "warmup_cycles": self.warmup_cycles,
+            "warmup_marked": self.warmup_marked,
+            "rob_tail": [[pos, retire] for pos, retire in self.rob_tail],
+            "load_buffer": list(self.load_buffer),
+            "store_buffer": list(self.store_buffer),
+            # Order-significant: (index, completion) insertion order.
+            "ready": [[index, value] for index, value in self.ready.items()],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CoreRunState":
+        out = cls(state["warmup_marked"])
+        out.next_index = state["next_index"]
+        out.uop_pos = state["uop_pos"]
+        out.issue_time = state["issue_time"]
+        out.mem_issue_time = state["mem_issue_time"]
+        out.inorder_retire = state["inorder_retire"]
+        out.warmup_cycles = state["warmup_cycles"]
+        out.rob_tail = deque(
+            (pos, retire) for pos, retire in state["rob_tail"]
+        )
+        out.load_buffer = deque(state["load_buffer"])
+        out.store_buffer = deque(state["store_buffer"])
+        out.ready = {index: value for index, value in state["ready"]}
+        return out
 
 
 class OutOfOrderCore:
@@ -39,31 +158,84 @@ class OutOfOrderCore:
         self.cycles = 0.0
         self.loads_executed = 0
         self.stores_executed = 0
+        # Mid-run execution state; non-None only between a paused (or
+        # restored) segment and run completion.
+        self.run_state: CoreRunState | None = None
 
-    def run(self, trace: Trace, warmup_uops: int = 0) -> float:
+    def run(
+        self,
+        trace: Trace,
+        warmup_uops: int = 0,
+        boundaries=(),
+        on_boundary=None,
+    ) -> float | None:
         """Simulate the trace; returns total cycles (post-warm-up).
 
         *warmup_uops*: statistics-gathering starts after this many µops
         have retired (Section 2.2's warm-up discipline); the returned cycle
         count covers only the measured region.
+
+        *boundaries* is an ascending sequence of interior op indices (see
+        :func:`snapshot_boundaries`); at each one, after the segment's
+        state has been written back, ``on_boundary(uop_pos)`` is called.
+        If the hook returns ``False`` the run pauses — :attr:`run_state`
+        holds the position, and calling :meth:`run` again continues from
+        it — and ``None`` is returned instead of a cycle count.  A prior
+        :meth:`load_state_dict` restore resumes the same way.
+        """
+        ops = trace.ops
+        state = self.run_state
+        if state is None:
+            state = self.run_state = CoreRunState(warmup_uops == 0)
+        total_ops = len(ops)
+        if on_boundary is not None:
+            for stop in boundaries:
+                if stop <= state.next_index:
+                    continue
+                if stop >= total_ops:
+                    break
+                self._execute(state, ops, stop, warmup_uops)
+                if on_boundary(state.uop_pos) is False:
+                    return None
+        if state.next_index < total_ops:
+            self._execute(state, ops, total_ops, warmup_uops)
+        self.memsys.drain()
+        total = max(state.issue_time, state.inorder_retire)
+        self.cycles = max(0.0, total - state.warmup_cycles)
+        self.run_state = None
+        return self.cycles
+
+    def _execute(
+        self, state: CoreRunState, ops: list, stop: int, warmup_uops: int
+    ) -> None:
+        """Run ops[state.next_index:stop]; loop state lives in locals.
+
+        The body is the original single-pass hot loop; state is staged
+        into locals at segment entry and written back at segment exit, so
+        segmentation costs nothing per µop.
         """
         cfg = self.config
         issue_step = 1.0 / cfg.issue_width
         mem_step = 1.0 / cfg.mem_units
-        issue_time = 0.0
-        mem_issue_time = 0.0
-        inorder_retire = 0.0
-        uop_pos = 0
-        # (uop position, in-order retire time at that µop) for long-latency
-        # ops; enforces the ROB-occupancy issue constraint.
-        rob_tail: deque = deque()
-        load_buffer: deque = deque()
-        store_buffer: deque = deque()
-        ready: dict[int, float] = {}
-        warmup_cycles = 0.0
-        warmup_marked = warmup_uops == 0
+        issue_time = state.issue_time
+        mem_issue_time = state.mem_issue_time
+        inorder_retire = state.inorder_retire
+        uop_pos = state.uop_pos
+        warmup_cycles = state.warmup_cycles
+        warmup_marked = state.warmup_marked
+        rob_tail = state.rob_tail
+        load_buffer = state.load_buffer
+        store_buffer = state.store_buffer
+        ready = state.ready
+        loads_executed = self.loads_executed
+        stores_executed = self.stores_executed
+        start = state.next_index
+        if start == 0 and stop == len(ops):
+            iterator = enumerate(ops)
+        else:
+            iterator = enumerate(ops[start:stop], start)
 
-        for index, op in enumerate(trace.ops):
+        for index, op in iterator:
             if not warmup_marked and uop_pos >= warmup_uops:
                 warmup_cycles = max(issue_time, inorder_retire)
                 warmup_marked = True
@@ -117,7 +289,7 @@ class OutOfOrderCore:
                 completion = exec_start + latency
                 ready[index] = completion
                 load_buffer.append(completion)
-                self.loads_executed += 1
+                loads_executed += 1
             else:  # STORE
                 if len(store_buffer) >= cfg.store_buffer:
                     oldest = store_buffer.popleft()
@@ -126,7 +298,7 @@ class OutOfOrderCore:
                 latency = self.memsys.store(op[1], op[2], int(issue_time))
                 completion = issue_time + latency
                 store_buffer.append(completion)
-                self.stores_executed += 1
+                stores_executed += 1
             if completion > inorder_retire:
                 inorder_retire = completion
             rob_tail.append((uop_pos, inorder_retire))
@@ -134,7 +306,35 @@ class OutOfOrderCore:
             mem_issue_time = max(mem_issue_time, issue_time - issue_step) + mem_step
             uop_pos += 1
 
-        self.memsys.drain()
-        total = max(issue_time, inorder_retire)
-        self.cycles = max(0.0, total - warmup_cycles)
-        return self.cycles
+        state.issue_time = issue_time
+        state.mem_issue_time = mem_issue_time
+        state.inorder_retire = inorder_retire
+        state.uop_pos = uop_pos
+        state.warmup_cycles = warmup_cycles
+        state.warmup_marked = warmup_marked
+        state.next_index = stop
+        self.loads_executed = loads_executed
+        self.stores_executed = stores_executed
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "loads_executed": self.loads_executed,
+            "stores_executed": self.stores_executed,
+            "run_state": (
+                self.run_state.state_dict()
+                if self.run_state is not None else None
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.cycles = state["cycles"]
+        self.loads_executed = state["loads_executed"]
+        self.stores_executed = state["stores_executed"]
+        run_state = state["run_state"]
+        self.run_state = (
+            CoreRunState.from_state(run_state)
+            if run_state is not None else None
+        )

@@ -25,7 +25,6 @@ event queue only moves forward.
 from __future__ import annotations
 
 import heapq
-import itertools
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.line import Requester
@@ -85,7 +84,9 @@ class TimingMemorySystem:
         )
         self.now = 0
         self._events: list = []
-        self._seq = itertools.count()
+        # Explicit event tie-break counter (not itertools.count) so
+        # snapshots capture and restore the exact posting sequence.
+        self._seq = 0
         self._bus_service_pending = False
         self._line_mask = line_mask(
             config.line_size, config.content.address_bits
@@ -139,7 +140,9 @@ class TimingMemorySystem:
                 "event posted in the past: t=%d with now=%d (kind=%d)"
                 % (time, self.now, kind)
             )
-        heapq.heappush(self._events, (time, next(self._seq), kind, payload))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._events, (time, seq, kind, payload))
 
     def _grant_bus(self, time: int) -> tuple:
         """Grant a bus transfer, applying any injected grant fault."""
@@ -663,6 +666,89 @@ class TimingMemorySystem:
             return
         self.bus.grant(time)
         self.result.writebacks += 1
+
+    # ------------------------------------------------------------------
+    # snapshot hooks
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Event queue, MSHRs, interconnect, and injection state.
+
+        Shared components (hierarchy, prefetchers, fault injector, the
+        result) are serialized by their owners — the simulator composes
+        the full tree.  The event heap's raw array is captured verbatim
+        (not re-sorted): heap layout depends on insertion history, and a
+        resumed run must pop events in exactly the order the original
+        would have.  Fill-event payloads are MissStatus objects shared
+        with the MSHR file; they serialize as line-address references and
+        are resolved against the restored MSHRs on load, preserving the
+        identity sharing (a demand promotion after resume must mutate the
+        same object the pending fill event carries).
+
+        The request free list is deliberately excluded: pooled requests
+        have every field overwritten before reuse, so pool contents never
+        affect architectural state.
+        """
+        return {
+            "now": self.now,
+            "seq": self._seq,
+            "bus_service_pending": self._bus_service_pending,
+            "events": [
+                [time, seq, kind,
+                 payload.line_paddr if kind == _EV_FILL else None]
+                for time, seq, kind, payload in self._events
+            ],
+            "mshr": self.mshr.state_dict(),
+            "bus": self.bus.state_dict(),
+            "l2_port": self.l2_port.state_dict(),
+            "bus_arbiter": self.bus_arbiter.state_dict(),
+            "prefetch_buffer": (
+                self.prefetch_buffer.state_dict()
+                if self.prefetch_buffer is not None else None
+            ),
+            "dropped_rescans": self.dropped_rescans,
+            "inject_pollution": self.inject_pollution,
+            "pollution_fills": self.pollution_fills,
+            "pollution_cursor": self._pollution_cursor,
+            "last_pollution": self._last_pollution,
+            "integrity_log": list(self.integrity_log),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.now = state["now"]
+        self._seq = state["seq"]
+        self._bus_service_pending = state["bus_service_pending"]
+        self.mshr.load_state_dict(state["mshr"])
+        events = []
+        for time, seq, kind, line_paddr in state["events"]:
+            if kind == _EV_FILL:
+                payload = self.mshr.lookup(line_paddr)
+                if payload is None:
+                    raise ValueError(
+                        "snapshot has a fill event for line 0x%x with no "
+                        "matching MSHR entry" % line_paddr
+                    )
+            else:
+                payload = None
+            events.append((time, seq, kind, payload))
+        self._events = events
+        self.bus.load_state_dict(state["bus"])
+        self.l2_port.load_state_dict(state["l2_port"])
+        self.bus_arbiter.load_state_dict(state["bus_arbiter"])
+        buffer_state = state["prefetch_buffer"]
+        if (buffer_state is None) != (self.prefetch_buffer is None):
+            raise ValueError(
+                "snapshot prefetch-buffer presence does not match this "
+                "machine's fill_target configuration"
+            )
+        if self.prefetch_buffer is not None:
+            self.prefetch_buffer.load_state_dict(buffer_state)
+        self.dropped_rescans = state["dropped_rescans"]
+        self.inject_pollution = state["inject_pollution"]
+        self.pollution_fills = state["pollution_fills"]
+        self._pollution_cursor = state["pollution_cursor"]
+        self._last_pollution = state["last_pollution"]
+        self.integrity_log = list(state["integrity_log"])
 
     # ------------------------------------------------------------------
     # end-of-run bookkeeping

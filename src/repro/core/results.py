@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 
 __all__ = ["PrefetchAccounting", "FunctionalResult", "TimingResult"]
 
@@ -184,6 +186,11 @@ class TimingResult:
     # Set by repro.core.invariants.assert_integrity when this run passed
     # the full post-run invariant check.
     integrity_verified: bool = False
+    # Streaming state digests sampled at snapshot boundaries when a
+    # snapshot policy is active: [uop position, digest hex] pairs.  Two
+    # runs of the same machine+trace are architecturally identical iff
+    # these streams match (see repro.snapshot).
+    state_digests: list = field(default_factory=list)
 
     @property
     def ipc(self) -> float:
@@ -220,3 +227,45 @@ class TimingResult:
             "cpf-part": self.content.partial_hits / denom,
             "ul2-miss": self.unmasked_l2_misses / denom,
         }
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    _ACCOUNTING_FIELDS = ("stride", "content", "markov")
+    # The digest stream is carried in snapshot *metadata*, not in the
+    # state tree: state digests are computed over this state_dict, so the
+    # stream feeding back into itself would make a resumed run's digests
+    # (restored stream differs by one entry) permanently mismatch the
+    # uninterrupted run it must be compared against.
+    _EXCLUDED_FIELDS = ("state_digests",)
+
+    def state_dict(self) -> dict:
+        """Every counter, including the per-prefetcher accounting."""
+        state = {}
+        for f in fields(self):
+            if f.name in self._EXCLUDED_FIELDS:
+                continue
+            value = getattr(self, f.name)
+            if f.name in self._ACCOUNTING_FIELDS:
+                value = dataclass_state(value)
+            elif isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, list):
+                value = [list(v) if isinstance(v, (list, tuple)) else v
+                         for v in value]
+            state[f.name] = value
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        for f in fields(self):
+            if f.name in self._EXCLUDED_FIELDS:
+                continue
+            value = state[f.name]
+            if f.name in self._ACCOUNTING_FIELDS:
+                load_dataclass_state(getattr(self, f.name), value)
+                continue
+            if isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, list):
+                value = [list(v) if isinstance(v, (list, tuple)) else v
+                         for v in value]
+            setattr(self, f.name, value)

@@ -19,6 +19,7 @@ error and attempt count (:class:`SweepOutcome`).
 from __future__ import annotations
 
 import multiprocessing
+import random as _random
 import time as _time
 from dataclasses import dataclass, field
 
@@ -27,12 +28,42 @@ from repro.params import MachineConfig
 __all__ = [
     "JobFailure",
     "SweepOutcome",
+    "drain_sweep_failures",
     "run_sweep",
     "parallel_speedups",
 ]
 
-#: Per-attempt backoff base (seconds); attempt *n* waits ``backoff * n``.
+#: Per-attempt backoff base (seconds); attempt *n* waits ``backoff * n``
+#: on average, jittered ±50% (see :func:`_backoff_delay`).
 DEFAULT_BACKOFF = 0.25
+
+_JITTER = _random.Random()
+
+
+def _backoff_delay(backoff: float, attempt: int) -> float:
+    """Jittered linear backoff for retry attempt *attempt*.
+
+    Uniform over ``[0.5, 1.5] * backoff * attempt``: when several jobs
+    fail together (a machine-wide stall, an OOM killer pass), unjittered
+    retries re-land simultaneously and recreate the contention that
+    killed them; the spread decorrelates them.
+    """
+    if backoff <= 0:
+        return 0.0
+    return backoff * attempt * (0.5 + _JITTER.random())
+
+
+#: JobFailures recorded by every sweep since the last drain.  The
+#: experiments CLI drains this after a run to surface per-job failure
+#: summaries and convert survivor continuation into exit code 3.
+_SWEEP_FAILURES: list = []
+
+
+def drain_sweep_failures() -> list:
+    """Return (and clear) the failures recorded by sweeps so far."""
+    failures = list(_SWEEP_FAILURES)
+    del _SWEEP_FAILURES[:]
+    return failures
 
 
 @dataclass
@@ -94,7 +125,7 @@ def _run_serial(jobs, job_runner, retries, backoff) -> SweepOutcome:
             except Exception as exc:  # noqa: BLE001 - worker may raise anything
                 last_error = "%s: %s" % (type(exc).__name__, exc)
                 if attempt <= retries:
-                    _time.sleep(backoff * attempt)
+                    _time.sleep(_backoff_delay(backoff, attempt))
                 continue
             outcome.speedups[result_name] = value
             last_error = None
@@ -140,7 +171,9 @@ def run_sweep(
         for name in benchmarks
     ]
     if processes == 1 or len(jobs) <= 1:
-        return _run_serial(jobs, job_runner, retries, backoff)
+        outcome = _run_serial(jobs, job_runner, retries, backoff)
+        _SWEEP_FAILURES.extend(outcome.failures.values())
+        return outcome
 
     outcome = SweepOutcome()
     job_by_name = {job[0]: job for job in jobs}
@@ -175,13 +208,14 @@ def run_sweep(
                     )
             pending = {}
             for name in retry_names:
-                _time.sleep(backoff * attempts[name])
+                _time.sleep(_backoff_delay(backoff, attempts[name]))
                 attempts[name] += 1
                 pending[name] = pool.apply_async(
                     job_runner, (job_by_name[name],)
                 )
         # Pool.__exit__ terminates the pool, killing any worker still
         # stuck on a timed-out job.
+    _SWEEP_FAILURES.extend(outcome.failures.values())
     return outcome
 
 

@@ -7,11 +7,24 @@ Examples::
     repro-experiments all --scale 0.1 --out results.txt
     repro-experiments all --out results.txt --resume   # skip finished ones
     repro-experiments faultsweep --check-invariants
+    repro-experiments fig9 --snapshot-every 2000000 --snapshot-dir snaps \\
+        --deadline 3500                                # snapshot + watchdog
+    repro-experiments fig9 --snapshot-every 2000000 --resume-from snaps
 
 Long ``all`` runs are crash-safe: with ``--out``, each experiment's
 rendered output is appended (and a checkpoint sidecar updated) as soon as
 it completes, and ``--resume`` skips experiments the checkpoint already
 records — a crash mid-sweep loses only the experiment that was running.
+With ``--snapshot-every``, even the experiment that was running loses
+nothing: every timing run snapshots its full architectural state
+periodically and ``--resume-from`` continues each run from its last
+snapshot, bit-identically (see :mod:`repro.snapshot`).
+
+Exit codes: 0 — everything completed; 2 — bad invocation, corrupt or
+mismatched checkpoint/snapshot; 3 — completed partially (crash-safe
+sweeps skipped failing jobs; survivors' results are valid); 4 — the
+wall-clock watchdog expired and state was snapshotted (resume with
+``--resume-from``).
 """
 
 from __future__ import annotations
@@ -24,6 +37,7 @@ import time
 
 from repro import perf
 from repro.core import invariants
+from repro.experiments import parallel as _parallel
 from repro.experiments import (
     ablation,
     faultsweep,
@@ -45,7 +59,24 @@ from repro.experiments import (
     zoo,
 )
 
-__all__ = ["EXPERIMENTS", "main"]
+from repro.snapshot import (
+    SnapshotError,
+    SnapshotPolicy,
+    WatchdogExpired,
+    set_policy,
+)
+
+__all__ = ["EXPERIMENTS", "CheckpointError", "main"]
+
+# Process exit codes (documented in the module docstring and EXPERIMENTS.md).
+EXIT_CLEAN = 0
+EXIT_ERROR = 2
+EXIT_PARTIAL = 3
+EXIT_WATCHDOG = 4
+
+
+class CheckpointError(Exception):
+    """The ``--out`` checkpoint sidecar is unusable for resuming."""
 
 EXPERIMENTS = {
     "table1": table1.run,
@@ -79,9 +110,11 @@ def _checkpoint_path(out_path: str) -> str:
 def _load_checkpoint(out_path: str, fingerprint: dict) -> dict:
     """Completed-experiment records from a previous (crashed) run.
 
-    The checkpoint is ignored when the sweep parameters changed — resuming
-    a ``--scale 0.1`` sweep with ``--scale 0.5`` results would silently
-    mix incomparable numbers.
+    A checkpoint that cannot be used raises :class:`CheckpointError` with
+    a message saying why and what to do — resuming a ``--scale 0.1``
+    sweep with ``--scale 0.5`` results would silently mix incomparable
+    numbers, and a half-written sidecar means the previous run's appends
+    cannot be trusted either.
     """
     path = _checkpoint_path(out_path)
     if not os.path.exists(path):
@@ -89,24 +122,43 @@ def _load_checkpoint(out_path: str, fingerprint: dict) -> dict:
     try:
         with open(path) as handle:
             data = json.load(handle)
-    except (json.JSONDecodeError, OSError):
-        return {}
-    if not isinstance(data, dict) or data.get("fingerprint") != fingerprint:
-        return {}
+    except (json.JSONDecodeError, OSError) as exc:
+        raise CheckpointError(
+            "checkpoint %s is corrupt (%s); delete it, or rerun without "
+            "--resume to start the sweep over" % (path, exc)
+        ) from exc
+    if not isinstance(data, dict) or "completed" not in data:
+        raise CheckpointError(
+            "checkpoint %s is not a repro-experiments checkpoint; delete "
+            "it, or rerun without --resume" % path
+        )
+    if data.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            "checkpoint %s was written with parameters %s, but this run "
+            "uses %s — finish with the original parameters, or rerun "
+            "without --resume to discard it"
+            % (path, data.get("fingerprint"), fingerprint)
+        )
     completed = data.get("completed", {})
     return completed if isinstance(completed, dict) else {}
 
 
 def _save_checkpoint(out_path: str, fingerprint: dict, completed: dict) -> None:
-    """Atomically persist the finished experiments."""
+    """Atomically persist the finished experiments (tmp + fsync + replace)."""
     path = _checkpoint_path(out_path)
-    tmp = path + ".tmp"
-    with open(tmp, "w") as handle:
-        json.dump(
-            {"fingerprint": fingerprint, "completed": completed},
-            handle, indent=1,
-        )
-    os.replace(tmp, path)
+    tmp = "%s.tmp.%d" % (path, os.getpid())
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(
+                {"fingerprint": fingerprint, "completed": completed},
+                handle, indent=1,
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 
 def main(argv=None) -> int:
@@ -141,6 +193,27 @@ def main(argv=None) -> int:
              "timing run (fails loudly instead of reporting bad numbers)",
     )
     parser.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="record a state digest (and, with --snapshot-dir, a full "
+             "resumable snapshot) every N simulated uops of each timing run",
+    )
+    parser.add_argument(
+        "--snapshot-dir", type=str, default=None, metavar="DIR",
+        help="directory for per-run snapshot files (requires "
+             "--snapshot-every)",
+    )
+    parser.add_argument(
+        "--resume-from", type=str, default=None, metavar="DIR",
+        help="resume each timing run from its snapshot in DIR when one "
+             "exists (implies --snapshot-dir DIR)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock watchdog: once SECONDS elapse, the next snapshot "
+             "boundary saves state and the process exits with code 4 "
+             "(requires --snapshot-every and a snapshot directory)",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="render an ASCII chart of the result where supported",
     )
@@ -153,15 +226,36 @@ def main(argv=None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
     ]
+    snapshot_dir = args.resume_from or args.snapshot_dir
+    if snapshot_dir is not None and args.snapshot_every is None:
+        parser.error("--snapshot-dir/--resume-from require --snapshot-every")
+    if args.deadline is not None and snapshot_dir is None:
+        parser.error(
+            "--deadline requires --snapshot-every and --snapshot-dir "
+            "(expiry saves a snapshot before exiting)"
+        )
+    policy = None
+    if args.snapshot_every is not None:
+        try:
+            policy = SnapshotPolicy(
+                every=args.snapshot_every,
+                directory=snapshot_dir,
+                resume=args.resume_from is not None,
+                deadline=args.deadline,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
     fingerprint = {"scale": args.scale, "seed": args.seed}
     completed: dict = {}
-    if args.out and args.resume:
-        completed = _load_checkpoint(args.out, fingerprint)
     previous_checks = invariants.set_global_checks(
         args.check_invariants or invariants.checks_enabled()
     )
     previous_profile = perf.set_enabled(args.profile or perf.enabled())
+    previous_policy = set_policy(policy) if policy is not None else None
+    _parallel.drain_sweep_failures()  # stale failures from earlier calls
     try:
+        if args.out and args.resume:
+            completed = _load_checkpoint(args.out, fingerprint)
         for name in names:
             if name in completed:
                 print("[%s skipped: already in checkpoint]" % name)
@@ -195,10 +289,34 @@ def main(argv=None) -> int:
                     handle.write(text + "\n")
                 completed[name] = {"elapsed": elapsed, "text": text}
                 _save_checkpoint(args.out, fingerprint, completed)
+    except (CheckpointError, SnapshotError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_ERROR
+    except WatchdogExpired as exc:
+        print("[watchdog] %s" % exc)
+        return EXIT_WATCHDOG
     finally:
         invariants.set_global_checks(previous_checks)
         perf.set_enabled(previous_profile)
-    return 0
+        if policy is not None:
+            set_policy(previous_policy)
+    failures = _parallel.drain_sweep_failures()
+    if failures:
+        summary = "[partial: %d job%s failed; survivors' results are " \
+            "complete]\n" % (len(failures), "" if len(failures) == 1 else "s")
+        summary += "\n".join(
+            "  %s: %s (after %d attempt%s%s)"
+            % (f.benchmark, f.error, f.attempts,
+               "" if f.attempts == 1 else "s",
+               ", timed out" if f.timed_out else "")
+            for f in failures
+        )
+        print(summary)
+        if args.out:
+            with open(args.out, "a") as handle:
+                handle.write(summary + "\n")
+        return EXIT_PARTIAL
+    return EXIT_CLEAN
 
 
 if __name__ == "__main__":

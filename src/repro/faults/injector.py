@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass, fields
 
 from repro.params import ContentConfig, FaultConfig
+from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 
 __all__ = ["FaultStats", "FaultInjector", "fault_storm"]
 
@@ -145,6 +146,28 @@ class FaultInjector:
             self.stats.mshr_rejections += 1
             return True
         return False
+
+    # -- snapshot hooks -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """PRNG stream position, storm window, and injection counters.
+
+        The Mersenne Twister state is captured exactly so a resumed run
+        draws the identical fault sequence an uninterrupted run would —
+        without this, every fault decision after the snapshot diverges.
+        """
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "stats": dataclass_state(self.stats),
+            "rng": [version, list(internal), gauss_next],
+            "mshr_storm_until": self._mshr_storm_until,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        load_dataclass_state(self.stats, state["stats"])
+        version, internal, gauss_next = state["rng"]
+        self._rng.setstate((version, tuple(internal), gauss_next))
+        self._mshr_storm_until = state["mshr_storm_until"]
 
     # -- prefetch thrash ----------------------------------------------------
 

@@ -18,10 +18,10 @@ Overflow behaviour, also per Section 3.5:
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 
 from repro.cache.line import Requester
+from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 
 __all__ = ["MemoryRequest", "ArbiterStats", "PriorityArbiter"]
 
@@ -47,6 +47,29 @@ class MemoryRequest:
     def priority_key(self) -> tuple:
         """Lower tuples are higher priority."""
         return (int(self.requester), self.depth, self.create_time)
+
+    def state_dict(self) -> dict:
+        return {
+            "line_paddr": self.line_paddr,
+            "line_vaddr": self.line_vaddr,
+            "requester": int(self.requester),
+            "depth": self.depth,
+            "create_time": self.create_time,
+            "pc": self.pc,
+            "scannable": self.scannable,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MemoryRequest":
+        return cls(
+            state["line_paddr"],
+            state["line_vaddr"],
+            Requester(state["requester"]),
+            depth=state["depth"],
+            create_time=state["create_time"],
+            pc=state["pc"],
+            scannable=state["scannable"],
+        )
 
 
 @dataclass
@@ -76,7 +99,9 @@ class PriorityArbiter:
         self.name = name
         self.stats = ArbiterStats()
         self._heap: list = []
-        self._seq = itertools.count()
+        # Explicit tie-break counter (not itertools.count) so snapshots
+        # capture and restore the exact enqueue sequence.
+        self._seq = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -119,9 +144,9 @@ class PriorityArbiter:
                 self.stats.squashed_full += 1
                 self.stats.record_squash(request.requester)
                 return False
-        heapq.heappush(
-            self._heap, (request.priority_key(), next(self._seq), request)
-        )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (request.priority_key(), seq, request))
         self._live += 1
         self.stats.enqueued += 1
         if self._live > self.stats.peak_occupancy:
@@ -161,6 +186,39 @@ class PriorityArbiter:
         while self._heap and self._heap[0][2] is None:
             heapq.heappop(self._heap)
         return self._heap[0][2] if self._heap else None
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The heap verbatim — including lazily-deleted entries.
+
+        Preserving tombstones (``request is None``) keeps the heap array,
+        the tie-break counter, and therefore every future pop order
+        bit-identical to the run that was snapshotted.
+        """
+        return {
+            "stats": dataclass_state(self.stats),
+            "seq": self._seq,
+            "live": self._live,
+            "heap": [
+                [list(key), seq, None if req is None else req.state_dict()]
+                for key, seq, req in self._heap
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        load_dataclass_state(self.stats, state["stats"])
+        self._seq = state["seq"]
+        self._live = state["live"]
+        self._heap = [
+            (
+                tuple(key),
+                seq,
+                None if req_state is None
+                else MemoryRequest.from_state(req_state),
+            )
+            for key, seq, req_state in state["heap"]
+        ]
 
     # -- integrity ----------------------------------------------------------
 

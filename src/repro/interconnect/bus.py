@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.params import BusConfig
+from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 
 __all__ = ["BusStats", "Bus", "L2Port"]
 
@@ -67,6 +68,18 @@ class Bus:
         self.stats.total_queue_delay += grant_time - time
         return grant_time, fill_time
 
+    # -- snapshot hooks -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "next_free": self._next_free,
+            "stats": dataclass_state(self.stats),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._next_free = state["next_free"]
+        load_dataclass_state(self.stats, state["stats"])
+
 
 class L2Port:
     """The UL2's single access port (1-cycle throughput)."""
@@ -89,3 +102,17 @@ class L2Port:
     @property
     def next_free(self) -> int:
         return self._next_free
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "next_free": self._next_free,
+            "accesses": self.accesses,
+            "rescans": self.rescans,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._next_free = state["next_free"]
+        self.accesses = state["accesses"]
+        self.rescans = state["rescans"]

@@ -113,3 +113,31 @@ class PageTable:
             # Walk of an unmapped region still reads the directory entry.
             return [pde]
         return [pde, table_base + table_index * _ENTRY_BYTES]
+
+    # -- snapshot hooks ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """First-touch mappings in touch order plus the allocation cursors.
+
+        Touch order matters: it determines which physical frame the *next*
+        page gets, so a resumed run must continue handing out frames from
+        exactly where the snapshotted run stopped.
+        """
+        return {
+            "mappings": [[vpn, frame] for vpn, frame in self._mappings.items()],
+            "table_bases": [
+                [dir_index, base] for dir_index, base in self._table_bases.items()
+            ],
+            "next_table": self._next_table,
+            "next_frame": self._next_frame,
+            "pages_mapped": self.pages_mapped,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._mappings = {vpn: frame for vpn, frame in state["mappings"]}
+        self._table_bases = {
+            dir_index: base for dir_index, base in state["table_bases"]
+        }
+        self._next_table = state["next_table"]
+        self._next_frame = state["next_frame"]
+        self.pages_mapped = state["pages_mapped"]

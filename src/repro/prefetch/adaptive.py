@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.params import ContentConfig
 from repro.prefetch.content import ContentPrefetcher
 from repro.prefetch.matcher import VirtualAddressMatcher
+from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 
 __all__ = ["AdaptiveStats", "AdaptiveController"]
 
@@ -99,3 +100,18 @@ class AdaptiveController:
         new_config = dataclasses.replace(config, filter_bits=filter_bits)
         self.prefetcher.config = new_config
         self.prefetcher.matcher = VirtualAddressMatcher(new_config)
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Rolling window counters (filter_bits travels with the prefetcher)."""
+        return {
+            "stats": dataclass_state(self.stats),
+            "useful": self._useful,
+            "resolved": self._resolved,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        load_dataclass_state(self.stats, state["stats"])
+        self._useful = state["useful"]
+        self._resolved = state["resolved"]

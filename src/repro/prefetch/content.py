@@ -17,10 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import dataclasses
+
 from repro.memory.address import address_mask, line_mask
 from repro.params import ContentConfig
 from repro.prefetch.base import PrefetchCandidate, PrefetchKind
 from repro.prefetch.matcher import VirtualAddressMatcher
+from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 
 __all__ = ["ContentStats", "ContentPrefetcher"]
 
@@ -161,3 +164,28 @@ class ContentPrefetcher:
         if not self.config.reinforcement or not self.config.enabled:
             return False
         return incoming_depth <= stored_depth - self.config.rescan_margin
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Counters plus the live filter width.
+
+        The predictor itself is stateless (the paper's headline property),
+        but the :class:`~repro.prefetch.adaptive.AdaptiveController` may
+        have retuned ``filter_bits`` mid-run — the current value must
+        survive a resume or the matcher diverges.
+        """
+        return {
+            "stats": dataclass_state(self.stats),
+            "matcher_stats": dataclass_state(self.matcher.stats),
+            "filter_bits": self.config.filter_bits,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state["filter_bits"] != self.config.filter_bits:
+            self.config = dataclasses.replace(
+                self.config, filter_bits=state["filter_bits"]
+            )
+            self.matcher = VirtualAddressMatcher(self.config)
+        load_dataclass_state(self.stats, state["stats"])
+        load_dataclass_state(self.matcher.stats, state["matcher_stats"])

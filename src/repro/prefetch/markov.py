@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.memory.address import ADDRESS_BITS, line_mask
 from repro.params import MarkovConfig
 from repro.prefetch.base import PrefetchCandidate, PrefetchKind
+from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 
 __all__ = ["MarkovStats", "MarkovPrefetcher"]
 
@@ -118,3 +119,23 @@ class MarkovPrefetcher:
     def successors_of(self, vaddr: int) -> list[int]:
         """Current successor list for a line (test/debug helper)."""
         return list(self._stab.get(vaddr & self._line_mask, ()))
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """STAB entries in LRU order (successors MRU-first) + last miss."""
+        return {
+            "stats": dataclass_state(self.stats),
+            "stab": [
+                [line, list(successors)]
+                for line, successors in self._stab.items()
+            ],
+            "prev_miss": self._prev_miss,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        load_dataclass_state(self.stats, state["stats"])
+        self._stab = OrderedDict(
+            (line, list(successors)) for line, successors in state["stab"]
+        )
+        self._prev_miss = state["prev_miss"]

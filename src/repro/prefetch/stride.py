@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.memory.address import ADDRESS_BITS, address_mask, line_mask
 from repro.params import StrideConfig
 from repro.prefetch.base import PrefetchCandidate, PrefetchKind
+from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 
 __all__ = ["StrideEntry", "StrideStats", "StridePrefetcher"]
 
@@ -121,3 +122,22 @@ class StridePrefetcher:
 
     def __len__(self) -> int:
         return len(self._table)
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Reference-prediction table in LRU order, plus counters."""
+        return {
+            "stats": dataclass_state(self.stats),
+            "table": [
+                [pc, entry.last_addr, entry.stride, entry.confidence]
+                for pc, entry in self._table.items()
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        load_dataclass_state(self.stats, state["stats"])
+        self._table = OrderedDict(
+            (pc, StrideEntry(last_addr, stride, confidence))
+            for pc, last_addr, stride, confidence in state["table"]
+        )

@@ -1,0 +1,57 @@
+"""Deterministic snapshot/resume for timing simulations.
+
+The package gives long timing runs durable, *verifiable* mid-run state:
+
+* every stateful simulator component exposes ``state_dict()`` /
+  ``load_state_dict()`` hooks returning a plain-value tree (ints, floats,
+  strings, bytes, lists, dicts) that restores the component bit-exactly;
+* :func:`state_digest` hashes such a tree into an order-stable digest —
+  two simulations are in the same architectural state if and only if
+  their digests match;
+* :mod:`repro.snapshot.store` persists full simulator state atomically
+  (write-temp + ``os.replace``), versioned and fingerprint-checked;
+* :class:`SnapshotPolicy` switches periodic snapshotting on process-wide
+  (the experiments CLI's ``--snapshot-every`` / ``--resume-from``) and
+  carries the wall-clock watchdog that converts deadline expiry into
+  "snapshot then exit" (:class:`WatchdogExpired`) instead of lost work;
+* :mod:`repro.snapshot.divergence` replays runs from snapshots and
+  narrows the first interval where two digest streams differ.
+
+Everything is free when off: a simulation with no active policy performs
+one ``None`` check per run, not per µop.
+"""
+
+from repro.snapshot.digest import canonical_bytes, state_digest
+from repro.snapshot.divergence import (
+    DivergencePoint,
+    compare_digest_streams,
+    find_divergence,
+)
+from repro.snapshot.policy import (
+    SnapshotPolicy,
+    WatchdogExpired,
+    active_policy,
+    set_policy,
+)
+from repro.snapshot.store import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    load_snapshot,
+    save_snapshot,
+)
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "DivergencePoint",
+    "SnapshotError",
+    "SnapshotPolicy",
+    "WatchdogExpired",
+    "active_policy",
+    "canonical_bytes",
+    "compare_digest_streams",
+    "find_divergence",
+    "load_snapshot",
+    "save_snapshot",
+    "set_policy",
+    "state_digest",
+]

@@ -1,0 +1,161 @@
+"""Locate where two supposedly-identical simulations first diverge.
+
+Two entry points:
+
+* :func:`compare_digest_streams` — offline triage: given the
+  ``state_digests`` streams two runs recorded (e.g. a resumed run and its
+  uninterrupted reference), report the first interval where they differ.
+* :func:`find_divergence` — active triage: run two freshly-built
+  simulators in lockstep, comparing state digests at a coarse µop
+  interval; on the first mismatch, restore both from the last *matching*
+  state and replay at a finer interval, repeating until the interval is
+  at the requested floor.  The result brackets the first diverging µop
+  within ``floor`` µops — narrow enough to diff two ``state_dict()``
+  trees by hand or rerun under a debugger.
+
+The lockstep keeps only the last matching state pair in memory (not a
+snapshot per boundary), so the search costs two simulations' time at each
+refinement level and O(state) memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.snapshot.digest import state_digest
+
+__all__ = ["DivergencePoint", "compare_digest_streams", "find_divergence"]
+
+#: Each refinement divides the comparison interval by this factor.
+_REFINE_FACTOR = 8
+
+
+@dataclass(frozen=True)
+class DivergencePoint:
+    """The first µop interval on which two runs' states differ.
+
+    The runs last agreed at µop ``uop_lo`` (0 = initial state) and first
+    provably differ at ``uop_hi``; the true divergence lies in
+    ``(uop_lo, uop_hi]``.  ``digest_a`` / ``digest_b`` are the differing
+    digests at ``uop_hi`` (``None`` when that run's stream ended early).
+    """
+
+    uop_lo: int
+    uop_hi: int
+    digest_a: str | None
+    digest_b: str | None
+
+    def __str__(self) -> str:
+        return (
+            "runs diverge in uops (%d, %d]: digest %s vs %s"
+            % (self.uop_lo, self.uop_hi, self.digest_a, self.digest_b)
+        )
+
+
+def compare_digest_streams(a: list, b: list) -> DivergencePoint | None:
+    """First mismatch between two ``[uop, digest]`` streams, else ``None``.
+
+    Streams are compared pairwise in order; a length mismatch counts as a
+    divergence at the first missing entry (that run stopped recording —
+    usually because it crashed or sampled a different interval).
+    """
+    last_match = 0
+    for index in range(max(len(a), len(b))):
+        entry_a = a[index] if index < len(a) else None
+        entry_b = b[index] if index < len(b) else None
+        if entry_a is None or entry_b is None:
+            present = entry_a if entry_a is not None else entry_b
+            return DivergencePoint(
+                last_match,
+                present[0],
+                entry_a[1] if entry_a is not None else None,
+                entry_b[1] if entry_b is not None else None,
+            )
+        uop_a, digest_a = entry_a
+        uop_b, digest_b = entry_b
+        if uop_a != uop_b:
+            # Different sampling grids: the comparison is meaningless past
+            # this point; report it rather than comparing unlike positions.
+            return DivergencePoint(last_match, min(uop_a, uop_b),
+                                   digest_a, digest_b)
+        if digest_a != digest_b:
+            return DivergencePoint(last_match, uop_a, digest_a, digest_b)
+        last_match = uop_a
+    return None
+
+
+def _advance_to_boundary(sim, trace, warmup_uops, boundaries):
+    """Run *sim* to its next boundary; returns the µop position there,
+    or ``None`` when the trace completed."""
+    paused = []
+
+    def on_boundary(uop_pos):
+        paused.append(uop_pos)
+        return False
+
+    cycles = sim.core.run(
+        trace, warmup_uops=warmup_uops,
+        boundaries=boundaries, on_boundary=on_boundary,
+    )
+    if cycles is None:
+        return paused[-1]
+    return None
+
+
+def find_divergence(
+    make_a,
+    make_b,
+    trace,
+    warmup_uops: int = 0,
+    every: int = 100_000,
+    floor: int = 1_000,
+) -> DivergencePoint | None:
+    """Bracket the first µop at which two simulations' states diverge.
+
+    *make_a* / *make_b* are zero-argument factories returning a fresh
+    :class:`~repro.core.simulator.TimingSimulator` (they must be
+    deterministic — each refinement builds new instances and restores
+    them from saved state).  Returns ``None`` if the runs never diverge
+    (including their final states), else a :class:`DivergencePoint`
+    whose interval is at most *floor* µops wide (or the coarsest interval
+    that still showed the mismatch, if *floor* ≥ *every*).
+    """
+    from repro.core.cpu import snapshot_boundaries
+
+    if every <= 0 or floor <= 0:
+        raise ValueError("every and floor must be positive")
+    sim_a, sim_b = make_a(), make_b()
+    state_a, state_b = sim_a.state_dict(), sim_b.state_dict()
+    digest_a, digest_b = state_digest(state_a), state_digest(state_b)
+    if digest_a != digest_b:
+        # The factories disagree before a single µop runs (config or
+        # seed mismatch) — not a mid-run divergence.
+        return DivergencePoint(0, 0, digest_a, digest_b)
+    last_uop = 0
+    last_state_a, last_state_b = state_a, state_b
+
+    while True:
+        boundaries = snapshot_boundaries(trace.ops, every)
+        mismatch = None
+        while True:
+            uop_a = _advance_to_boundary(sim_a, trace, warmup_uops, boundaries)
+            uop_b = _advance_to_boundary(sim_b, trace, warmup_uops, boundaries)
+            at = uop_a if uop_a is not None else trace.uop_count
+            state_a, state_b = sim_a.state_dict(), sim_b.state_dict()
+            digest_a = state_digest(state_a)
+            digest_b = state_digest(state_b)
+            if digest_a != digest_b:
+                mismatch = DivergencePoint(last_uop, at, digest_a, digest_b)
+                break
+            last_uop = at
+            last_state_a, last_state_b = state_a, state_b
+            if uop_a is None or uop_b is None:
+                return None  # both completed in agreement
+        if every <= floor:
+            return mismatch
+        # Refine: rebuild fresh simulators, restore the last matching
+        # state, and replay the offending interval at a finer grain.
+        every = max(floor, every // _REFINE_FACTOR)
+        sim_a, sim_b = make_a(), make_b()
+        sim_a.load_state_dict(last_state_a)
+        sim_b.load_state_dict(last_state_b)

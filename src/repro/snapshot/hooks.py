@@ -1,0 +1,34 @@
+"""Helpers for writing ``state_dict()`` / ``load_state_dict()`` hooks.
+
+Stats containers across the simulator are flat dataclasses of counters
+(plus the occasional ``str -> int`` breakdown dict); these two functions
+give them exact, copy-safe round-trips without each module hand-rolling
+the same field loop.  Components whose state is order-significant (LRU
+chains, FIFOs, heaps) encode that state as lists of pairs themselves —
+see :mod:`repro.snapshot.digest` for why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+__all__ = ["dataclass_state", "load_dataclass_state"]
+
+
+def _copied(value):
+    if isinstance(value, dict):
+        return dict(value)
+    if isinstance(value, list):
+        return list(value)
+    return value
+
+
+def dataclass_state(obj) -> dict:
+    """Flat dataclass -> state tree (containers copied, not aliased)."""
+    return {f.name: _copied(getattr(obj, f.name)) for f in fields(obj)}
+
+
+def load_dataclass_state(obj, state: dict) -> None:
+    """Restore a flat dataclass from :func:`dataclass_state` output."""
+    for f in fields(obj):
+        setattr(obj, f.name, _copied(state[f.name]))

@@ -1,0 +1,115 @@
+"""Atomic, versioned on-disk snapshot format.
+
+A snapshot file holds one pickled payload::
+
+    {
+        "version": SNAPSHOT_VERSION,
+        "fingerprint": {...},   # run identity: config/trace/warm-up
+        "digest": "....",       # state_digest of "state" at save time
+        "meta": {...},          # progress info (uop position, wall time)
+        "state": {...},         # TimingSimulator.state_dict() tree
+    }
+
+Writes are crash-safe: the payload goes to a same-directory temp file
+which is fsynced and then ``os.replace``d over the target, so a reader
+only ever sees the previous complete snapshot or the new complete
+snapshot — never a torn file.  Loads re-hash the state tree and compare
+against the stored digest, so silent corruption (a truncated disk, a
+hand-edited file) surfaces as a :class:`SnapshotError` with a clear
+message rather than a deep simulator crash minutes later.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.snapshot.digest import state_digest
+
+__all__ = ["SNAPSHOT_VERSION", "SnapshotError", "save_snapshot", "load_snapshot"]
+
+#: Bump when the state_dict schema changes incompatibly; loads of other
+#: versions fail with a clear error instead of resuming garbage.
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(Exception):
+    """A snapshot file is missing, corrupt, or from a different run."""
+
+
+def save_snapshot(
+    path: str,
+    state: dict,
+    fingerprint: dict,
+    meta: dict | None = None,
+) -> str:
+    """Atomically write *state* to *path*; returns the state's digest."""
+    digest = state_digest(state)
+    payload = {
+        "version": SNAPSHOT_VERSION,
+        "fingerprint": fingerprint,
+        "digest": digest,
+        "meta": dict(meta or {}),
+        "state": state,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = "%s.tmp.%d" % (path, os.getpid())
+    try:
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return digest
+
+
+def load_snapshot(path: str, expected_fingerprint: dict | None = None) -> dict:
+    """Read and validate a snapshot; returns the full payload dict.
+
+    Raises :class:`SnapshotError` if the file is missing, unreadable,
+    structurally wrong, version-mismatched, fails its digest check, or —
+    when *expected_fingerprint* is given — belongs to a different run.
+    """
+    if not os.path.exists(path):
+        raise SnapshotError("no snapshot file at %s" % path)
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError) as exc:
+        raise SnapshotError(
+            "corrupt snapshot %s: %s: %s"
+            % (path, type(exc).__name__, exc)
+        ) from exc
+    if not isinstance(payload, dict) or "state" not in payload:
+        raise SnapshotError(
+            "corrupt snapshot %s: not a snapshot payload" % path
+        )
+    version = payload.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            "snapshot %s has format version %r; this build reads version %d"
+            % (path, version, SNAPSHOT_VERSION)
+        )
+    recomputed = state_digest(payload["state"])
+    if recomputed != payload.get("digest"):
+        raise SnapshotError(
+            "snapshot %s failed its integrity check "
+            "(stored digest %s, recomputed %s)"
+            % (path, payload.get("digest"), recomputed)
+        )
+    if (
+        expected_fingerprint is not None
+        and payload.get("fingerprint") != expected_fingerprint
+    ):
+        raise SnapshotError(
+            "snapshot %s belongs to a different run: fingerprint %r "
+            "does not match expected %r (same config, trace, and warm-up "
+            "are required to resume)"
+            % (path, payload.get("fingerprint"), expected_fingerprint)
+        )
+    return payload

@@ -12,6 +12,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.params import TLBConfig
+from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 
 __all__ = ["TLBStats", "DataTLB"]
 
@@ -114,3 +115,28 @@ class DataTLB:
 
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Every set's (vpn, frame) entries in LRU order, plus counters."""
+        return {
+            "stats": dataclass_state(self.stats),
+            "sets": [
+                [[vpn, frame] for vpn, frame in entries.items()]
+                for entries in self._sets
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        sets = state["sets"]
+        if len(sets) != self._num_sets:
+            raise ValueError(
+                "TLB snapshot has %d sets; this TLB has %d"
+                % (len(sets), self._num_sets)
+            )
+        load_dataclass_state(self.stats, state["stats"])
+        self._sets = [
+            OrderedDict((vpn, frame) for vpn, frame in set_state)
+            for set_state in sets
+        ]

@@ -1,0 +1,352 @@
+"""Snapshot/resume integration: bit-exact continuation, watchdog, divergence.
+
+The contract under test is the tentpole guarantee of :mod:`repro.snapshot`:
+a timing run interrupted at any snapshot boundary — cooperatively (the
+watchdog) or violently (SIGKILL mid-run, under active fault injection) —
+and resumed from its on-disk snapshot produces *bit-identical* results and
+digest streams to the run that was never interrupted.
+"""
+
+import contextlib
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.core.simulator import TimingSimulator
+from repro.faults import fault_storm
+from repro.params import MachineConfig
+from repro.snapshot import (
+    SnapshotError,
+    SnapshotPolicy,
+    WatchdogExpired,
+    load_snapshot,
+    save_snapshot,
+    set_policy,
+    state_digest,
+)
+from repro.snapshot.divergence import (
+    DivergencePoint,
+    compare_digest_streams,
+    find_divergence,
+)
+from repro.workloads.suite import build_benchmark
+
+EVERY = 8000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_benchmark("b2b", scale=0.03, seed=7)
+
+
+@contextlib.contextmanager
+def installed(policy):
+    previous = set_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_policy(previous)
+
+
+class ExpireAfter(SnapshotPolicy):
+    """Watchdog that deterministically expires after N boundary saves."""
+
+    def __init__(self, every, directory, after):
+        super().__init__(every=every, directory=directory, deadline=1e9)
+        self._saves_left = after
+
+    def expired(self):
+        self._saves_left -= 1
+        return self._saves_left <= 0
+
+
+def storm_config():
+    return MachineConfig().with_faults(**vars(fault_storm(0.5, seed=11)))
+
+
+class TestDigestStream:
+    def test_no_policy_records_nothing(self, workload):
+        sim = TimingSimulator(MachineConfig(), workload.memory)
+        result = sim.run(workload.trace, warmup_uops=1000)
+        assert result.state_digests == []
+
+    def test_digest_only_policy(self, workload):
+        with installed(SnapshotPolicy(every=EVERY)):
+            sim = TimingSimulator(MachineConfig(), workload.memory)
+            result = sim.run(workload.trace, warmup_uops=1000)
+        digests = result.state_digests
+        assert digests, "expected at least one boundary digest"
+        uops = [entry[0] for entry in digests]
+        assert uops == sorted(uops)
+        assert all(isinstance(entry[1], str) and entry[1] for entry in digests)
+
+    def test_same_run_same_stream(self, workload):
+        streams = []
+        for _ in range(2):
+            with installed(SnapshotPolicy(every=EVERY)):
+                sim = TimingSimulator(storm_config(), workload.memory)
+                streams.append(
+                    sim.run(workload.trace, warmup_uops=1000).state_digests
+                )
+        assert streams[0] == streams[1]
+
+
+@pytest.mark.integrity
+class TestWatchdogAndResume:
+    def test_watchdog_resume_bit_identical(self, workload, tmp_path):
+        """Interrupted-then-resumed equals never-interrupted, everywhere."""
+        with installed(SnapshotPolicy(every=EVERY)):
+            sim = TimingSimulator(storm_config(), workload.memory)
+            reference = sim.run(workload.trace, warmup_uops=1000)
+            reference_state = sim.state_dict()
+
+        snapdir = str(tmp_path)
+        with installed(ExpireAfter(EVERY, snapdir, after=2)):
+            interrupted = TimingSimulator(storm_config(), workload.memory)
+            with pytest.raises(WatchdogExpired) as excinfo:
+                interrupted.run(workload.trace, warmup_uops=1000)
+        # Expiry saved state *before* raising: the snapshot is on disk.
+        assert os.path.exists(excinfo.value.path)
+        assert excinfo.value.uop > 0
+        assert excinfo.value.uop < workload.trace.uop_count
+
+        with installed(
+            SnapshotPolicy(every=EVERY, directory=snapdir, resume=True)
+        ):
+            resumed_sim = TimingSimulator(storm_config(), workload.memory)
+            resumed = resumed_sim.run(workload.trace, warmup_uops=1000)
+            resumed_state = resumed_sim.state_dict()
+
+        assert resumed.cycles == reference.cycles
+        assert resumed.state_digests == reference.state_digests
+        assert resumed.state_dict() == reference.state_dict()
+        assert state_digest(resumed_state) == state_digest(reference_state)
+
+    def test_sigkill_mid_run_resume_bit_identical(self, workload, tmp_path):
+        """SIGKILL between boundaries, under an active fault storm.
+
+        A child process snapshots every ``EVERY`` µops and SIGKILLs itself
+        immediately after its second snapshot lands — mid-run, no cleanup,
+        no atexit.  Resuming from the surviving snapshot must reproduce
+        the uninterrupted run bit for bit.
+        """
+        snapdir = str(tmp_path)
+        child = textwrap.dedent("""
+            import os, signal
+            import repro.core.simulator as simulator
+            from repro.core.simulator import TimingSimulator
+            from repro.faults import fault_storm
+            from repro.params import MachineConfig
+            from repro.snapshot import SnapshotPolicy, set_policy
+            from repro.workloads.suite import build_benchmark
+
+            config = MachineConfig().with_faults(
+                **vars(fault_storm(0.5, seed=11))
+            )
+            workload = build_benchmark("b2b", scale=0.03, seed=7)
+            real_save = simulator.save_snapshot
+            saves = []
+
+            def save_then_die(*args, **kwargs):
+                digest = real_save(*args, **kwargs)
+                saves.append(digest)
+                if len(saves) == 2:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                return digest
+
+            simulator.save_snapshot = save_then_die
+            set_policy(SnapshotPolicy(every=%d, directory=%r))
+            TimingSimulator(config, workload.memory).run(
+                workload.trace, warmup_uops=1000
+            )
+            raise SystemExit("unreachable: SIGKILL did not fire")
+        """ % (EVERY, snapdir))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..",
+                                         "src")
+        proc = subprocess.run(
+            [sys.executable, "-c", child], env=env,
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        snaps = [n for n in os.listdir(snapdir) if n.endswith(".snap")]
+        assert len(snaps) == 1
+
+        with installed(SnapshotPolicy(every=EVERY)):
+            sim = TimingSimulator(storm_config(), workload.memory)
+            reference = sim.run(workload.trace, warmup_uops=1000)
+
+        with installed(
+            SnapshotPolicy(every=EVERY, directory=snapdir, resume=True)
+        ):
+            resumed = TimingSimulator(storm_config(), workload.memory).run(
+                workload.trace, warmup_uops=1000
+            )
+
+        assert resumed.cycles == reference.cycles
+        assert resumed.state_digests == reference.state_digests
+        assert resumed.state_dict() == reference.state_dict()
+
+
+class TestStore:
+    FINGERPRINT = {"config": "abc", "trace": {"name": "t"}}
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run.snap")
+        state = {"a": [1, 2.5, "x"], "b": None}
+        digest = save_snapshot(path, state, self.FINGERPRINT,
+                               meta={"uop": 7})
+        payload = load_snapshot(path, expected_fingerprint=self.FINGERPRINT)
+        assert payload["state"] == state
+        assert payload["meta"] == {"uop": 7}
+        assert payload["digest"] == digest == state_digest(state)
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        path = str(tmp_path / "run.snap")
+        save_snapshot(path, {"a": 1}, self.FINGERPRINT)
+        assert os.listdir(str(tmp_path)) == ["run.snap"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no snapshot file"):
+            load_snapshot(str(tmp_path / "nope.snap"))
+
+    def test_corrupt_file(self, tmp_path):
+        path = str(tmp_path / "run.snap")
+        save_snapshot(path, {"a": 1}, self.FINGERPRINT)
+        with open(path, "r+b") as handle:
+            handle.seek(0)
+            handle.write(b"\xff" * 16)
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = str(tmp_path / "run.snap")
+        save_snapshot(path, {"a": list(range(1000))}, self.FINGERPRINT)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = str(tmp_path / "run.snap")
+        save_snapshot(path, {"a": 1}, self.FINGERPRINT)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["version"] = 999
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(path)
+
+    def test_tampered_state_digest(self, tmp_path):
+        path = str(tmp_path / "run.snap")
+        save_snapshot(path, {"a": 1}, self.FINGERPRINT)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["state"]["a"] = 2
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        with pytest.raises(SnapshotError, match="integrity"):
+            load_snapshot(path)
+
+    def test_fingerprint_mismatch(self, tmp_path):
+        path = str(tmp_path / "run.snap")
+        save_snapshot(path, {"a": 1}, self.FINGERPRINT)
+        with pytest.raises(SnapshotError, match="fingerprint"):
+            load_snapshot(path, expected_fingerprint={"config": "other"})
+
+
+class TestPolicyValidation:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SnapshotPolicy(every=0)
+
+    def test_resume_requires_directory(self):
+        with pytest.raises(ValueError):
+            SnapshotPolicy(every=1, resume=True)
+
+    def test_deadline_requires_directory(self):
+        with pytest.raises(ValueError):
+            SnapshotPolicy(every=1, deadline=10.0)
+
+    def test_set_policy_returns_previous(self):
+        policy = SnapshotPolicy(every=1)
+        previous = set_policy(policy)
+        assert set_policy(previous) is policy
+
+
+class TestDivergence:
+    def test_identical_streams(self):
+        stream = [[100, "aa"], [200, "bb"]]
+        assert compare_digest_streams(stream, list(stream)) is None
+
+    def test_first_difference_bracketed(self):
+        a = [[100, "aa"], [200, "bb"], [300, "cc"]]
+        b = [[100, "aa"], [200, "xx"], [300, "cc"]]
+        point = compare_digest_streams(a, b)
+        assert (point.uop_lo, point.uop_hi) == (100, 200)
+        assert (point.digest_a, point.digest_b) == ("bb", "xx")
+
+    def test_length_mismatch(self):
+        a = [[100, "aa"], [200, "bb"]]
+        point = compare_digest_streams(a, a[:1])
+        assert point is not None
+        assert point.uop_lo == 100
+
+    def test_identical_machines_never_diverge(self, workload):
+        def make():
+            return TimingSimulator(MachineConfig(), workload.memory)
+
+        assert find_divergence(
+            make, make, workload.trace, warmup_uops=1000,
+            every=EVERY, floor=1000,
+        ) is None
+
+    def test_fault_divergence_narrowed_below_floor(self, workload):
+        """Same seed, different corruption rate: identical initial state,
+        divergence mid-run; the bisection must bracket it tightly."""
+        def make_clean():
+            return TimingSimulator(
+                MachineConfig().with_faults(enabled=True, seed=5),
+                workload.memory,
+            )
+
+        def make_corrupting():
+            return TimingSimulator(
+                MachineConfig().with_faults(
+                    enabled=True, seed=5, corrupt_fill_rate=0.9
+                ),
+                workload.memory,
+            )
+
+        floor = 1000
+        point = find_divergence(
+            make_clean, make_corrupting, workload.trace,
+            warmup_uops=1000, every=EVERY, floor=floor,
+        )
+        assert isinstance(point, DivergencePoint)
+        assert point.digest_a != point.digest_b
+        # Boundaries snap to op granularity, so the bracket can overshoot
+        # the floor by up to one op's worth of µops.
+        assert point.uop_hi - point.uop_lo <= 2 * floor
+
+    def test_different_seeds_diverge_at_start(self, workload):
+        def make(seed):
+            def factory():
+                return TimingSimulator(
+                    MachineConfig().with_faults(enabled=True, seed=seed),
+                    workload.memory,
+                )
+            return factory
+
+        point = find_divergence(
+            make(1), make(2), workload.trace, warmup_uops=1000,
+            every=EVERY, floor=1000,
+        )
+        assert (point.uop_lo, point.uop_hi) == (0, 0)

@@ -1,0 +1,232 @@
+"""Property tests: ``load_state_dict(state_dict())`` is identity per component.
+
+Each test drives one stateful component through a random operation
+sequence, serializes it, restores the state into a freshly-constructed
+instance, and asserts the fresh instance serializes identically (and
+digests identically — the property the divergence detector relies on).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.line import Requester
+from repro.cache.mshr import MissStatus, MSHRFile
+from repro.cache.prefetchbuffer import PrefetchBuffer
+from repro.cache.setassoc import SetAssociativeCache
+from repro.faults import FaultInjector, fault_storm
+from repro.interconnect.arbiter import MemoryRequest, PriorityArbiter
+from repro.interconnect.bus import Bus, L2Port
+from repro.memory.pagetable import PageTable
+from repro.params import (
+    BusConfig,
+    CacheConfig,
+    ContentConfig,
+    MarkovConfig,
+    StrideConfig,
+    TLBConfig,
+)
+from repro.prefetch.adaptive import AdaptiveController
+from repro.prefetch.content import ContentPrefetcher
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.snapshot import canonical_bytes, state_digest
+from repro.tlb.dtlb import DataTLB
+
+import pytest
+
+addresses = st.integers(min_value=0, max_value=0xFFFF_FFC0)
+small_ints = st.integers(min_value=0, max_value=7)
+requesters = st.sampled_from(list(Requester))
+
+
+def assert_roundtrip(component, fresh):
+    """The identity property, applied to any hooked component pair."""
+    state = component.state_dict()
+    fresh.load_state_dict(state)
+    restored = fresh.state_dict()
+    assert restored == state
+    assert state_digest(restored) == state_digest(state)
+
+
+class TestDigest:
+    def test_dict_order_stable(self):
+        assert state_digest({"a": 1, "b": 2}) == state_digest({"b": 2, "a": 1})
+
+    def test_type_tags_distinguish(self):
+        trees = [1, True, "1", 1.0, [1], b"1", None]
+        digests = {state_digest(t) for t in trees}
+        assert len(digests) == len(trees)
+
+    def test_list_boundaries_unambiguous(self):
+        assert state_digest(["ab"]) != state_digest(["a", "b"])
+
+    def test_tuple_hashes_as_list(self):
+        assert state_digest((1, 2)) == state_digest([1, 2])
+
+    def test_float_bits_matter(self):
+        a, b = 0.1 + 0.2, 0.3
+        assert a != b
+        assert state_digest(a) != state_digest(b)
+
+    def test_non_str_key_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_bytes({1: "a"})
+
+    def test_unsupported_leaf_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_bytes({"a": object()})
+
+
+class TestCacheRoundtrip:
+    @given(st.lists(st.tuples(addresses, small_ints, requesters), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_setassoc(self, ops):
+        config = CacheConfig(4096, 2, latency=1)
+        cache = SetAssociativeCache(config, name="t")
+        for i, (addr, depth, req) in enumerate(ops):
+            cache.fill(addr, vaddr=addr ^ 0x40, requester=req,
+                       depth=depth, time=i, kind="chain" if depth else "")
+            cache.lookup(addr ^ (depth << 6))
+        assert_roundtrip(cache, SetAssociativeCache(config, name="t"))
+
+    @given(st.lists(st.tuples(addresses, small_ints, requesters),
+                    min_size=1, max_size=30, unique_by=lambda t: t[0] >> 6))
+    @settings(max_examples=40, deadline=None)
+    def test_mshr(self, entries):
+        mshr = MSHRFile()
+        for i, (addr, depth, req) in enumerate(entries):
+            status = MissStatus(addr >> 6 << 6, addr ^ 0x40, req, depth,
+                                issue_time=i, fill_time=i + 100)
+            status.extra["eff_vaddr"] = addr
+            if depth % 2:
+                status.extra["kind"] = "next"
+            mshr.allocate(status)
+        if len(entries) > 2:
+            mshr.complete(entries[0][0] >> 6 << 6)
+        assert_roundtrip(mshr, MSHRFile())
+
+    @given(st.lists(st.tuples(addresses, small_ints), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_prefetch_buffer(self, ops):
+        buffer = PrefetchBuffer(8)
+        for i, (addr, depth) in enumerate(ops):
+            line = addr >> 6 << 6
+            if depth == 7:
+                buffer.promote(line)
+            else:
+                buffer.fill(line, addr ^ 0x40, Requester.CONTENT, depth,
+                            time=i)
+        assert_roundtrip(buffer, PrefetchBuffer(8))
+
+    @given(st.lists(addresses, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_dtlb(self, vaddrs):
+        config = TLBConfig()
+        tlb = DataTLB(config)
+        for i, vaddr in enumerate(vaddrs):
+            if tlb.translate(vaddr) is None:
+                tlb.insert(vaddr, (i + 1) << 12)
+        assert_roundtrip(tlb, DataTLB(config))
+
+
+class TestInterconnectRoundtrip:
+    @given(st.lists(st.integers(0, 10_000), max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_bus(self, times):
+        config = BusConfig()
+        bus = Bus(config, line_size=64)
+        for time in sorted(times):
+            bus.grant(time)
+        assert_roundtrip(bus, Bus(config, line_size=64))
+
+    @given(st.lists(st.integers(0, 10_000), max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_l2_port(self, times):
+        port = L2Port(2)
+        for i, time in enumerate(sorted(times)):
+            port.reserve(time, is_rescan=bool(i % 3))
+        assert_roundtrip(port, L2Port(2))
+
+    @given(st.lists(st.tuples(addresses, small_ints, requesters),
+                    max_size=30),
+           st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_arbiter(self, entries, pops):
+        arbiter = PriorityArbiter(16, name="t")
+        for i, (addr, depth, req) in enumerate(entries):
+            arbiter.enqueue(MemoryRequest(
+                addr >> 6 << 6, addr ^ 0x40, req, depth, create_time=i
+            ))
+        for _ in range(pops):
+            arbiter.pop()
+        # The restored heap must preserve tombstones and lazy-delete
+        # bookkeeping verbatim, not just the live set.
+        assert_roundtrip(arbiter, PriorityArbiter(16, name="t"))
+
+
+class TestPrefetcherRoundtrip:
+    @given(st.lists(st.tuples(st.integers(0, 255), addresses), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_stride(self, accesses):
+        config = StrideConfig()
+        pf = StridePrefetcher(config, 64, address_bits=32)
+        for pc, vaddr in accesses:
+            pf.observe(pc << 2, vaddr)
+        assert_roundtrip(pf, StridePrefetcher(config, 64, address_bits=32))
+
+    @given(st.lists(addresses, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_markov(self, misses):
+        config = MarkovConfig(enabled=True)
+        pf = MarkovPrefetcher(config, 64, address_bits=32)
+        for i, vaddr in enumerate(misses):
+            pf.observe_miss(vaddr, stride_covered=bool(i % 4 == 0))
+        assert_roundtrip(pf, MarkovPrefetcher(config, 64, address_bits=32))
+
+    @given(st.lists(st.tuples(addresses, st.binary(min_size=64, max_size=64)),
+                    max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_content(self, fills):
+        config = ContentConfig()
+        pf = ContentPrefetcher(config, 64)
+        for vaddr, line_bytes in fills:
+            line = vaddr >> 6 << 6
+            pf.scan_fill(line, line_bytes, vaddr, depth=0, is_rescan=False)
+        assert_roundtrip(pf, ContentPrefetcher(config, 64))
+
+    @given(st.lists(st.booleans(), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_adaptive(self, outcomes):
+        def build():
+            return AdaptiveController(ContentPrefetcher(ContentConfig(), 64))
+
+        controller = build()
+        for useful in outcomes:
+            controller.record_outcome(useful)
+        assert_roundtrip(controller, build())
+
+
+class TestMemoryAndFaultsRoundtrip:
+    @given(st.lists(addresses, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_page_table(self, vaddrs):
+        table = PageTable()
+        for vaddr in vaddrs:
+            table.translate(vaddr)
+            table.walk_addresses(vaddr)
+        assert_roundtrip(table, PageTable())
+
+    @given(st.integers(0, 500), st.integers(1, 99))
+    @settings(max_examples=40, deadline=None)
+    def test_fault_injector_rng_stream(self, draws, seed):
+        config = fault_storm(0.7, seed=seed)
+        injector = FaultInjector(config)
+        for i in range(draws % 50):
+            injector.bus_grant_penalty()
+            injector.mshr_exhausted(i)
+        fresh = FaultInjector(config)
+        assert_roundtrip(injector, fresh)
+        # The restored PRNG must continue the exact stream: the next
+        # decisions of original and restored injectors are identical.
+        follow_on = [injector.bus_grant_penalty() for _ in range(10)]
+        assert [fresh.bus_grant_penalty() for _ in range(10)] == follow_on
