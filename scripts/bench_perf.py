@@ -13,6 +13,11 @@ root:
   benchmark, µops simulated per wall-clock second.
 * ``timing uops/sec`` — the same for the cycle-accounting timing
   simulator.
+* ``service`` — jobs/sec of the simulation service (repro.service)
+  over a batch of distinct tiny requests, cold (every cell computed)
+  and cached (every cell served from the content-addressed store; this
+  is the per-request overhead of digesting, scheduling, and one store
+  read, so it is gated).
 
 Usage::
 
@@ -138,12 +143,63 @@ def bench_simulators(seed: int = 1) -> dict:
         perf.set_enabled(previous)
 
 
+SERVICE_JOBS = 24
+SERVICE_SCALE = 0.02
+
+
+def bench_service(seed: int = 1) -> dict:
+    """Serving throughput, cold vs cached, over one batch of requests."""
+    import shutil
+    import tempfile
+
+    from repro.params import MachineConfig
+    from repro.service import SimRequest
+    from repro.service.client import ServiceSession
+
+    requests = [
+        SimRequest(
+            machine=MachineConfig(), benchmark=SIM_BENCHMARK,
+            scale=SERVICE_SCALE, seed=seed + i, mode="functional",
+        )
+        for i in range(SERVICE_JOBS)
+    ]
+    store = tempfile.mkdtemp(prefix="bench-service-")
+    try:
+        with ServiceSession(
+            store_dir=store, max_pending=SERVICE_JOBS + 8
+        ) as session:
+            started = time.perf_counter()
+            session.run_batch(requests)
+            cold = time.perf_counter() - started
+        with ServiceSession(
+            store_dir=store, max_pending=SERVICE_JOBS + 8
+        ) as session:
+            started = time.perf_counter()
+            session.run_batch(requests)
+            cached = time.perf_counter() - started
+            status = session.status()
+        if status.cache_hits != SERVICE_JOBS:
+            raise SystemExit(
+                "service bench expected %d cache hits, saw %d"
+                % (SERVICE_JOBS, status.cache_hits)
+            )
+        return {
+            "jobs": SERVICE_JOBS,
+            "scale": SERVICE_SCALE,
+            "cold_jobs_per_sec": round(SERVICE_JOBS / cold, 2),
+            "cached_jobs_per_sec": round(SERVICE_JOBS / cached, 2),
+        }
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+
+
 def measure() -> dict:
     return {
         "benchmark": SIM_BENCHMARK,
         "functional_scale": FUNCTIONAL_SCALE,
         "timing_scale": TIMING_SCALE,
         "matcher": bench_matcher(),
+        "service": bench_service(),
         **bench_simulators(),
     }
 
@@ -153,6 +209,7 @@ _GATED = [
     (("functional_uops_per_sec",), "functional uops/sec"),
     (("timing_uops_per_sec",), "timing uops/sec"),
     (("matcher", "words_per_sec_vectorized"), "matcher words/sec"),
+    (("service", "cached_jobs_per_sec"), "service cached jobs/sec"),
 ]
 
 

@@ -11,6 +11,7 @@ numbers.
 """
 
 import json
+import os
 import sys
 import time
 
@@ -43,7 +44,12 @@ def main() -> int:
     argv = [arg for arg in sys.argv[1:] if arg != "--check-invariants"]
     if len(argv) != len(sys.argv) - 1:
         invariants.set_global_checks(True)
-    out_path = argv[0] if argv else "experiment_results.txt"
+    out_path = argv[0] if argv else os.path.join(
+        "results", "experiment_results.txt"
+    )
+    out_dir = os.path.dirname(out_path)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
     extras = {}
     with open(out_path, "w") as out:
         for name, scale in SCALES.items():

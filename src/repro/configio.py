@@ -27,6 +27,7 @@ from repro.params import (
 )
 
 __all__ = [
+    "canonical_machine_dict",
     "machine_config_to_dict",
     "machine_config_from_dict",
     "save_machine_config",
@@ -46,12 +47,78 @@ _COMPONENTS = {
 }
 
 
+def _normalized_fields(cls, component: dict) -> dict:
+    """Coerce field values to their declared numeric types.
+
+    JSON (and hand-written config dicts) blur ``1`` / ``1.0``; a
+    float-typed field loaded as an int would survive dataclass
+    construction but produce a *different* canonical form — and thus a
+    different content-address — than the same machine written with a
+    float.  Dedup keying (:mod:`repro.service`) requires normalizing a
+    config to be idempotent, so numeric types are pinned here.
+    """
+    types = {f.name: f.type for f in dataclasses.fields(cls)}
+    normalized = {}
+    for key, value in component.items():
+        declared = types.get(key)
+        declared = getattr(declared, "__name__", declared)  # str under PEP 563
+        if isinstance(value, bool):
+            pass  # bool is an int subclass; never silently demote it
+        elif declared == "float" and isinstance(value, int):
+            value = float(value)
+        elif declared == "int" and isinstance(value, float) and value.is_integer():
+            value = int(value)
+        normalized[key] = value
+    return normalized
+
+
 def machine_config_to_dict(config: MachineConfig) -> dict:
     """Convert a :class:`MachineConfig` to plain nested dicts."""
     return {
         name: dataclasses.asdict(getattr(config, name))
         for name in _COMPONENTS
     }
+
+
+#: Fields that still key the canonical form when the component is
+#: disabled.  Everything else in a disabled prefetcher/fault component is
+#: a tuning knob the simulators provably never read (the engine checks
+#: ``enabled`` first), so the canonical form masks it to its default —
+#: every disabled-content baseline of a knob sweep then shares one
+#: content address.  ``address_bits``/``word_size`` stay keyed: they
+#: shape address masking and pointer scanning structurally, not just the
+#: prefetcher's heuristics.
+_KEYED_WHEN_DISABLED = {
+    "stride": {"enabled"},
+    "content": {"enabled", "address_bits", "word_size"},
+    "markov": {"enabled"},
+    "faults": {"enabled"},
+}
+
+
+def canonical_machine_dict(config: MachineConfig) -> dict:
+    """Normalized, default-filled dict form of *config*.
+
+    The canonical form is what content-addressing hashes: two configs
+    describing the same machine — whatever mix of ints-for-floats,
+    load/dump round-trips, or leftover knobs on disabled components
+    produced them — yield byte-identical canonical trees
+    (``digest(load(dump(c))) == digest(c)``).
+    """
+    canonical = {}
+    for name, cls in _COMPONENTS.items():
+        component = _normalized_fields(
+            cls, dataclasses.asdict(getattr(config, name))
+        )
+        keyed = _KEYED_WHEN_DISABLED.get(name)
+        if keyed is not None and component.get("enabled") is False:
+            defaults = _normalized_fields(cls, dataclasses.asdict(cls()))
+            component = {
+                key: value if key in keyed else defaults[key]
+                for key, value in component.items()
+            }
+        canonical[name] = component
+    return canonical
 
 
 def machine_config_from_dict(data: dict) -> MachineConfig:
@@ -81,6 +148,7 @@ def machine_config_from_dict(data: dict) -> MachineConfig:
             raise ValueError(
                 "unknown fields for %s: %s" % (name, ", ".join(sorted(bad)))
             )
+        component = _normalized_fields(cls, component)
         if name in ("l1d", "ul2"):
             # CacheConfig has required fields; merge over the defaults.
             defaults = dataclasses.asdict(getattr(MachineConfig(), name))

@@ -107,15 +107,22 @@ class TimingSimulator:
             self.memsys.integrity_checks = True
         self.core = OutOfOrderCore(config.core, self.memsys)
 
-    def run(self, trace: Trace, warmup_uops: int = 0) -> TimingResult:
+    def run(
+        self, trace: Trace, warmup_uops: int = 0, policy=None
+    ) -> TimingResult:
         """Simulate *trace* and return the populated :class:`TimingResult`.
 
         With invariant checking enabled (per-instance or globally), the
         run is validated end to end and raises
         :class:`~repro.core.invariants.SimulationIntegrityError` rather
         than returning inconsistent numbers.
+
+        *policy* overrides the process-wide snapshot policy for this run
+        only — the simulation service uses this so concurrent in-process
+        worker jobs each snapshot (and preempt) independently.
         """
-        policy = active_policy()
+        if policy is None:
+            policy = active_policy()
         if policy is not None:
             return self._run_with_snapshots(trace, warmup_uops, policy)
         self.result.name = trace.name

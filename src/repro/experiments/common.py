@@ -33,6 +33,7 @@ __all__ = [
     "model_machine",
     "run_functional",
     "run_timing",
+    "set_speedup_provider",
     "timing_speedups",
     "warmup_uops_for",
 ]
@@ -169,6 +170,27 @@ def run_timing(
     return result
 
 
+#: When installed (see :func:`set_speedup_provider`), every
+#: :func:`timing_speedups` call is delegated here instead of running
+#: simulations inline.  The simulation service installs a provider that
+#: re-expresses each sweep as a batch of content-addressed requests, so a
+#: re-run sweep only recomputes cells whose configuration changed.
+_SPEEDUP_PROVIDER = None
+
+
+def set_speedup_provider(provider):
+    """Install (or, with ``None``, remove) the sweep backend; returns the
+    previous provider.  A provider is called as
+    ``provider(config, benchmarks, scale, seed, baseline_config)`` and
+    must return the same ``{benchmark: speedup}`` mapping as
+    :func:`timing_speedups`.
+    """
+    global _SPEEDUP_PROVIDER
+    previous = _SPEEDUP_PROVIDER
+    _SPEEDUP_PROVIDER = provider
+    return previous
+
+
 def timing_speedups(
     config: MachineConfig,
     benchmarks,
@@ -181,8 +203,14 @@ def timing_speedups(
 
     *baseline_cache* (keyed by benchmark name) lets sweeps reuse baseline
     runs across configurations — the baseline machine never changes within
-    a sweep.
+    a sweep.  With a speedup provider installed the whole call is served
+    by it (and *baseline_cache* is ignored: the provider's result store
+    already dedups baselines by content address).
     """
+    if _SPEEDUP_PROVIDER is not None:
+        return _SPEEDUP_PROVIDER(
+            config, list(benchmarks), scale, seed, baseline_config
+        )
     if baseline_config is None:
         baseline_config = config.with_content(enabled=False).with_markov(
             enabled=False

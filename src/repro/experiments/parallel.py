@@ -28,6 +28,7 @@ from repro.params import MachineConfig
 __all__ = [
     "JobFailure",
     "SweepOutcome",
+    "backoff_delay",
     "drain_sweep_failures",
     "run_sweep",
     "parallel_speedups",
@@ -51,6 +52,10 @@ def _backoff_delay(backoff: float, attempt: int) -> float:
     if backoff <= 0:
         return 0.0
     return backoff * attempt * (0.5 + _JITTER.random())
+
+
+#: Public name for the retry machinery shared with :mod:`repro.service`.
+backoff_delay = _backoff_delay
 
 
 #: JobFailures recorded by every sweep since the last drain.  The

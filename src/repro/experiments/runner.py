@@ -214,6 +214,17 @@ def main(argv=None) -> int:
              "(requires --snapshot-every and a snapshot directory)",
     )
     parser.add_argument(
+        "--service-store", type=str, default=None, metavar="DIR",
+        help="run timing sweeps through the simulation service "
+             "(repro.service) with a content-addressed result cache "
+             "rooted at DIR: a re-run sweep recomputes only the cells "
+             "whose configuration changed",
+    )
+    parser.add_argument(
+        "--service-workers", type=int, default=1, metavar="N",
+        help="worker threads for --service-store (default: 1)",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="render an ASCII chart of the result where supported",
     )
@@ -234,6 +245,11 @@ def main(argv=None) -> int:
             "--deadline requires --snapshot-every and --snapshot-dir "
             "(expiry saves a snapshot before exiting)"
         )
+    if args.service_store and args.snapshot_every is not None:
+        parser.error(
+            "--service-store manages its own snapshots; do not combine "
+            "it with --snapshot-every"
+        )
     policy = None
     if args.snapshot_every is not None:
         try:
@@ -253,6 +269,16 @@ def main(argv=None) -> int:
     previous_profile = perf.set_enabled(args.profile or perf.enabled())
     previous_policy = set_policy(policy) if policy is not None else None
     _parallel.drain_sweep_failures()  # stale failures from earlier calls
+    session = None
+    if args.service_store:
+        from repro.service.client import ServiceSession
+
+        session = ServiceSession(
+            store_dir=args.service_store,
+            max_workers=args.service_workers,
+            max_pending=4096,
+        ).start()
+        session.install()
     try:
         if args.out and args.resume:
             completed = _load_checkpoint(args.out, fingerprint)
@@ -300,6 +326,10 @@ def main(argv=None) -> int:
         perf.set_enabled(previous_profile)
         if policy is not None:
             set_policy(previous_policy)
+        if session is not None:
+            status = session.status()
+            session.close()
+            print(status.render())
     failures = _parallel.drain_sweep_failures()
     if failures:
         summary = "[partial: %d job%s failed; survivors' results are " \

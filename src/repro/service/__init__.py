@@ -1,0 +1,61 @@
+"""Async simulation-serving subsystem with content-addressed caching.
+
+Turns the one-shot simulators into a long-running concurrent service —
+the substrate the ROADMAP's "heavy traffic" north star builds on:
+
+* :mod:`repro.service.request` — :class:`SimRequest` and its canonical
+  blake2b content address (:func:`request_digest`): two requests that
+  mean the same simulation share one digest, however they were written.
+* :mod:`repro.service.store` — :class:`ResultStore`: completed results
+  cached by digest with atomic writes, integrity checksums, and
+  versioned invalidation.
+* :mod:`repro.service.scheduler` — :class:`SimulationService`: bounded
+  priority queue, single-flight dedup, typed backpressure rejections,
+  retry/timeout worker tier, and snapshot-boundary preemption of sweep
+  jobs in favour of interactive requests (preempted jobs resume
+  bit-identically).
+* :mod:`repro.service.client` — async sweep batching plus the blocking
+  :class:`ServiceSession` facade, which can route the experiments CLI's
+  sweeps through the cache (``repro-experiments ... --service-store``).
+* :mod:`repro.service.cli` — the ``repro-serve`` command.
+"""
+
+from repro.service.client import ServiceSession, sweep_requests, sweep_speedups
+from repro.service.request import (
+    RESULT_SCHEMA_VERSION,
+    Priority,
+    SimRequest,
+    canonical_request_tree,
+    request_digest,
+)
+from repro.service.scheduler import (
+    Job,
+    JobFailed,
+    QueueFull,
+    ServiceClosed,
+    ServiceRejected,
+    ServiceStatus,
+    SimulationService,
+)
+from repro.service.store import RESULT_STORE_VERSION, ResultStore, StoreStats
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "RESULT_STORE_VERSION",
+    "Job",
+    "JobFailed",
+    "Priority",
+    "QueueFull",
+    "ResultStore",
+    "ServiceClosed",
+    "ServiceRejected",
+    "ServiceSession",
+    "ServiceStatus",
+    "SimRequest",
+    "SimulationService",
+    "StoreStats",
+    "canonical_request_tree",
+    "request_digest",
+    "sweep_requests",
+    "sweep_speedups",
+]

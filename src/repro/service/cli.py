@@ -1,0 +1,232 @@
+"""Command-line entry point: ``repro-serve`` (``python -m repro.service.cli``).
+
+Subcommands::
+
+    repro-serve batch FILE [--store DIR] [--workers N] [...]
+    repro-serve status [--store DIR]
+
+``batch`` runs a JSON request file through a :class:`SimulationService`
+and prints one line per request plus the service status report.  A batch
+file looks like::
+
+    {
+      "requests": [
+        {"benchmark": "b2c", "scale": 0.05, "mode": "functional"},
+        {"benchmark": "b2c", "scale": 0.05, "mode": "functional",
+         "machine": {"content": {"enabled": false}},
+         "priority": "interactive"}
+      ]
+    }
+
+``machine`` is a partial machine-config dict (JSON layout of
+:mod:`repro.configio`; omitted fields take Table 1 defaults) and
+``priority`` is ``"interactive"`` or ``"sweep"`` (the default).  Because
+results are content-addressed in ``--store``, re-running the same batch
+is served from cache: that round trip is the CI smoke test.
+
+``--report-json`` writes a machine-readable summary (per-request source
+and latency plus the full status counters).
+
+Exit codes: 0 — all requests served; 2 — bad invocation or malformed
+batch file; 3 — some requests failed or were rejected (the survivors'
+results are valid and cached).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.service.request import Priority, SimRequest, parse_priority
+
+__all__ = ["main"]
+
+EXIT_CLEAN = 0
+EXIT_ERROR = 2
+EXIT_PARTIAL = 3
+
+DEFAULT_STORE = "results/service-cache"
+
+
+def _load_batch(path: str) -> list:
+    """``[(SimRequest, Priority), ...]`` from a batch file.
+
+    Malformed files raise ``ValueError`` naming the offending request —
+    mirroring :func:`repro.configio.load_machine_config`'s contract.
+    """
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ValueError("cannot read batch file %r: %s" % (path, exc))
+    except json.JSONDecodeError as exc:
+        raise ValueError("batch file %r is not valid JSON: %s" % (path, exc))
+    if isinstance(data, dict):
+        entries = data.get("requests")
+    else:
+        entries = data
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(
+            "batch file %r must contain a non-empty 'requests' list" % path
+        )
+    batch = []
+    for index, entry in enumerate(entries):
+        try:
+            request = SimRequest.from_dict(entry)
+            priority = parse_priority(entry.get("priority", "sweep")) \
+                if isinstance(entry, dict) else Priority.SWEEP
+        except ValueError as exc:
+            raise ValueError("request #%d in %r: %s" % (index, path, exc))
+        batch.append((request, priority))
+    return batch
+
+
+def _result_line(result) -> str:
+    """One human line summarizing a completed result."""
+    if hasattr(result, "cycles") and getattr(result, "cycles", 0):
+        return "cycles %.0f, ipc %.3f" % (result.cycles, result.ipc)
+    if hasattr(result, "mptu"):
+        return "uops %d, mptu %.2f" % (result.uops, result.mptu)
+    return type(result).__name__
+
+
+def _cmd_batch(args) -> int:
+    from repro.service.client import ServiceSession
+    from repro.service.request import request_digest
+
+    try:
+        batch = _load_batch(args.file)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_ERROR
+
+    session = ServiceSession(
+        store_dir=args.store,
+        max_workers=args.workers,
+        worker_mode=args.worker_mode,
+        max_pending=args.max_pending,
+        job_timeout=args.timeout,
+        retries=args.retries,
+        snapshot_every=args.snapshot_every,
+    )
+    with session:
+        records = session.submit_batch(batch)
+        status = session.status()
+
+    failures = 0
+    report_rows = []
+    for (request, priority), (source, outcome) in zip(batch, records):
+        digest = request_digest(request)
+        if isinstance(outcome, BaseException):
+            failures += 1
+            detail = "%s: %s" % (type(outcome).__name__, outcome)
+            state = "failed" if source != "rejected" else "rejected"
+        else:
+            detail = _result_line(outcome)
+            state = source  # cache | dedup | computed
+        print(
+            "%-12s %-10s %-12s %-11s %s"
+            % (digest[:12], request.benchmark, request.mode, state, detail)
+        )
+        report_rows.append({
+            "digest": digest,
+            "benchmark": request.benchmark,
+            "mode": request.mode,
+            "priority": priority.name.lower(),
+            "source": state,
+            "detail": detail,
+        })
+    print()
+    print(status.render())
+
+    if args.report_json:
+        with open(args.report_json, "w") as handle:
+            json.dump(
+                {"requests": report_rows, "stats": status.as_dict()},
+                handle, indent=2,
+            )
+            handle.write("\n")
+    return EXIT_PARTIAL if failures else EXIT_CLEAN
+
+
+def _cmd_status(args) -> int:
+    from repro.service.store import ResultStore
+
+    store = ResultStore(args.store)
+    entries = store.entries()
+    print("result store %s: %d cached result%s"
+          % (store.directory, len(entries), "" if len(entries) == 1 else "s"))
+    for digest in entries[: args.limit]:
+        print("  %s" % digest)
+    if len(entries) > args.limit:
+        print("  ... %d more" % (len(entries) - args.limit))
+    return EXIT_CLEAN
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve simulations with content-addressed result "
+                    "caching.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    batch = sub.add_parser(
+        "batch", help="run a JSON batch of requests through the service"
+    )
+    batch.add_argument("file", help="batch request file (see module docs)")
+    batch.add_argument(
+        "--store", default=DEFAULT_STORE,
+        help="result-store directory (default: %(default)s)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1,
+        help="worker count (default: 1)",
+    )
+    batch.add_argument(
+        "--worker-mode", choices=("thread", "process"), default="thread",
+        help="worker tier kind (default: thread)",
+    )
+    batch.add_argument(
+        "--max-pending", type=int, default=256,
+        help="queued-job bound before typed rejection (default: 256)",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job wall-clock timeout in seconds",
+    )
+    batch.add_argument(
+        "--retries", type=int, default=1,
+        help="retry budget per job (default: 1)",
+    )
+    batch.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="make timing jobs preemptible/resumable at N-uop snapshot "
+             "boundaries (snapshots live under the store)",
+    )
+    batch.add_argument(
+        "--report-json", default=None, metavar="PATH",
+        help="also write a machine-readable report to PATH",
+    )
+    batch.set_defaults(func=_cmd_batch)
+
+    status = sub.add_parser(
+        "status", help="inspect a result store"
+    )
+    status.add_argument(
+        "--store", default=DEFAULT_STORE,
+        help="result-store directory (default: %(default)s)",
+    )
+    status.add_argument(
+        "--limit", type=int, default=20,
+        help="max digests to list (default: 20)",
+    )
+    status.set_defaults(func=_cmd_status)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

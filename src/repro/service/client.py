@@ -1,0 +1,261 @@
+"""In-process client API: batches, sweeps, and a sync session facade.
+
+Two layers:
+
+* **async helpers** against a running :class:`SimulationService` —
+  :func:`sweep_speedups` re-expresses the classic
+  :func:`repro.experiments.common.timing_speedups` sweep as a batch of
+  content-addressed requests (one baseline + one enhanced cell per
+  benchmark).  Because cells are cached by digest, re-running a sweep
+  after changing one parameter recomputes only the changed cells.
+
+* :class:`ServiceSession` — a synchronous facade that owns a private
+  event loop on a background thread, so plain blocking code (the
+  experiments CLI, scripts, tests) can use the service without being
+  rewritten as coroutines.  ``session.install()`` plugs the session into
+  :func:`repro.experiments.common.set_speedup_provider`, at which point
+  every existing experiment sweep transparently runs through the
+  service's cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.experiments import common as _common
+from repro.params import MachineConfig
+from repro.service.request import Priority, SimRequest
+from repro.service.scheduler import SimulationService
+
+__all__ = ["ServiceSession", "sweep_requests", "sweep_speedups"]
+
+
+def baseline_machine(config: MachineConfig) -> MachineConfig:
+    """The stride-only baseline every speedup is measured against."""
+    return config.with_content(enabled=False).with_markov(enabled=False)
+
+
+def sweep_requests(
+    config: MachineConfig,
+    benchmarks,
+    scale: float,
+    seed: int = 1,
+    baseline_config: MachineConfig | None = None,
+    warmup_fraction: float = 0.25,
+) -> list:
+    """The (baseline, enhanced) request pairs of one sweep.
+
+    Returns ``[(benchmark, baseline_request, enhanced_request), ...]``.
+    Baseline requests are identical across the configurations of a sweep,
+    so the service's dedup/cache collapses them to one run each.
+    """
+    if baseline_config is None:
+        baseline_config = baseline_machine(config)
+    pairs = []
+    for name in benchmarks:
+        common = {
+            "benchmark": name, "scale": scale, "seed": seed,
+            "warmup_fraction": warmup_fraction, "mode": "timing",
+        }
+        pairs.append((
+            name,
+            SimRequest(machine=baseline_config, **common),
+            SimRequest(machine=config, **common),
+        ))
+    return pairs
+
+
+async def sweep_speedups(
+    service: SimulationService,
+    config: MachineConfig,
+    benchmarks,
+    scale: float,
+    seed: int = 1,
+    baseline_config: MachineConfig | None = None,
+    warmup_fraction: float = 0.25,
+    priority: Priority = Priority.SWEEP,
+) -> dict:
+    """``{benchmark: speedup}`` for one sweep configuration, via *service*."""
+    pairs = sweep_requests(
+        config, benchmarks, scale, seed=seed,
+        baseline_config=baseline_config, warmup_fraction=warmup_fraction,
+    )
+    jobs = []
+    for name, baseline_req, enhanced_req in pairs:
+        jobs.append((
+            name,
+            service.submit(baseline_req, priority),
+            service.submit(enhanced_req, priority),
+        ))
+    speedups = {}
+    for name, baseline_job, enhanced_job in jobs:
+        baseline = await baseline_job.future
+        enhanced = await enhanced_job.future
+        speedups[name] = enhanced.speedup_over(baseline)
+    return speedups
+
+
+class ServiceSession:
+    """Blocking facade over a :class:`SimulationService` on its own loop.
+
+    Usable as a context manager::
+
+        with ServiceSession(store_dir="results/service-cache") as session:
+            result = session.run(request)
+            sweep = session.speedups(config, ["b2c"], scale=0.05)
+            print(session.status().render())
+
+    All service bookkeeping stays on the background loop thread; the
+    calling thread only ever blocks on completed futures.
+    """
+
+    def __init__(
+        self,
+        store_dir: str | None = None,
+        service: SimulationService | None = None,
+        **service_kwargs,
+    ) -> None:
+        if service is not None and (store_dir is not None or service_kwargs):
+            raise ValueError(
+                "pass either a prebuilt service or construction kwargs"
+            )
+        self._prebuilt = service
+        self._store_dir = store_dir
+        self._service_kwargs = service_kwargs
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self.service: SimulationService | None = None
+        self._installed_previous = None
+        self._installed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ServiceSession":
+        if self._loop is not None:
+            raise RuntimeError("session already started")
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def runner() -> None:
+            asyncio.set_event_loop(loop)
+            ready.set()
+            loop.run_forever()
+
+        thread = threading.Thread(
+            target=runner, name="repro-service-session", daemon=True
+        )
+        thread.start()
+        ready.wait()
+        self._loop = loop
+        self._thread = thread
+        if self._prebuilt is not None:
+            self.service = self._prebuilt
+        else:
+            self.service = SimulationService(
+                store=self._store_dir, **self._service_kwargs
+            )
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        if self._loop is None:
+            return
+        if self._installed:
+            self.uninstall()
+        if self.service is not None:
+            self._call(self.service.shutdown(drain=drain))
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServiceSession":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(self, coroutine):
+        if self._loop is None:
+            raise RuntimeError("session is not started")
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, self._loop
+        ).result()
+
+    # -- blocking request API -------------------------------------------------
+
+    def run(self, request: SimRequest, priority: Priority = Priority.SWEEP):
+        """Submit one request and block for its result."""
+        return self._call(self.service.run(request, priority))
+
+    def run_batch(self, requests, priority: Priority = Priority.SWEEP) -> list:
+        return self._call(self.service.run_batch(requests, priority))
+
+    def submit_batch(self, submissions) -> list:
+        """Submit ``(request, priority)`` pairs; returns per-request
+        ``(source, result_or_exception)`` records without failing the
+        whole batch on one bad request."""
+
+        async def drive() -> list:
+            records = []
+            jobs = []
+            for request, priority in submissions:
+                try:
+                    job = self.service.submit(request, priority)
+                except Exception as exc:  # noqa: BLE001 - typed rejections
+                    records.append(("rejected", exc))
+                    jobs.append(None)
+                    continue
+                records.append((job.source, None))
+                jobs.append(job)
+            results = await asyncio.gather(
+                *(job.future for job in jobs if job is not None),
+                return_exceptions=True,
+            )
+            it = iter(results)
+            return [
+                record if job is None else (record[0], next(it))
+                for record, job in zip(records, jobs)
+            ]
+
+        return self._call(drive())
+
+    def speedups(
+        self,
+        config: MachineConfig,
+        benchmarks,
+        scale: float,
+        seed: int = 1,
+        baseline_config: MachineConfig | None = None,
+    ) -> dict:
+        """Blocking :func:`sweep_speedups` — the speedup-provider shape."""
+        return self._call(
+            sweep_speedups(
+                self.service, config, benchmarks, scale,
+                seed=seed, baseline_config=baseline_config,
+            )
+        )
+
+    def status(self):
+        async def snap():
+            return self.service.status()
+
+        return self._call(snap())
+
+    # -- experiments integration ----------------------------------------------
+
+    def install(self) -> "ServiceSession":
+        """Route :func:`repro.experiments.common.timing_speedups` through
+        this session until :meth:`uninstall` (or :meth:`close`)."""
+        self._installed_previous = _common.set_speedup_provider(
+            self.speedups
+        )
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            _common.set_speedup_provider(self._installed_previous)
+            self._installed = False
+            self._installed_previous = None

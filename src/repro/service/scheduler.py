@@ -1,0 +1,593 @@
+"""Async simulation scheduler: queueing, dedup, caching, preemption.
+
+:class:`SimulationService` turns the one-shot simulators into a
+long-running serving loop.  One event loop owns all bookkeeping (no
+locks); blocking simulation work happens in the worker tier
+(:mod:`repro.service.workers`).  The life of a submitted request:
+
+1. **Single-flight dedup** — if an identical request (same canonical
+   digest) is already queued or running, the submission joins its job
+   and shares its future; nothing is enqueued twice.
+2. **Cache lookup** — a digest with a stored result resolves
+   immediately from the :class:`~repro.service.store.ResultStore`.
+3. **Backpressure** — beyond ``max_pending`` queued jobs, submissions
+   are rejected with the typed :class:`QueueFull` (callers see queue
+   depth and limit; nothing silently blocks or drops).
+4. **Priority dispatch** — a binary heap ordered by
+   (:class:`~repro.service.request.Priority`, arrival): interactive
+   requests overtake queued sweep cells.
+5. **Preemption** — when an interactive request finds every worker busy
+   with sweep jobs, the most recently started preemptible one is asked
+   to stop; it saves a full snapshot at its next boundary, the
+   interactive job takes the worker, and the sweep job re-queues and
+   later *resumes from its snapshot* — the final result is
+   digest-identical to an uninterrupted run (the PR-3 guarantee).
+6. **Retry** — worker failures and per-job timeouts are retried with
+   the jittered backoff shared with
+   :mod:`repro.experiments.parallel`; exhausted retries fail the job's
+   future with :class:`JobFailed` carrying the
+   :class:`~repro.experiments.parallel.JobFailure` record.
+7. **Completion** — results are written back to the store (atomic,
+   content-addressed) and every joined future resolves.
+
+``shutdown(drain=True)`` stops intake and runs the queue dry;
+``drain=False`` fails queued jobs with :class:`ServiceClosed` and waits
+only for running ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro import perf
+from repro.experiments.parallel import (
+    DEFAULT_BACKOFF,
+    JobFailure,
+    backoff_delay,
+)
+from repro.service.request import (
+    Priority,
+    SimRequest,
+    canonical_request_tree,
+    request_digest,
+)
+from repro.service.store import ResultStore
+from repro.service.workers import (
+    WorkerPool,
+    clear_preempt_flag,
+    make_job_spec,
+    raise_preempt_flag,
+)
+
+__all__ = [
+    "Job",
+    "JobFailed",
+    "QueueFull",
+    "ServiceClosed",
+    "ServiceRejected",
+    "ServiceStatus",
+    "SimulationService",
+]
+
+
+class ServiceRejected(Exception):
+    """Base class for typed submission rejections."""
+
+
+class QueueFull(ServiceRejected):
+    """The bounded job queue is at capacity; try again later."""
+
+    def __init__(self, digest: str, depth: int, limit: int) -> None:
+        super().__init__(
+            "job queue is full (%d pending, limit %d); request %s rejected"
+            % (depth, limit, digest[:12])
+        )
+        self.digest = digest
+        self.depth = depth
+        self.limit = limit
+
+
+class ServiceClosed(ServiceRejected):
+    """The service is shutting down and no longer accepts work."""
+
+
+class JobFailed(Exception):
+    """A job exhausted its retries; ``failure`` is the JobFailure record."""
+
+    def __init__(self, failure: JobFailure) -> None:
+        super().__init__(
+            "%s failed after %d attempt%s: %s"
+            % (failure.benchmark, failure.attempts,
+               "" if failure.attempts == 1 else "s", failure.error)
+        )
+        self.failure = failure
+
+
+@dataclass(eq=False)  # identity semantics: jobs live in sets and heaps
+class Job:
+    """One scheduled simulation; dedup'd submissions share this object."""
+
+    request: SimRequest
+    digest: str
+    priority: Priority
+    spec: dict
+    future: asyncio.Future
+    submitted_at: float
+    state: str = "queued"  # queued | running | done | failed
+    #: How this job was (or will be) satisfied: "cache", "dedup" joins
+    #: report the *join* source to their submitter; a fresh job computes.
+    source: str = "computed"
+    attempts: int = 0
+    preemptions: int = 0
+    preempt_requested: bool = False
+    started_seq: int = -1
+
+
+class _Latency:
+    """Per-priority latency aggregate (seconds, submit-to-resolve)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_seconds": round(self.mean, 6),
+            "max_seconds": round(self.max, 6),
+        }
+
+
+@dataclass
+class ServiceStatus:
+    """Point-in-time service report (all counters since construction)."""
+
+    submitted: int = 0
+    cache_hits: int = 0
+    dedup_hits: int = 0
+    executed: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    retried: int = 0
+    preempt_requests: int = 0
+    preempted: int = 0
+    resumed: int = 0
+    queue_depth: int = 0
+    queue_high_water: int = 0
+    running: int = 0
+    workers: int = 0
+    worker_mode: str = ""
+    closed: bool = False
+    latency: dict = field(default_factory=dict)
+    store: dict | None = None
+    failures: list = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.submitted if self.submitted else 0.0
+
+    def as_dict(self) -> dict:
+        data = {
+            f: getattr(self, f)
+            for f in (
+                "submitted", "cache_hits", "dedup_hits", "executed",
+                "completed", "failed", "rejected", "retried",
+                "preempt_requests", "preempted", "resumed", "queue_depth",
+                "queue_high_water", "running", "workers", "worker_mode",
+                "closed",
+            )
+        }
+        data["cache_hit_rate"] = round(self.cache_hit_rate, 4)
+        data["latency"] = dict(self.latency)
+        data["store"] = self.store
+        data["failures"] = list(self.failures)
+        return data
+
+    def render(self) -> str:
+        lines = [
+            "service status (%d worker%s, %s):"
+            % (self.workers, "" if self.workers == 1 else "s",
+               self.worker_mode or "?"),
+            "  submitted %-6d cache hits %-6d (%.0f%%)  dedup joins %d"
+            % (self.submitted, self.cache_hits,
+               100.0 * self.cache_hit_rate, self.dedup_hits),
+            "  executed  %-6d completed  %-6d failed %-4d rejected %d"
+            % (self.executed, self.completed, self.failed, self.rejected),
+            "  preempted %-6d resumed    %-6d retried %d"
+            % (self.preempted, self.resumed, self.retried),
+            "  queue depth %d (high-water %d), running %d"
+            % (self.queue_depth, self.queue_high_water, self.running),
+        ]
+        for name in sorted(self.latency):
+            agg = self.latency[name]
+            lines.append(
+                "  latency[%s]: %d served, mean %.3fs, max %.3fs"
+                % (name.lower(), agg["count"], agg["mean_seconds"],
+                   agg["max_seconds"])
+            )
+        if self.store is not None:
+            lines.append(
+                "  store: %(hits)d hits / %(misses)d misses "
+                "(%(puts)d writes, %(invalidated)d invalidated)" % self.store
+            )
+        for failure in self.failures:
+            lines.append("  FAILED %s" % failure)
+        return "\n".join(lines)
+
+
+class SimulationService:
+    """The async serving loop.  See the module docstring for semantics.
+
+    Parameters
+    ----------
+    store:
+        A :class:`ResultStore`, a directory path for one, or ``None``
+        to serve without a cache (dedup and scheduling still apply).
+    max_workers / worker_mode:
+        Size and kind of the worker tier (``"thread"`` or ``"process"``).
+    max_pending:
+        Bound on *queued* (not yet running) jobs; beyond it submissions
+        raise :class:`QueueFull`.
+    job_timeout / retries / backoff:
+        Per-execution wall-clock limit and retry policy (shared
+        semantics with :func:`repro.experiments.parallel.run_sweep`).
+    snapshot_every / snapshot_dir:
+        Enable preemptible timing jobs: snapshots every N µops into
+        *snapshot_dir* (default: ``<store>/snapshots``).  Without these,
+        interactive requests still jump the queue but cannot steal a
+        busy worker.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | str | None = None,
+        *,
+        max_workers: int = 1,
+        worker_mode: str = "thread",
+        max_pending: int = 64,
+        job_timeout: float | None = None,
+        retries: int = 1,
+        backoff: float = DEFAULT_BACKOFF,
+        snapshot_every: int | None = None,
+        snapshot_dir: str | None = None,
+    ) -> None:
+        if isinstance(store, str):
+            store = ResultStore(store)
+        self.store = store
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        if snapshot_every is not None and snapshot_every <= 0:
+            raise ValueError("snapshot_every must be positive")
+        if snapshot_dir is None and snapshot_every is not None:
+            if store is None:
+                raise ValueError(
+                    "snapshot_every needs snapshot_dir (or a store to "
+                    "default it under)"
+                )
+            import os
+
+            snapshot_dir = os.path.join(store.directory, "snapshots")
+        self.max_pending = max_pending
+        self.job_timeout = job_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.snapshot_every = snapshot_every
+        self.snapshot_dir = snapshot_dir
+        self._pool = WorkerPool(max_workers=max_workers, mode=worker_mode)
+        self._queue: list = []  # (priority, seq, job) heap, lazy deletion
+        self._seq = itertools.count()
+        self._queued = 0
+        self._inflight: dict = {}  # digest -> Job (queued or running)
+        self._running: set = set()
+        self._free_workers = max_workers
+        self._tasks: set = set()
+        self._closed = False
+        self._stats = ServiceStatus(
+            workers=max_workers, worker_mode=worker_mode
+        )
+        self._latency = {p.name: _Latency() for p in Priority}
+        self._failures: list = []
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self, request: SimRequest, priority: Priority = Priority.SWEEP
+    ) -> Job:
+        """Schedule *request*; returns its (possibly shared) :class:`Job`.
+
+        Must be called on the service's event loop.  Raises
+        :class:`ServiceClosed` after shutdown began and
+        :class:`QueueFull` under backpressure.  ``job.source`` tells the
+        caller how this submission was satisfied: ``"cache"``,
+        ``"dedup"``, or ``"computed"``.
+        """
+        if self._closed:
+            raise ServiceClosed("service is shut down; submission refused")
+        priority = Priority(priority)
+        loop = asyncio.get_running_loop()
+        digest = request_digest(request)
+        self._stats.submitted += 1
+
+        existing = self._inflight.get(digest)
+        if existing is not None:
+            self._stats.dedup_hits += 1
+            perf.counter("service.dedup_hit")
+            if existing.state == "queued" and priority < existing.priority:
+                # Boost: re-push under the new class; the stale heap
+                # entry is skipped at pop time.
+                existing.priority = priority
+                heapq.heappush(
+                    self._queue, (priority, next(self._seq), existing)
+                )
+            return existing
+
+        if self.store is not None:
+            cached = self.store.get(
+                digest, fingerprint=canonical_request_tree(request)
+            )
+            if cached is not None:
+                self._stats.cache_hits += 1
+                perf.counter("service.cache_hit")
+                self._latency[priority.name].record(0.0)
+                future = loop.create_future()
+                future.set_result(cached)
+                return Job(
+                    request=request, digest=digest, priority=priority,
+                    spec={}, future=future, submitted_at=loop.time(),
+                    state="done", source="cache",
+                )
+
+        if self._queued >= self.max_pending:
+            self._stats.rejected += 1
+            perf.counter("service.rejected")
+            raise QueueFull(digest, self._queued, self.max_pending)
+
+        snapshot = None
+        if self.snapshot_every is not None:
+            snapshot = {"every": self.snapshot_every, "dir": self.snapshot_dir}
+        job = Job(
+            request=request, digest=digest, priority=priority,
+            spec=make_job_spec(request, digest, snapshot),
+            future=loop.create_future(), submitted_at=loop.time(),
+        )
+        self._inflight[digest] = job
+        self._enqueue(job)
+        if priority == Priority.INTERACTIVE:
+            self._maybe_preempt()
+        self._pump(loop)
+        return job
+
+    async def run(
+        self, request: SimRequest, priority: Priority = Priority.SWEEP
+    ):
+        """Submit and await one request's result."""
+        return await self.submit(request, priority).future
+
+    async def run_batch(
+        self, requests, priority: Priority = Priority.SWEEP
+    ) -> list:
+        """Submit *requests* together and await all results, in order."""
+        jobs = [self.submit(request, priority) for request in requests]
+        return await asyncio.gather(*(job.future for job in jobs))
+
+    # -- scheduling internals -------------------------------------------------
+
+    def _enqueue(self, job: Job) -> None:
+        job.state = "queued"
+        heapq.heappush(self._queue, (job.priority, next(self._seq), job))
+        self._queued += 1
+        if self._queued > self._stats.queue_high_water:
+            self._stats.queue_high_water = self._queued
+        perf.gauge("service.queue_depth", self._queued)
+
+    def _pop_job(self) -> Job | None:
+        while self._queue:
+            priority, _, job = heapq.heappop(self._queue)
+            if job.state != "queued" or priority != job.priority:
+                continue  # stale entry (boosted, completed, or cancelled)
+            self._queued -= 1
+            return job
+        return None
+
+    def _pump(self, loop=None) -> None:
+        if loop is None:
+            loop = asyncio.get_running_loop()
+        while self._free_workers > 0:
+            job = self._pop_job()
+            if job is None:
+                break
+            self._free_workers -= 1
+            job.state = "running"
+            job.attempts = 0
+            job.started_seq = next(self._seq)
+            self._running.add(job)
+            self._stats.running = len(self._running)
+            perf.gauge("service.running", len(self._running))
+            task = loop.create_task(self._execute(job))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    def _maybe_preempt(self) -> None:
+        """Steal a worker for a waiting interactive job, if possible."""
+        if self._free_workers > 0 or self.snapshot_every is None:
+            return
+        candidates = [
+            job for job in self._running
+            if job.priority == Priority.SWEEP
+            and job.spec.get("snapshot") is not None
+            and not job.preempt_requested
+        ]
+        if not candidates:
+            return
+        # The most recently started sweep cell has the least work at risk
+        # (and, resuming from its snapshot, loses none of it anyway).
+        victim = max(candidates, key=lambda job: job.started_seq)
+        victim.preempt_requested = True
+        raise_preempt_flag(self.snapshot_dir, victim.digest)
+        self._stats.preempt_requests += 1
+        perf.counter("service.preempt_request")
+
+    async def _execute(self, job: Job) -> None:
+        try:
+            while True:
+                job.attempts += 1
+                self._stats.executed += 1
+                perf.counter("service.executed")
+                handle = asyncio.wrap_future(self._pool.submit(job.spec))
+                try:
+                    if self.job_timeout is not None:
+                        outcome = await asyncio.wait_for(
+                            handle, self.job_timeout
+                        )
+                    else:
+                        outcome = await handle
+                except asyncio.TimeoutError:
+                    error = "timed out after %.1fs" % self.job_timeout
+                    timed_out = True
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - worker may raise anything
+                    error = "%s: %s" % (type(exc).__name__, exc)
+                    timed_out = False
+                else:
+                    self._settle(job, outcome)
+                    return
+                if job.attempts <= self.retries:
+                    self._stats.retried += 1
+                    await asyncio.sleep(
+                        backoff_delay(self.backoff, job.attempts)
+                    )
+                    continue
+                self._fail(
+                    job,
+                    JobFailure(
+                        job.request.benchmark, error, job.attempts,
+                        timed_out=timed_out,
+                    ),
+                )
+                return
+        finally:
+            self._running.discard(job)
+            self._stats.running = len(self._running)
+            self._free_workers += 1
+            self._pump()
+
+    def _settle(self, job: Job, outcome) -> None:
+        status = outcome[0]
+        if status == "preempted":
+            clear_preempt_flag(self.snapshot_dir, job.digest)
+            job.preempt_requested = False
+            job.preemptions += 1
+            job.spec["resume"] = True
+            self._stats.preempted += 1
+            perf.counter("service.preempted")
+            self._enqueue(job)  # keeps its future; resumes from snapshot
+            return
+        _, result, meta = outcome
+        if job.spec.get("snapshot") is not None:
+            # A preempt flag raised after the job finished must not leak
+            # into a future run of the same digest.
+            clear_preempt_flag(self.snapshot_dir, job.digest)
+        if self.store is not None:
+            self.store.put(
+                job.digest, result,
+                fingerprint=canonical_request_tree(job.request),
+                meta=meta,
+            )
+        if meta.get("resumed"):
+            self._stats.resumed += 1
+        job.state = "done"
+        self._inflight.pop(job.digest, None)
+        latency = asyncio.get_running_loop().time() - job.submitted_at
+        self._latency[job.priority.name].record(latency)
+        self._stats.completed += 1
+        perf.counter("service.completed")
+        if not job.future.done():
+            job.future.set_result(result)
+
+    def _fail(self, job: Job, failure: JobFailure) -> None:
+        job.state = "failed"
+        self._inflight.pop(job.digest, None)
+        if job.spec.get("snapshot") is not None:
+            clear_preempt_flag(self.snapshot_dir, job.digest)
+        self._stats.failed += 1
+        self._failures.append(failure)
+        perf.counter("service.failed")
+        if not job.future.done():
+            job.future.set_exception(JobFailed(failure))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop intake; drain (default) or cancel the queue; stop workers.
+
+        With ``drain=True`` every accepted job runs to completion (or
+        failure) before this returns — queued work is never silently
+        lost.  With ``drain=False`` queued jobs fail fast with
+        :class:`ServiceClosed`; running jobs still finish and their
+        results are cached.
+        """
+        self._closed = True
+        self._stats.closed = True
+        if not drain:
+            while True:
+                job = self._pop_job()
+                if job is None:
+                    break
+                job.state = "failed"
+                self._inflight.pop(job.digest, None)
+                if not job.future.done():
+                    job.future.set_exception(
+                        ServiceClosed("service shut down before this job ran")
+                    )
+        pending = [job.future for job in list(self._inflight.values())]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        self._pool.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- reporting ------------------------------------------------------------
+
+    def status(self) -> ServiceStatus:
+        """A snapshot of every counter, suitable for ``render()``."""
+        import copy
+
+        status = copy.copy(self._stats)
+        status.queue_depth = self._queued
+        status.running = len(self._running)
+        status.latency = {
+            name: agg.as_dict()
+            for name, agg in self._latency.items()
+            if agg.count
+        }
+        status.store = (
+            self.store.stats.as_dict() if self.store is not None else None
+        )
+        status.failures = [
+            "%s: %s (after %d attempt%s%s)"
+            % (f.benchmark, f.error, f.attempts,
+               "" if f.attempts == 1 else "s",
+               ", timed out" if f.timed_out else "")
+            for f in self._failures
+        ]
+        return status

@@ -1,0 +1,225 @@
+"""Content-addressed, versioned, crash-safe result cache.
+
+One completed simulation result per file, keyed by the request's
+canonical digest (:func:`repro.service.request.request_digest`) and
+sharded by the digest's first byte::
+
+    <root>/ab/abcdef...0123.res
+
+Each file holds one pickled envelope::
+
+    {
+        "store_version": RESULT_STORE_VERSION,
+        "digest": "<request digest>",     # must match the filename key
+        "fingerprint": {...},             # canonical request tree
+        "checksum": "<blake2b of body>",  # integrity of the result bytes
+        "meta": {...},                    # elapsed seconds, mode, ...
+        "result": <pickle bytes of the result object>,
+    }
+
+Writes follow the repo's atomic-replace idiom (same-directory temp file,
+fsync, ``os.replace``): a reader only ever sees a complete entry.  Reads
+validate everything — version, key, checksum, and (when the caller
+passes one) the request fingerprint — and treat any mismatch as a miss,
+removing the unusable entry so it cannot poison later lookups.  A cache
+must never be load-bearing for correctness: the worst a damaged entry
+may cause is recomputation.
+
+Invalidation is by version, not by deletion sweeps:
+:data:`RESULT_STORE_VERSION` guards this file format, while
+``RESULT_SCHEMA_VERSION`` (hashed into every digest) guards what results
+*mean*.  Bumping either orphans old entries; :meth:`ResultStore.prune`
+reclaims the disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+
+__all__ = ["RESULT_STORE_VERSION", "ResultStore", "StoreStats"]
+
+#: Bump when the envelope layout above changes incompatibly.
+RESULT_STORE_VERSION = 1
+
+_SUFFIX = ".res"
+
+
+def _checksum(body: bytes) -> str:
+    return hashlib.blake2b(body, digest_size=16).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Lookup/write counters since this store object was created."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    #: Entries discarded on read: corrupt, wrong version, checksum or
+    #: fingerprint mismatch.  Always also counted as a miss.
+    invalidated: int = 0
+    errors: list = field(default_factory=list)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "invalidated": self.invalidated,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ResultStore:
+    """Digest-keyed result cache rooted at *directory* (created lazily)."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+        self.stats = StoreStats()
+
+    def path(self, digest: str) -> str:
+        if not digest or any(c not in "0123456789abcdef" for c in digest):
+            raise ValueError("not a hex digest: %r" % (digest,))
+        return os.path.join(self.directory, digest[:2], digest + _SUFFIX)
+
+    def __contains__(self, digest: str) -> bool:
+        return os.path.exists(self.path(digest))
+
+    # -- lookups --------------------------------------------------------------
+
+    def get(self, digest: str, fingerprint: dict | None = None):
+        """The cached result object for *digest*, or ``None`` on a miss.
+
+        Every returned object passed its checksum; an entry that fails
+        validation is deleted (counted in ``stats.invalidated``) and
+        reported as a miss.
+        """
+        path = self.path(digest)
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception as exc:  # noqa: BLE001 - any damage is a miss
+            self._discard(path, "unreadable: %s: %s"
+                          % (type(exc).__name__, exc))
+            return None
+        reason = self._validate(envelope, digest, fingerprint)
+        if reason is not None:
+            self._discard(path, reason)
+            return None
+        try:
+            result = pickle.loads(envelope["result"])
+        except Exception as exc:  # noqa: BLE001
+            self._discard(path, "result bytes undecodable: %s" % exc)
+            return None
+        self.stats.hits += 1
+        return result
+
+    def _validate(self, envelope, digest, fingerprint) -> str | None:
+        if not isinstance(envelope, dict) or "result" not in envelope:
+            return "not a result envelope"
+        version = envelope.get("store_version")
+        if version != RESULT_STORE_VERSION:
+            return ("store version %r (this build reads %d)"
+                    % (version, RESULT_STORE_VERSION))
+        if envelope.get("digest") != digest:
+            return "filed under the wrong digest"
+        body = envelope["result"]
+        if not isinstance(body, bytes):
+            return "result body is not bytes"
+        if _checksum(body) != envelope.get("checksum"):
+            return "checksum mismatch (torn or corrupted entry)"
+        if (fingerprint is not None
+                and envelope.get("fingerprint") != fingerprint):
+            return "request fingerprint mismatch"
+        return None
+
+    def _discard(self, path: str, reason: str) -> None:
+        self.stats.misses += 1
+        self.stats.invalidated += 1
+        self.stats.errors.append("%s: %s" % (os.path.basename(path), reason))
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(
+        self,
+        digest: str,
+        result,
+        fingerprint: dict | None = None,
+        meta: dict | None = None,
+    ) -> str:
+        """Atomically cache *result* under *digest*; returns the path."""
+        body = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "store_version": RESULT_STORE_VERSION,
+            "digest": digest,
+            "fingerprint": fingerprint,
+            "checksum": _checksum(body),
+            "meta": dict(meta or {}),
+            "result": body,
+        }
+        path = self.path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(envelope, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        self.stats.puts += 1
+        return path
+
+    # -- maintenance ----------------------------------------------------------
+
+    def entries(self) -> list:
+        """Digests currently on disk (unvalidated)."""
+        found = []
+        if not os.path.isdir(self.directory):
+            return found
+        for shard in sorted(os.listdir(self.directory)):
+            shard_dir = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(_SUFFIX):
+                    found.append(name[: -len(_SUFFIX)])
+        return found
+
+    def invalidate(self, digest: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        try:
+            os.unlink(self.path(digest))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def prune(self) -> int:
+        """Delete every entry that fails validation; returns the count."""
+        removed = 0
+        before = self.stats.invalidated
+        for digest in self.entries():
+            self.get(digest)
+        removed = self.stats.invalidated - before
+        return removed

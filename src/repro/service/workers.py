@@ -1,0 +1,184 @@
+"""Worker tier: executes one service job, in a thread or a process.
+
+The scheduler never touches a simulator directly; it serializes each
+:class:`~repro.service.request.SimRequest` into a plain job *spec* dict
+(picklable, so the same spec runs under a thread pool or a process pool)
+and hands it to :func:`execute_job`.  A job returns either
+
+* ``("done", result, meta)`` — the completed
+  :class:`~repro.core.results.TimingResult` /
+  :class:`~repro.core.results.FunctionalResult` plus execution metadata,
+  or
+* ``("preempted", info)`` — the run saved a full snapshot at a boundary
+  and stopped because its preempt flag was raised
+  (:class:`repro.snapshot.SnapshotPolicy`'s ``interrupt`` hook).  The
+  scheduler re-queues the job with ``resume`` set; the next execution
+  continues from the snapshot bit-identically.
+
+Preemption is signalled through the filesystem (a flag file named after
+the job digest) so it works identically for thread and process workers:
+the scheduler touches the flag, the running job observes it at its next
+snapshot boundary.
+
+The retry/backoff machinery is shared with the crash-safe sweep runner
+(:func:`repro.experiments.parallel.backoff_delay`,
+:class:`repro.experiments.parallel.JobFailure`) — the service is the
+always-on face of the same worker discipline.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+
+from repro.configio import machine_config_from_dict
+from repro.snapshot.policy import SnapshotPolicy, WatchdogExpired
+
+__all__ = ["WorkerPool", "execute_job", "make_job_spec", "preempt_flag_path"]
+
+
+def make_job_spec(request, digest: str, snapshot: dict | None) -> dict:
+    """Plain picklable job description for :func:`execute_job`.
+
+    *snapshot*, when given, is ``{"every": N, "dir": path}`` and makes a
+    timing job preemptible and resumable; functional jobs ignore it
+    (they are short by construction — scans, no cycle accounting).
+    """
+    from repro.configio import machine_config_to_dict
+
+    spec = {
+        "digest": digest,
+        "machine": machine_config_to_dict(request.machine),
+        "benchmark": request.benchmark,
+        "scale": float(request.scale),
+        "seed": int(request.seed),
+        "warmup_fraction": float(request.warmup_fraction),
+        "mode": request.mode,
+        "snapshot": None,
+        "resume": False,
+    }
+    if snapshot is not None and request.mode == "timing":
+        spec["snapshot"] = {
+            "every": int(snapshot["every"]),
+            "dir": str(snapshot["dir"]),
+        }
+    return spec
+
+
+def preempt_flag_path(snapshot_dir: str, digest: str) -> str:
+    return os.path.join(snapshot_dir, digest + ".preempt")
+
+
+def raise_preempt_flag(snapshot_dir: str, digest: str) -> str:
+    """Ask the running job for *digest* to stop at its next boundary."""
+    path = preempt_flag_path(snapshot_dir, digest)
+    os.makedirs(snapshot_dir, exist_ok=True)
+    with open(path, "w"):
+        pass
+    return path
+
+
+def clear_preempt_flag(snapshot_dir: str, digest: str) -> None:
+    try:
+        os.unlink(preempt_flag_path(snapshot_dir, digest))
+    except OSError:
+        pass
+
+
+def execute_job(spec: dict):
+    """Run one job spec to completion (or preemption).  See module docs.
+
+    Module-level and argument-picklable on purpose: process pools must be
+    able to import and call it.
+    """
+    import time
+
+    from repro.workloads.suite import build_benchmark
+
+    config = machine_config_from_dict(spec["machine"])
+    workload = build_benchmark(
+        spec["benchmark"], scale=spec["scale"], seed=spec["seed"]
+    )
+    warmup = int(workload.trace.uop_count * spec["warmup_fraction"])
+    started = time.perf_counter()
+
+    if spec["mode"] == "functional":
+        from repro.core.functional import FunctionalSimulator
+
+        result = FunctionalSimulator(config, workload.memory).run(
+            workload.trace, warmup
+        )
+        return ("done", result, _meta(spec, workload, started))
+
+    from repro.core.simulator import TimingSimulator
+
+    simulator = TimingSimulator(config, workload.memory)
+    snapshot = spec.get("snapshot")
+    if snapshot is None:
+        result = simulator.run(workload.trace, warmup)
+        return ("done", result, _meta(spec, workload, started))
+
+    flag = preempt_flag_path(snapshot["dir"], spec["digest"])
+    policy = SnapshotPolicy(
+        every=snapshot["every"],
+        directory=snapshot["dir"],
+        resume=bool(spec.get("resume")),
+        interrupt=lambda: os.path.exists(flag),
+    )
+    try:
+        result = simulator.run(workload.trace, warmup, policy=policy)
+    except WatchdogExpired as exc:
+        return ("preempted", {"path": exc.path, "uop": exc.uop})
+    return ("done", result, _meta(spec, workload, started))
+
+
+def _meta(spec: dict, workload, started) -> dict:
+    import time
+
+    return {
+        "benchmark": spec["benchmark"],
+        "mode": spec["mode"],
+        "uops": workload.trace.uop_count,
+        "elapsed": time.perf_counter() - started,
+        "resumed": bool(spec.get("resume")),
+    }
+
+
+class WorkerPool:
+    """Thin executor wrapper: ``mode`` picks threads or processes.
+
+    Thread workers share the in-process workload image cache (cheap,
+    GIL-bound — right for cache-heavy serving); process workers give
+    real CPU parallelism for cold sweeps at the cost of per-process
+    image rebuilds, exactly like :func:`repro.experiments.parallel.run_sweep`.
+    """
+
+    MODES = ("thread", "process")
+
+    def __init__(self, max_workers: int = 1, mode: str = "thread") -> None:
+        if mode not in self.MODES:
+            raise ValueError(
+                "worker mode must be one of %s, got %r"
+                % (", ".join(self.MODES), mode)
+            )
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.mode = mode
+        self.max_workers = max_workers
+        if mode == "process":
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=max_workers
+            )
+        else:
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=max_workers,
+                thread_name_prefix="repro-service-worker",
+            )
+
+    def submit(self, spec: dict) -> concurrent.futures.Future:
+        return self._executor.submit(execute_job, spec)
+
+    def shutdown(self, wait: bool = True) -> None:
+        # cancel_futures guards against jobs sneaking in post-drain; any
+        # straggler process is killed with the pool, as in parallel.py.
+        self._executor.shutdown(wait=wait, cancel_futures=True)

@@ -1,0 +1,368 @@
+"""The async simulation service (repro.service.scheduler / client).
+
+These drive real (tiny-scale, functional-mode) simulations through the
+scheduler: single-flight dedup, cache hits across restarts, bounded-queue
+backpressure, priority boosts, retry-then-fail, and shutdown draining.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.params import MachineConfig
+from repro.service import (
+    JobFailed,
+    Priority,
+    QueueFull,
+    ResultStore,
+    ServiceClosed,
+    SimRequest,
+    SimulationService,
+)
+from repro.service.client import ServiceSession, sweep_speedups
+
+SCALE = 0.02  # tiny but real workloads; each cell runs in well under a second
+
+
+def _request(seed=1, **kwargs):
+    defaults = dict(
+        machine=MachineConfig(), benchmark="b2c", scale=SCALE,
+        seed=seed, mode="functional",
+    )
+    defaults.update(kwargs)
+    return SimRequest(**defaults)
+
+
+def _drive(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestSingleFlightDedup:
+    def test_concurrent_identical_submissions_share_one_run(self, tmp_path):
+        async def scenario():
+            service = SimulationService(str(tmp_path / "cache"))
+            jobs = [service.submit(_request()) for _ in range(3)]
+            results = await asyncio.gather(*(j.future for j in jobs))
+            status = service.status()
+            await service.shutdown()
+            return jobs, results, status
+
+        jobs, results, status = _drive(scenario())
+        assert jobs[0] is jobs[1] is jobs[2]  # one shared Job object
+        assert results[0] is results[1] is results[2]
+        assert status.executed == 1
+        assert status.dedup_hits == 2
+        assert status.completed == 1
+
+    def test_dedup_boosts_priority_of_queued_job(self, tmp_path):
+        async def scenario():
+            service = SimulationService(
+                str(tmp_path / "cache"), max_workers=1
+            )
+            service.submit(_request(seed=1))  # takes the only worker
+            queued = service.submit(_request(seed=2))
+            assert queued.priority is Priority.SWEEP
+            again = service.submit(
+                _request(seed=2), priority=Priority.INTERACTIVE
+            )
+            boosted = again.priority
+            shared = again is queued
+            await queued.future
+            await service.shutdown()
+            return shared, boosted, service.status()
+
+        shared, boosted, status = _drive(scenario())
+        assert shared
+        assert boosted is Priority.INTERACTIVE
+        assert status.dedup_hits == 1
+        assert status.executed == 2  # two distinct seeds actually ran
+
+
+class TestCaching:
+    def test_resubmission_is_served_from_cache(self, tmp_path):
+        async def scenario():
+            service = SimulationService(str(tmp_path / "cache"))
+            first = service.submit(_request())
+            result = await first.future
+            second = service.submit(_request())
+            cached = await second.future
+            status = service.status()
+            await service.shutdown()
+            return first, second, result, cached, status
+
+        first, second, result, cached, status = _drive(scenario())
+        assert first.source == "computed"
+        assert second.source == "cache"
+        assert cached.mptu == result.mptu
+        assert status.cache_hits == 1
+        assert status.executed == 1
+
+    def test_cache_survives_service_restart(self, tmp_path):
+        store_dir = str(tmp_path / "cache")
+
+        async def first_life():
+            service = SimulationService(store_dir)
+            result = await service.run(_request())
+            await service.shutdown()
+            return result
+
+        async def second_life():
+            service = SimulationService(store_dir)
+            job = service.submit(_request())
+            result = await job.future
+            status = service.status()
+            await service.shutdown()
+            return job.source, result, status
+
+        reference = _drive(first_life())
+        source, result, status = _drive(second_life())
+        assert source == "cache"
+        assert result.mptu == reference.mptu
+        assert status.executed == 0
+
+    def test_changed_parameter_recomputes_only_changed_cell(self, tmp_path):
+        # The acceptance criterion: re-running a two-point sweep after
+        # changing one parameter recomputes exactly one cell.
+        enhanced = MachineConfig().with_content(next_lines=2)
+        tweaked = enhanced.with_content(depth_threshold=5)
+
+        async def sweep(service, config_b):
+            return await service.run_batch(
+                [_request(), _request(machine=config_b)]
+            )
+
+        async def scenario():
+            service = SimulationService(str(tmp_path / "cache"))
+            await sweep(service, enhanced)
+            first = service.status()
+            await sweep(service, tweaked)
+            second = service.status()
+            await service.shutdown()
+            return first, second
+
+        first, second = _drive(scenario())
+        assert first.executed == 2
+        assert second.executed - first.executed == 1  # only the changed cell
+        assert second.cache_hits == 1
+
+    def test_uncached_service_still_dedups(self, tmp_path):
+        async def scenario():
+            service = SimulationService(store=None)
+            jobs = [service.submit(_request()) for _ in range(2)]
+            await jobs[0].future
+            status = service.status()
+            await service.shutdown()
+            return status
+
+        status = _drive(scenario())
+        assert status.executed == 1
+        assert status.dedup_hits == 1
+        assert status.store is None
+
+
+class TestBackpressure:
+    def test_queue_full_is_a_typed_rejection(self, tmp_path):
+        async def scenario():
+            service = SimulationService(
+                str(tmp_path / "cache"), max_workers=1, max_pending=1
+            )
+            running = service.submit(_request(seed=1))  # dispatched, not queued
+            queued = service.submit(_request(seed=2))  # fills the queue
+            with pytest.raises(QueueFull) as excinfo:
+                service.submit(_request(seed=3))
+            rejection = excinfo.value
+            await asyncio.gather(running.future, queued.future)
+            status = service.status()
+            await service.shutdown()
+            return rejection, status
+
+        rejection, status = _drive(scenario())
+        assert rejection.depth == 1
+        assert rejection.limit == 1
+        assert len(rejection.digest) == 32
+        assert status.rejected == 1
+        assert status.completed == 2  # accepted work still finished
+
+    def test_cache_hits_bypass_backpressure(self, tmp_path):
+        async def scenario():
+            service = SimulationService(
+                str(tmp_path / "cache"), max_workers=1, max_pending=1
+            )
+            await service.run(_request(seed=1))  # warm the cache
+            service.submit(_request(seed=2))
+            service.submit(_request(seed=3))  # queue now full
+            hit = service.submit(_request(seed=1))  # cached: never queued
+            await service.shutdown()
+            return hit.source
+
+        assert _drive(scenario()) == "cache"
+
+
+class TestFailures:
+    def test_exhausted_retries_fail_with_job_record(self, tmp_path):
+        async def scenario():
+            service = SimulationService(
+                str(tmp_path / "cache"), retries=1, backoff=0.01
+            )
+            job = service.submit(_request(benchmark="no_such_benchmark"))
+            with pytest.raises(JobFailed) as excinfo:
+                await job.future
+            status = service.status()
+            await service.shutdown()
+            return excinfo.value.failure, status
+
+        failure, status = _drive(scenario())
+        assert failure.benchmark == "no_such_benchmark"
+        assert failure.attempts == 2  # first try + one retry
+        assert status.retried == 1
+        assert status.failed == 1
+        assert any("no_such_benchmark" in line for line in status.failures)
+
+    def test_failure_is_not_cached(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+
+        async def scenario():
+            service = SimulationService(store, retries=0)
+            with pytest.raises(JobFailed):
+                await service.run(_request(benchmark="no_such_benchmark"))
+            await service.shutdown()
+
+        _drive(scenario())
+        assert store.entries() == []
+
+
+class TestShutdown:
+    def test_graceful_shutdown_drains_the_queue(self, tmp_path):
+        async def scenario():
+            service = SimulationService(
+                str(tmp_path / "cache"), max_workers=1
+            )
+            jobs = [service.submit(_request(seed=s)) for s in (1, 2, 3)]
+            await service.shutdown(drain=True)
+            return jobs, service.status()
+
+        jobs, status = _drive(scenario())
+        assert all(job.future.done() for job in jobs)
+        assert all(job.future.exception() is None for job in jobs)
+        assert status.completed == 3
+
+    def test_submit_after_shutdown_is_refused(self, tmp_path):
+        async def scenario():
+            service = SimulationService(str(tmp_path / "cache"))
+            await service.shutdown()
+            with pytest.raises(ServiceClosed):
+                service.submit(_request())
+            return service.status()
+
+        status = _drive(scenario())
+        assert status.closed
+
+    def test_fast_shutdown_fails_queued_jobs(self, tmp_path):
+        async def scenario():
+            service = SimulationService(
+                str(tmp_path / "cache"), max_workers=1
+            )
+            running = service.submit(_request(seed=1))
+            queued = service.submit(_request(seed=2))
+            await service.shutdown(drain=False)
+            return running, queued
+
+        running, queued = _drive(scenario())
+        # The running job finished and kept its result; the queued one
+        # failed fast with the typed shutdown error.
+        assert running.future.exception() is None
+        assert isinstance(queued.future.exception(), ServiceClosed)
+
+
+class TestStatusReport:
+    def test_render_and_as_dict_are_consistent(self, tmp_path):
+        async def scenario():
+            service = SimulationService(str(tmp_path / "cache"))
+            await service.run(_request())
+            await service.run(_request())  # cache hit
+            status = service.status()
+            await service.shutdown()
+            return status
+
+        status = _drive(scenario())
+        text = status.render()
+        data = status.as_dict()
+        assert "cache hits" in text
+        assert "latency[sweep]" in text
+        assert data["submitted"] == 2
+        assert data["cache_hit_rate"] == 0.5
+        assert data["store"]["puts"] == 1
+
+    def test_invalid_construction_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_pending"):
+            SimulationService(str(tmp_path / "c"), max_pending=0)
+        with pytest.raises(ValueError, match="snapshot_every"):
+            SimulationService(str(tmp_path / "c"), snapshot_every=-5)
+        with pytest.raises(ValueError, match="snapshot_dir"):
+            SimulationService(store=None, snapshot_every=1000)
+
+
+class TestClientSession:
+    def test_session_runs_and_reports(self, tmp_path):
+        with ServiceSession(store_dir=str(tmp_path / "cache")) as session:
+            result = session.run(_request())
+            again = session.run(_request())
+            status = session.status()
+        assert again.mptu == result.mptu
+        assert status.cache_hits == 1
+
+    def test_submit_batch_isolates_rejections(self, tmp_path):
+        with ServiceSession(
+            store_dir=str(tmp_path / "cache"),
+            max_workers=1, max_pending=1,
+        ) as session:
+            records = session.submit_batch([
+                (_request(seed=1), Priority.SWEEP),
+                (_request(seed=2), Priority.SWEEP),
+                (_request(seed=3), Priority.SWEEP),  # over the bound
+            ])
+        sources = [source for source, _ in records]
+        assert sources[:2] == ["computed", "computed"]
+        assert sources[2] == "rejected"
+        assert isinstance(records[2][1], QueueFull)
+        assert all(
+            not isinstance(outcome, BaseException)
+            for _, outcome in records[:2]
+        )
+
+    def test_sweep_speedups_shares_baselines(self, tmp_path):
+        config = MachineConfig()
+
+        async def scenario():
+            service = SimulationService(str(tmp_path / "cache"))
+            speedups = await sweep_speedups(
+                service, config, ["b2c"], SCALE,
+            )
+            # A second configuration reuses the cached baseline cell.
+            speedups2 = await sweep_speedups(
+                service, config.with_content(depth_threshold=5),
+                ["b2c"], SCALE,
+            )
+            status = service.status()
+            await service.shutdown()
+            return speedups, speedups2, status
+
+        speedups, speedups2, status = _drive(scenario())
+        assert set(speedups) == {"b2c"}
+        assert speedups["b2c"] > 0
+        # 4 cells submitted, but only 3 distinct: baseline is shared.
+        assert status.executed == 3
+        assert status.cache_hits == 1
+
+    def test_install_routes_experiment_sweeps(self, tmp_path):
+        from repro.experiments import common
+
+        with ServiceSession(store_dir=str(tmp_path / "cache")) as session:
+            session.install()
+            speedups = common.timing_speedups(
+                MachineConfig(), ["b2c"], scale=SCALE
+            )
+            status = session.status()
+        assert set(speedups) == {"b2c"}
+        assert status.submitted == 2  # baseline + enhanced, via the service
+        assert common._SPEEDUP_PROVIDER is None  # uninstalled on close

@@ -1,0 +1,158 @@
+"""The repro-serve command line (repro.service.cli).
+
+The cold-then-warm batch round trip here is the same check CI's service
+smoke job performs: the second identical batch must be served (almost)
+entirely from cache.
+"""
+
+import json
+
+import pytest
+
+from repro.service.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_PARTIAL, main
+
+BATCH = {
+    "requests": [
+        {"benchmark": "b2c", "scale": 0.02, "mode": "functional"},
+        {"benchmark": "b2c", "scale": 0.02, "mode": "functional",
+         "machine": {"content": {"enabled": False}},
+         "priority": "interactive"},
+        {"benchmark": "b2c", "scale": 0.02, "mode": "functional",
+         "machine": {"content": {"depth_threshold": 5}}},
+    ]
+}
+
+
+def _write_batch(tmp_path, payload=None, name="batch.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload if payload is not None else BATCH))
+    return str(path)
+
+
+class TestBatch:
+    def test_cold_then_warm_round_trip(self, tmp_path, capsys):
+        batch = _write_batch(tmp_path)
+        store = str(tmp_path / "cache")
+        cold_report = str(tmp_path / "cold.json")
+        warm_report = str(tmp_path / "warm.json")
+
+        assert main(["batch", batch, "--store", store,
+                     "--report-json", cold_report]) == EXIT_CLEAN
+        cold_out = capsys.readouterr().out
+        assert "computed" in cold_out
+        assert "service status" in cold_out
+
+        assert main(["batch", batch, "--store", store,
+                     "--report-json", warm_report]) == EXIT_CLEAN
+        warm_out = capsys.readouterr().out
+        assert "cache" in warm_out
+
+        with open(cold_report) as handle:
+            cold = json.load(handle)
+        with open(warm_report) as handle:
+            warm = json.load(handle)
+        assert cold["stats"]["cache_hit_rate"] == 0.0
+        assert all(row["source"] == "computed" for row in cold["requests"])
+        # The CI smoke criterion: >= 90% of the warm batch from cache.
+        assert warm["stats"]["cache_hit_rate"] >= 0.9
+        assert all(row["source"] == "cache" for row in warm["requests"])
+        # Digests are stable across the two runs, row for row.
+        assert [r["digest"] for r in cold["requests"]] \
+            == [r["digest"] for r in warm["requests"]]
+
+    def test_priority_recorded_in_report(self, tmp_path, capsys):
+        batch = _write_batch(tmp_path)
+        report = str(tmp_path / "report.json")
+        assert main(["batch", batch, "--store", str(tmp_path / "cache"),
+                     "--report-json", report]) == EXIT_CLEAN
+        capsys.readouterr()
+        with open(report) as handle:
+            rows = json.load(handle)["requests"]
+        assert rows[0]["priority"] == "sweep"
+        assert rows[1]["priority"] == "interactive"
+
+    def test_duplicate_requests_dedup_in_one_batch(self, tmp_path, capsys):
+        payload = {"requests": [BATCH["requests"][0]] * 3}
+        batch = _write_batch(tmp_path, payload)
+        report = str(tmp_path / "report.json")
+        assert main(["batch", batch, "--store", str(tmp_path / "cache"),
+                     "--report-json", report]) == EXIT_CLEAN
+        capsys.readouterr()
+        with open(report) as handle:
+            data = json.load(handle)
+        assert data["stats"]["executed"] == 1
+        assert data["stats"]["dedup_hits"] == 2
+
+    def test_failed_request_yields_partial_exit(self, tmp_path, capsys):
+        payload = {"requests": [
+            BATCH["requests"][0],
+            {"benchmark": "no_such_benchmark", "scale": 0.02,
+             "mode": "functional"},
+        ]}
+        batch = _write_batch(tmp_path, payload)
+        assert main(["batch", batch, "--store", str(tmp_path / "cache"),
+                     "--retries", "0"]) == EXIT_PARTIAL
+        out = capsys.readouterr().out
+        assert "failed" in out
+        # The good request's result is still cached.
+        assert main(["batch", _write_batch(tmp_path, {
+            "requests": [BATCH["requests"][0]]
+        }, name="good.json"), "--store", str(tmp_path / "cache")]) \
+            == EXIT_CLEAN
+        assert "cache" in capsys.readouterr().out
+
+
+class TestBadInput:
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "nope.json")]) == EXIT_ERROR
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["batch", str(path)]) == EXIT_ERROR
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_empty_requests(self, tmp_path, capsys):
+        assert main(
+            ["batch", _write_batch(tmp_path, {"requests": []})]
+        ) == EXIT_ERROR
+        assert "non-empty" in capsys.readouterr().err
+
+    def test_typoed_field_names_the_request(self, tmp_path, capsys):
+        payload = {"requests": [
+            {"benchmark": "b2c", "scale": 0.02, "benchmrk": "typo"}
+        ]}
+        assert main(["batch", _write_batch(tmp_path, payload)]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "request #0" in err
+        assert "unknown request fields" in err
+
+    def test_unknown_machine_field(self, tmp_path, capsys):
+        payload = {"requests": [
+            {"benchmark": "b2c", "scale": 0.02,
+             "machine": {"content": {"depht_threshold": 5}}}
+        ]}
+        assert main(["batch", _write_batch(tmp_path, payload)]) == EXIT_ERROR
+        assert "unknown fields for" in capsys.readouterr().err
+
+    def test_no_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestStatus:
+    def test_status_lists_cached_digests(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        assert main(["batch", _write_batch(tmp_path), "--store", store]) \
+            == EXIT_CLEAN
+        capsys.readouterr()
+        assert main(["status", "--store", store]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "3 cached results" in out
+
+    def test_status_on_empty_store(self, tmp_path, capsys):
+        assert main(
+            ["status", "--store", str(tmp_path / "void")]
+        ) == EXIT_CLEAN
+        assert "0 cached results" in capsys.readouterr().out

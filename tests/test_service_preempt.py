@@ -1,0 +1,150 @@
+"""Preempt-and-resume through the service (the PR-3 guarantee, served).
+
+An interactive request must be able to steal the only worker from a
+running sweep cell; the preempted cell saves a snapshot, resumes later,
+and its final result must be *state-digest-identical* to an
+uninterrupted run of the same request.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.params import MachineConfig
+from repro.service import Priority, SimRequest, SimulationService
+from repro.service.workers import (
+    clear_preempt_flag,
+    preempt_flag_path,
+    raise_preempt_flag,
+)
+from repro.snapshot.digest import state_digest
+
+BENCHMARK = "b2b"
+SCALE = 0.03
+SNAPSHOT_EVERY = 8000  # several boundaries inside the tiny trace
+
+
+def _sweep_request():
+    return SimRequest(
+        machine=MachineConfig(), benchmark=BENCHMARK, scale=SCALE,
+        seed=7, mode="timing",
+    )
+
+
+def _interactive_request():
+    return SimRequest(
+        machine=MachineConfig(), benchmark="b2c", scale=0.02,
+        mode="functional",
+    )
+
+
+class TestPreemptResume:
+    @pytest.fixture(scope="class")
+    def reference_digest(self, tmp_path_factory):
+        """The sweep cell's result digest from an uninterrupted run."""
+        store = tmp_path_factory.mktemp("reference-store")
+
+        async def scenario():
+            service = SimulationService(str(store))
+            result = await service.run(_sweep_request())
+            await service.shutdown()
+            return result
+
+        return state_digest(asyncio.run(scenario()).state_dict())
+
+    def test_interactive_steals_the_worker_and_sweep_resumes(
+        self, tmp_path, reference_digest
+    ):
+        async def scenario():
+            service = SimulationService(
+                str(tmp_path / "cache"),
+                max_workers=1,
+                snapshot_every=SNAPSHOT_EVERY,
+            )
+            sweep_job = service.submit(_sweep_request())
+            # Let the sweep actually start before contending.
+            await asyncio.sleep(0.02)
+            interactive_job = service.submit(
+                _interactive_request(), priority=Priority.INTERACTIVE
+            )
+            interactive = await interactive_job.future
+            sweep = await sweep_job.future
+            status = service.status()
+            await service.shutdown()
+            return sweep_job, sweep, interactive, status
+
+        sweep_job, sweep, interactive, status = asyncio.run(scenario())
+        assert status.preempt_requests >= 1
+        assert status.preempted >= 1
+        assert status.resumed >= 1
+        assert sweep_job.preemptions >= 1
+        assert interactive.uops > 0
+        # Resumed result is bit-identical to the uninterrupted reference.
+        assert state_digest(sweep.state_dict()) == reference_digest
+        # No stale preempt flag may survive for this digest.
+        assert not os.path.exists(
+            preempt_flag_path(service_dir(status, tmp_path), sweep_job.digest)
+        )
+
+    def test_preempted_result_is_cached_and_reusable(
+        self, tmp_path, reference_digest
+    ):
+        async def scenario():
+            service = SimulationService(
+                str(tmp_path / "cache"),
+                max_workers=1,
+                snapshot_every=SNAPSHOT_EVERY,
+            )
+            sweep_job = service.submit(_sweep_request())
+            await asyncio.sleep(0.02)
+            service.submit(
+                _interactive_request(), priority=Priority.INTERACTIVE
+            )
+            await sweep_job.future
+            # Resubmit: must come straight from cache, same digest.
+            rerun = service.submit(_sweep_request())
+            result = await rerun.future
+            await service.shutdown()
+            return rerun.source, result
+
+        source, result = asyncio.run(scenario())
+        assert source == "cache"
+        assert state_digest(result.state_dict()) == reference_digest
+
+    def test_without_snapshots_no_preemption_is_attempted(self, tmp_path):
+        async def scenario():
+            service = SimulationService(
+                str(tmp_path / "cache"), max_workers=1
+            )
+            sweep_job = service.submit(_sweep_request())
+            await asyncio.sleep(0.02)
+            interactive_job = service.submit(
+                _interactive_request(), priority=Priority.INTERACTIVE
+            )
+            await asyncio.gather(sweep_job.future, interactive_job.future)
+            status = service.status()
+            await service.shutdown()
+            return status
+
+        status = asyncio.run(scenario())
+        assert status.preempt_requests == 0
+        assert status.preempted == 0
+        assert status.completed == 2
+
+
+def service_dir(status, tmp_path):
+    return str(tmp_path / "cache" / "snapshots")
+
+
+class TestPreemptFlags:
+    def test_flag_round_trip(self, tmp_path):
+        digest = "ab" * 16
+        path = preempt_flag_path(str(tmp_path), digest)
+        assert not os.path.exists(path)
+        raise_preempt_flag(str(tmp_path), digest)
+        assert os.path.exists(path)
+        raise_preempt_flag(str(tmp_path), digest)  # idempotent
+        clear_preempt_flag(str(tmp_path), digest)
+        assert not os.path.exists(path)
+        clear_preempt_flag(str(tmp_path), digest)  # idempotent

@@ -1,0 +1,147 @@
+"""The content-addressed result store (repro.service.store).
+
+A cache must never be load-bearing: every corruption mode here has to
+degrade to a miss (plus invalidation of the damaged entry), never to a
+wrong or torn result.
+"""
+
+import pickle
+
+import pytest
+
+from repro.service.store import RESULT_STORE_VERSION, ResultStore
+
+DIGEST = "ab" * 16  # 32 hex chars, like a real blake2b-128 digest
+OTHER = "cd" * 16
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "cache"))
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        store.put(DIGEST, {"cycles": 123.0}, fingerprint={"seed": 1})
+        assert store.get(DIGEST, fingerprint={"seed": 1}) == {"cycles": 123.0}
+        assert store.stats.hits == 1
+        assert store.stats.puts == 1
+
+    def test_missing_is_a_miss(self, store):
+        assert store.get(DIGEST) is None
+        assert store.stats.misses == 1
+        assert store.stats.invalidated == 0
+
+    def test_contains_and_entries(self, store):
+        assert DIGEST not in store
+        store.put(DIGEST, 1)
+        store.put(OTHER, 2)
+        assert DIGEST in store
+        assert sorted(store.entries()) == sorted([DIGEST, OTHER])
+
+    def test_sharded_layout(self, store):
+        path = store.put(DIGEST, 1)
+        assert "/%s/" % DIGEST[:2] in path
+        assert path.endswith(DIGEST + ".res")
+
+    def test_overwrite_is_atomic_replace(self, store):
+        store.put(DIGEST, "old")
+        store.put(DIGEST, "new")
+        assert store.get(DIGEST) == "new"
+
+    def test_rejects_non_hex_digest(self, store):
+        with pytest.raises(ValueError, match="hex digest"):
+            store.path("../escape")
+
+
+class TestCorruptionDegradesToMiss:
+    def _entry_path(self, store):
+        return store.path(DIGEST)
+
+    def test_garbage_bytes(self, store):
+        store.put(DIGEST, 42)
+        with open(self._entry_path(store), "wb") as handle:
+            handle.write(b"not a pickle at all")
+        assert store.get(DIGEST) is None
+        assert store.stats.invalidated == 1
+        # The damaged entry is gone; the next lookup is a clean miss.
+        assert DIGEST not in store
+
+    def test_truncated_entry(self, store):
+        store.put(DIGEST, {"big": list(range(1000))})
+        path = self._entry_path(store)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        assert store.get(DIGEST) is None
+        assert store.stats.invalidated == 1
+
+    def _tamper(self, store, **overrides):
+        path = self._entry_path(store)
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+        envelope.update(overrides)
+        with open(path, "wb") as handle:
+            pickle.dump(envelope, handle)
+
+    def test_checksum_mismatch(self, store):
+        store.put(DIGEST, "payload")
+        self._tamper(store, result=pickle.dumps("swapped payload"))
+        assert store.get(DIGEST) is None
+        assert store.stats.invalidated == 1
+        assert any("checksum" in e for e in store.stats.errors)
+
+    def test_store_version_mismatch(self, store):
+        store.put(DIGEST, "payload")
+        self._tamper(store, store_version=RESULT_STORE_VERSION + 1)
+        assert store.get(DIGEST) is None
+        assert store.stats.invalidated == 1
+        assert any("version" in e for e in store.stats.errors)
+
+    def test_wrong_digest_key(self, store):
+        store.put(DIGEST, "payload")
+        self._tamper(store, digest=OTHER)
+        assert store.get(DIGEST) is None
+        assert any("wrong digest" in e for e in store.stats.errors)
+
+    def test_fingerprint_mismatch(self, store):
+        store.put(DIGEST, "payload", fingerprint={"seed": 1})
+        assert store.get(DIGEST, fingerprint={"seed": 2}) is None
+        assert store.stats.invalidated == 1
+        assert any("fingerprint" in e for e in store.stats.errors)
+
+    def test_fingerprint_not_checked_when_omitted(self, store):
+        store.put(DIGEST, "payload", fingerprint={"seed": 1})
+        assert store.get(DIGEST) == "payload"
+
+
+class TestMaintenance:
+    def test_invalidate(self, store):
+        store.put(DIGEST, 1)
+        assert store.invalidate(DIGEST) is True
+        assert store.invalidate(DIGEST) is False
+        assert store.get(DIGEST) is None
+
+    def test_prune_removes_only_damaged_entries(self, store):
+        store.put(DIGEST, "good")
+        store.put(OTHER, "bad")
+        with open(store.path(OTHER), "wb") as handle:
+            handle.write(b"garbage")
+        assert store.prune() == 1
+        assert store.entries() == [DIGEST]
+        assert store.get(DIGEST) == "good"
+
+    def test_stats_hit_rate(self, store):
+        store.put(DIGEST, 1)
+        store.get(DIGEST)
+        store.get(OTHER)
+        assert store.stats.lookups == 2
+        assert store.stats.hit_rate == 0.5
+        as_dict = store.stats.as_dict()
+        assert as_dict["hits"] == 1
+        assert as_dict["hit_rate"] == 0.5
+
+    def test_empty_store_entries(self, store):
+        assert store.entries() == []
+        assert store.prune() == 0
