@@ -19,17 +19,33 @@ root:
   is the per-request overhead of digesting, scheduling, and one store
   read, so it is gated).
 
+Simulator rates are best-of-``SIM_REPEATS`` over one shared workload:
+the aggregate rate folds in scheduler preemption and allocator warm-up,
+which belong to the machine, not the code under test, so the repeatable
+peak is what the trajectory records.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_perf.py            # measure + write
     PYTHONPATH=src python scripts/bench_perf.py --check    # regression gate
+    PYTHONPATH=src python scripts/bench_perf.py --smoke --check   # CI job
 
 ``--check`` re-measures and exits nonzero if either simulator's uops/sec
 (or the matcher's vectorized throughput) dropped more than
 ``--tolerance`` (default 30%) below the committed ``BENCH_perf.json`` —
-the CI hook that keeps the perf trajectory monotone.  Wall-clock numbers
-are machine-dependent: regenerate the committed file on the reference
-machine, not a laptop, when it legitimately shifts.
+the CI hook that keeps the perf trajectory monotone.  ``--smoke`` runs
+every section at reduced scale (for per-PR CI) and checks against the
+``smoke_baseline`` section the record step measures at the same
+reduced scale — small-scale rates are *not* comparable to full-scale
+ones (fixed per-run costs loom larger), so smoke compares like with
+like.  Wall-clock numbers are machine-dependent: regenerate the
+committed file on the reference machine, not a laptop, when it
+legitimately shifts.
+
+Each (non-smoke) record also appends an entry to the file's ``history``
+list — gated metrics plus the git revision and UTC timestamp — so the
+perf trajectory is machine-readable instead of living only in ROADMAP
+prose.
 """
 
 from __future__ import annotations
@@ -38,6 +54,7 @@ import argparse
 import json
 import os
 import random
+import subprocess
 import sys
 import time
 
@@ -52,7 +69,7 @@ from repro.experiments.common import (  # noqa: E402
 )
 from repro.params import ContentConfig  # noqa: E402
 from repro.prefetch.matcher import VirtualAddressMatcher  # noqa: E402
-from repro.workloads.suite import build_benchmark  # noqa: E402
+from repro.workloads.suite import build_benchmark, clear_cache  # noqa: E402
 
 RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_perf.json")
 
@@ -62,11 +79,14 @@ SIM_BENCHMARK = "b2c"
 FUNCTIONAL_SCALE = 0.4
 TIMING_SCALE = 0.15
 
+#: Best-of-N runs per simulator; the workload is built once and shared.
+SIM_REPEATS = 3
+
 MATCHER_LINES = 400
 MATCHER_REPEATS = 40
 
 
-def bench_matcher(seed: int = 1234) -> dict:
+def bench_matcher(seed: int = 1234, repeats: int = MATCHER_REPEATS) -> dict:
     """Equivalence-checked scan throughput, vectorized vs reference."""
     rng = random.Random(seed)
     config = ContentConfig()
@@ -101,14 +121,17 @@ def bench_matcher(seed: int = 1234) -> dict:
         )
 
     def timed(method) -> float:
-        matcher = VirtualAddressMatcher(config)
-        scan = getattr(matcher, method)
-        started = time.perf_counter()
-        for _ in range(MATCHER_REPEATS):
-            for line in lines:
-                scan(line, effs[0])
-        elapsed = time.perf_counter() - started
-        return matcher.stats.words_examined / elapsed
+        best = 0.0
+        for _ in range(SIM_REPEATS):
+            matcher = VirtualAddressMatcher(config)
+            scan = getattr(matcher, method)
+            started = time.perf_counter()
+            for _ in range(repeats):
+                for line in lines:
+                    scan(line, effs[0])
+            elapsed = time.perf_counter() - started
+            best = max(best, matcher.stats.words_examined / elapsed)
+        return best
 
     vec = timed("scan")
     ref = timed("scan_reference")
@@ -119,24 +142,31 @@ def bench_matcher(seed: int = 1234) -> dict:
     }
 
 
-def bench_simulators(seed: int = 1) -> dict:
-    """Functional and timing uops/sec via the perf recorder."""
+def bench_simulators(
+    seed: int = 1,
+    functional_scale: float = FUNCTIONAL_SCALE,
+    timing_scale: float = TIMING_SCALE,
+    repeats: int = SIM_REPEATS,
+) -> dict:
+    """Best-of-*repeats* functional and timing uops/sec (perf recorder)."""
     config = model_machine()
     previous = perf.set_enabled(True)
     perf.RECORDER.reset()
     try:
-        workload = build_benchmark(SIM_BENCHMARK, scale=FUNCTIONAL_SCALE,
+        workload = build_benchmark(SIM_BENCHMARK, scale=functional_scale,
                                    seed=seed)
-        run_functional(config, workload)
-        workload = build_benchmark(SIM_BENCHMARK, scale=TIMING_SCALE,
+        for _ in range(repeats):
+            run_functional(config, workload)
+        workload = build_benchmark(SIM_BENCHMARK, scale=timing_scale,
                                    seed=seed)
-        run_timing(config, workload)
+        for _ in range(repeats):
+            run_timing(config, workload)
         return {
             "functional_uops_per_sec": round(
-                perf.RECORDER.uops_per_second("functional uops/sec")
+                perf.RECORDER.uops_per_second_best("functional uops/sec")
             ),
             "timing_uops_per_sec": round(
-                perf.RECORDER.uops_per_second("timing uops/sec")
+                perf.RECORDER.uops_per_second_best("timing uops/sec")
             ),
         }
     finally:
@@ -147,7 +177,7 @@ SERVICE_JOBS = 24
 SERVICE_SCALE = 0.02
 
 
-def bench_service(seed: int = 1) -> dict:
+def bench_service(seed: int = 1, jobs: int = SERVICE_JOBS) -> dict:
     """Serving throughput, cold vs cached, over one batch of requests."""
     import shutil
     import tempfile
@@ -161,46 +191,76 @@ def bench_service(seed: int = 1) -> dict:
             machine=MachineConfig(), benchmark=SIM_BENCHMARK,
             scale=SERVICE_SCALE, seed=seed + i, mode="functional",
         )
-        for i in range(SERVICE_JOBS)
+        for i in range(jobs)
     ]
-    store = tempfile.mkdtemp(prefix="bench-service-")
-    try:
-        with ServiceSession(
-            store_dir=store, max_pending=SERVICE_JOBS + 8
-        ) as session:
-            started = time.perf_counter()
-            session.run_batch(requests)
-            cold = time.perf_counter() - started
-        with ServiceSession(
-            store_dir=store, max_pending=SERVICE_JOBS + 8
-        ) as session:
-            started = time.perf_counter()
-            session.run_batch(requests)
-            cached = time.perf_counter() - started
-            status = session.status()
-        if status.cache_hits != SERVICE_JOBS:
-            raise SystemExit(
-                "service bench expected %d cache hits, saw %d"
-                % (SERVICE_JOBS, status.cache_hits)
-            )
-        return {
-            "jobs": SERVICE_JOBS,
-            "scale": SERVICE_SCALE,
-            "cold_jobs_per_sec": round(SERVICE_JOBS / cold, 2),
-            "cached_jobs_per_sec": round(SERVICE_JOBS / cached, 2),
-        }
-    finally:
-        shutil.rmtree(store, ignore_errors=True)
+    cold_best = 0.0
+    cached_best = 0.0
+    # Best-of: each round gets a fresh store and a cleared in-process
+    # workload cache (cold really rebuilds and recomputes); a second
+    # pass over the same store then measures the cached path.
+    for _ in range(SIM_REPEATS):
+        clear_cache()
+        store = tempfile.mkdtemp(prefix="bench-service-")
+        try:
+            with ServiceSession(
+                store_dir=store, max_pending=jobs + 8
+            ) as session:
+                started = time.perf_counter()
+                session.run_batch(requests)
+                cold = time.perf_counter() - started
+            with ServiceSession(
+                store_dir=store, max_pending=jobs + 8
+            ) as session:
+                started = time.perf_counter()
+                session.run_batch(requests)
+                cached = time.perf_counter() - started
+                status = session.status()
+            if status.cache_hits != jobs:
+                raise SystemExit(
+                    "service bench expected %d cache hits, saw %d"
+                    % (jobs, status.cache_hits)
+                )
+            cold_best = max(cold_best, jobs / cold)
+            cached_best = max(cached_best, jobs / cached)
+        finally:
+            shutil.rmtree(store, ignore_errors=True)
+    return {
+        "jobs": jobs,
+        "scale": SERVICE_SCALE,
+        "cold_jobs_per_sec": round(cold_best, 2),
+        "cached_jobs_per_sec": round(cached_best, 2),
+    }
 
 
-def measure() -> dict:
+#: Reduced-scale settings for the per-PR CI smoke run: the same gated
+#: metrics at a fraction of the wall clock.  Smoke runs are checked
+#: against the ``smoke_baseline`` section recorded at these same
+#: scales, never against the full-scale numbers.
+SMOKE = {
+    "functional_scale": 0.15,
+    "timing_scale": 0.08,
+    "matcher_repeats": 10,
+    "service_jobs": 8,
+}
+
+
+def measure(smoke: bool = False) -> dict:
+    functional_scale = SMOKE["functional_scale"] if smoke else FUNCTIONAL_SCALE
+    timing_scale = SMOKE["timing_scale"] if smoke else TIMING_SCALE
     return {
         "benchmark": SIM_BENCHMARK,
-        "functional_scale": FUNCTIONAL_SCALE,
-        "timing_scale": TIMING_SCALE,
-        "matcher": bench_matcher(),
-        "service": bench_service(),
-        **bench_simulators(),
+        "functional_scale": functional_scale,
+        "timing_scale": timing_scale,
+        "smoke": smoke,
+        "matcher": bench_matcher(
+            repeats=SMOKE["matcher_repeats"] if smoke else MATCHER_REPEATS
+        ),
+        "service": bench_service(
+            jobs=SMOKE["service_jobs"] if smoke else SERVICE_JOBS
+        ),
+        **bench_simulators(
+            functional_scale=functional_scale, timing_scale=timing_scale
+        ),
     }
 
 
@@ -217,6 +277,56 @@ def _dig(data: dict, path) -> float:
     for key in path:
         data = data[key]
     return float(data)
+
+
+def _git_rev() -> str | None:
+    """Short hash of HEAD, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+def _history_entry(measured: dict) -> dict:
+    """One machine-readable trajectory point: gated metrics + provenance."""
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_rev": _git_rev(),
+    }
+    for path, _ in _GATED:
+        try:
+            entry[".".join(path)] = _dig(measured, path)
+        except (KeyError, TypeError):
+            pass
+    return entry
+
+
+def with_history(current: dict, previous: dict | None) -> dict:
+    """Attach the perf trajectory: prior entries plus this run's point.
+
+    A committed file that predates the history format contributes a
+    backfilled entry (metrics only — its revision is unknown), so the
+    trajectory keeps its oldest measured point.
+    """
+    history = []
+    if previous is not None:
+        history = list(previous.get("history", []))
+        if not history:
+            backfill = {"recorded_at": None, "git_rev": None}
+            for path, _ in _GATED:
+                try:
+                    backfill[".".join(path)] = _dig(previous, path)
+                except (KeyError, TypeError):
+                    pass
+            if len(backfill) > 2:
+                history.append(backfill)
+    history.append(_history_entry(current))
+    return {**current, "history": history}
 
 
 def check(current: dict, committed: dict, tolerance: float) -> int:
@@ -251,12 +361,22 @@ def main(argv=None) -> int:
         help="allowed fractional drop before --check fails (default 0.30)",
     )
     parser.add_argument(
+        "--record", action="store_true",
+        help="measure and rewrite BENCH_perf.json, appending a history "
+             "entry (the default when --check is not given)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced-scale run for per-PR CI; refuses to rewrite the "
+             "committed baseline (measure/--check only)",
+    )
+    parser.add_argument(
         "--out", default=RESULT_PATH,
         help="result path (default: repo-root BENCH_perf.json)",
     )
     args = parser.parse_args(argv)
 
-    current = measure()
+    current = measure(smoke=args.smoke)
     print(json.dumps(current, indent=2))
 
     if args.check:
@@ -265,6 +385,13 @@ def main(argv=None) -> int:
             return 2
         with open(args.out) as handle:
             committed = json.load(handle)
+        if args.smoke:
+            baseline = committed.get("smoke_baseline")
+            if baseline is None:
+                print("check: committed file has no smoke_baseline; "
+                      "run a full record first")
+                return 2
+            committed = baseline
         failures = check(current, committed, args.tolerance)
         if failures:
             print("check: %d metric(s) regressed >%.0f%%"
@@ -273,10 +400,24 @@ def main(argv=None) -> int:
         print("check: all throughput metrics within tolerance")
         return 0
 
+    if args.smoke:
+        # Reduced-scale numbers must never become the committed baseline.
+        print("smoke run: not rewriting %s" % args.out)
+        return 0
+
+    previous = None
+    if os.path.exists(args.out):
+        with open(args.out) as handle:
+            previous = json.load(handle)
+    # The smoke gate needs a like-for-like baseline: measure the same
+    # metrics at the reduced scales and store them alongside.
+    current["smoke_baseline"] = measure(smoke=True)
+    current = with_history(current, previous)
     with open(args.out, "w") as handle:
         json.dump(current, handle, indent=2)
         handle.write("\n")
-    print("wrote %s" % args.out)
+    print("wrote %s (history: %d entries)"
+          % (args.out, len(current["history"])))
     return 0
 
 

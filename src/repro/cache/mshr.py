@@ -17,7 +17,7 @@ from repro.cache.line import Requester
 __all__ = ["MissStatus", "MSHRFile"]
 
 
-@dataclass
+@dataclass(slots=True)
 class MissStatus:
     """One in-flight line fill."""
 
@@ -79,6 +79,8 @@ class MSHRFile:
     stall the core instead; the timing cost surfaces as queueing delay),
     so ``allocate`` itself does not enforce the bound.
     """
+
+    __slots__ = ("capacity", "_inflight", "peak_occupancy")
 
     def __init__(self, capacity: int | None = None) -> None:
         if capacity is not None and capacity <= 0:

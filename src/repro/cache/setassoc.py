@@ -18,7 +18,7 @@ from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 __all__ = ["CacheStats", "SetAssociativeCache"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Counters accumulated by one cache instance."""
 
@@ -49,11 +49,23 @@ class CacheStats:
 class SetAssociativeCache:
     """A single cache level."""
 
+    __slots__ = (
+        "config",
+        "name",
+        "stats",
+        "_num_sets",
+        "_line_shift",
+        "_set_mask",
+        "_assoc",
+        "_sets",
+    )
+
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         self.config = config
         self.name = name
         self.stats = CacheStats()
         self._num_sets = config.num_sets
+        self._assoc = config.associativity
         self._line_shift = config.line_size.bit_length() - 1
         # Power-of-two set counts (every real configuration) index with a
         # mask; the modulo fallback only exists for odd test geometries.
@@ -123,20 +135,32 @@ class SetAssociativeCache:
         If the line is already resident its metadata is promoted instead of
         being refilled (a prefetch that raced a demand fill, for example).
         """
-        cache_set = self._sets[self.set_index(address)]
-        tag = self.tag_of(address)
+        tag = address >> self._line_shift
+        mask = self._set_mask
+        cache_set = self._sets[
+            tag & mask if mask is not None else tag % self._num_sets
+        ]
         existing = cache_set.get(tag)
         if existing is not None:
-            existing.promote(depth, requester)
+            # Inline CacheLine.promote (a fill racing a resident line is
+            # common on the prefetch path): monotone depth, demand marks.
+            if depth < existing.depth:
+                existing.depth = depth
+            if requester is Requester.DEMAND:
+                existing.referenced = True
             cache_set.move_to_end(tag)
             return None
+        stats = self.stats
         victim = None
-        if len(cache_set) >= self.config.associativity:
+        if len(cache_set) >= self._assoc:
             _, victim = cache_set.popitem(last=False)
-            self.stats.evictions += 1
-            if victim.was_prefetched and not victim.referenced:
-                self.stats.polluting_evictions += 1
-        line = CacheLine(
+            stats.evictions += 1
+            if (
+                victim.requester is not Requester.DEMAND
+                and not victim.referenced
+            ):
+                stats.polluting_evictions += 1
+        cache_set[tag] = CacheLine(
             tag,
             vaddr if vaddr is not None else address,
             requester=requester,
@@ -144,10 +168,9 @@ class SetAssociativeCache:
             fill_time=time,
             kind=kind,
         )
-        cache_set[tag] = line
-        self.stats.fills += 1
-        if requester.is_prefetch:
-            self.stats.record_prefetch_fill(requester)
+        stats.fills += 1
+        if requester is not Requester.DEMAND:
+            stats.record_prefetch_fill(requester)
         return victim
 
     def invalidate(self, address: int) -> CacheLine | None:

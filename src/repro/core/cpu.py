@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro import perf
 from repro.core.memsys import TimingMemorySystem
 from repro.params import CoreConfig
 from repro.trace.ops import BRANCH, COMPUTE, LOAD, Trace
@@ -199,7 +200,14 @@ class OutOfOrderCore:
                     return None
         if state.next_index < total_ops:
             self._execute(state, ops, total_ops, warmup_uops)
-        self.memsys.drain()
+        # The tail drain (events outstanding after the last µop issues) is
+        # timed as its own phase; the drain work interleaved with
+        # execution is part of the timing-sim stage by construction.
+        with perf.stage("timing-drain"):
+            self.memsys.drain()
+        perf.counter(
+            "timing-events-posted", getattr(self.memsys, "_seq", 0)
+        )
         total = max(state.issue_time, state.inorder_retire)
         self.cycles = max(0.0, total - state.warmup_cycles)
         self.run_state = None
@@ -217,6 +225,12 @@ class OutOfOrderCore:
         cfg = self.config
         issue_step = 1.0 / cfg.issue_width
         mem_step = 1.0 / cfg.mem_units
+        reorder_buffer = cfg.reorder_buffer
+        load_buffer_cap = cfg.load_buffer
+        store_buffer_cap = cfg.store_buffer
+        mispredict_penalty = cfg.mispredict_penalty
+        mem_load = self.memsys.load
+        mem_store = self.memsys.store
         issue_time = state.issue_time
         mem_issue_time = state.mem_issue_time
         inorder_retire = state.inorder_retire
@@ -241,7 +255,7 @@ class OutOfOrderCore:
                 warmup_marked = True
             kind = op[0]
             # ROB pressure: µops older than the window must have retired.
-            window_floor = uop_pos - cfg.reorder_buffer
+            window_floor = uop_pos - reorder_buffer
             while rob_tail and rob_tail[0][0] <= window_floor:
                 _, retire = rob_tail.popleft()
                 if retire > issue_time:
@@ -266,7 +280,7 @@ class OutOfOrderCore:
                 if completion > inorder_retire:
                     inorder_retire = completion
                 if op[1]:
-                    issue_time = completion + cfg.mispredict_penalty
+                    issue_time = completion + mispredict_penalty
                 else:
                     issue_time += issue_step
                 uop_pos += 1
@@ -275,7 +289,7 @@ class OutOfOrderCore:
             if mem_issue_time > issue_time:
                 issue_time = mem_issue_time
             if kind == LOAD:
-                if len(load_buffer) >= cfg.load_buffer:
+                if len(load_buffer) >= load_buffer_cap:
                     oldest = load_buffer.popleft()
                     if oldest > issue_time:
                         issue_time = oldest
@@ -285,17 +299,17 @@ class OutOfOrderCore:
                     dep_ready = ready.get(dep, 0.0)
                     if dep_ready > exec_start:
                         exec_start = dep_ready
-                latency = self.memsys.load(op[1], op[2], int(exec_start))
+                latency = mem_load(op[1], op[2], int(exec_start))
                 completion = exec_start + latency
                 ready[index] = completion
                 load_buffer.append(completion)
                 loads_executed += 1
             else:  # STORE
-                if len(store_buffer) >= cfg.store_buffer:
+                if len(store_buffer) >= store_buffer_cap:
                     oldest = store_buffer.popleft()
                     if oldest > issue_time:
                         issue_time = oldest
-                latency = self.memsys.store(op[1], op[2], int(issue_time))
+                latency = mem_store(op[1], op[2], int(issue_time))
                 completion = issue_time + latency
                 store_buffer.append(completion)
                 stores_executed += 1
@@ -303,7 +317,13 @@ class OutOfOrderCore:
                 inorder_retire = completion
             rob_tail.append((uop_pos, inorder_retire))
             issue_time += issue_step
-            mem_issue_time = max(mem_issue_time, issue_time - issue_step) + mem_step
+            # Bit-exact rewrite of max(m, issue_time - issue_step) + step:
+            # the subtraction must happen after the increment to reproduce
+            # the reference rounding.
+            floor = issue_time - issue_step
+            if mem_issue_time < floor:
+                mem_issue_time = floor
+            mem_issue_time += mem_step
             uop_pos += 1
 
         state.issue_time = issue_time

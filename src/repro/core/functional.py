@@ -33,6 +33,11 @@ from repro.trace.ops import BRANCH, COMPUTE, LOAD, Trace
 
 __all__ = ["FunctionalSimulator"]
 
+# Per-line tracking flags (bitset line_tracking mode).
+_FLAG_STRIDE = 1
+_FLAG_OVERLAP = 2
+_FLAG_COUNTED = 4
+
 
 class FunctionalSimulator:
     """Runs a trace through the cache hierarchy with zero-latency fills."""
@@ -43,6 +48,7 @@ class FunctionalSimulator:
         memory: BackingMemory,
         page_table: PageTable | None = None,
         mptu_window_uops: int = 0,
+        line_tracking: str = "bitset",
     ) -> None:
         self.config = config
         self.hier = CacheHierarchy(config, memory, page_table)
@@ -63,14 +69,28 @@ class FunctionalSimulator:
         self._line_mask = line_mask(
             config.line_size, config.content.address_bits
         )
-        # Lines the stride prefetcher has issued, and the subset of
-        # content-prefetched lines that overlap them (for the adjusted
-        # metrics of Figures 7/8).
+        # Per-line tracking bits (see _FLAG_*): lines the stride
+        # prefetcher has issued, the subset of content-prefetched lines
+        # that overlap them (for the adjusted metrics of Figures 7/8),
+        # and prefetch fills whose issue was counted (i.e. happened after
+        # warm-up) — only their hits count as useful, keeping coverage
+        # and accuracy consistent across the warm-up boundary.
+        #
+        # The default representation is one flag byte per physical line
+        # index in a flat bytearray: the page table allocates frames
+        # densely upward from its frame base, so line indexes are dense
+        # and a bytearray replaces three hash sets on the per-prefetch
+        # hot path.  ``line_tracking="sets"`` selects the original
+        # three-set representation, kept as the equivalence oracle
+        # (tests/test_functional_sim.py drives both and compares results).
+        if line_tracking not in ("bitset", "sets"):
+            raise ValueError("unknown line_tracking: %r" % line_tracking)
+        self.line_tracking = line_tracking
+        self._use_sets = line_tracking == "sets"
+        self._line_shift = (config.line_size - 1).bit_length()
+        self._line_flags = bytearray()
         self._stride_lines: set[int] = set()
         self._content_overlap: set[int] = set()
-        # Prefetch fills whose issue was counted (i.e. happened after
-        # warm-up); only their hits count as useful, keeping coverage and
-        # accuracy consistent across the warm-up boundary.
         self._counted_fills: set[int] = set()
         self._window_misses = 0
         self._window_uops = 0
@@ -83,19 +103,28 @@ class FunctionalSimulator:
         result.name = trace.name
         measuring = warmup_uops == 0
         uops_seen = 0
+        # Hot loop: bind the per-op callees once, and skip the window
+        # bookkeeping call entirely when no MPTU window is configured
+        # (the common case for coverage/accuracy sweeps).
+        windowed = bool(result.mptu_window_uops)
+        tick = self._tick_window
+        access = self._access
         for op in trace.ops:
             kind = op[0]
             if kind == COMPUTE:
                 uops_seen += op[1]
-                self._tick_window(op[1], measuring)
+                if windowed:
+                    tick(op[1], measuring)
             elif kind == BRANCH:
                 uops_seen += 1
-                self._tick_window(1, measuring)
+                if windowed:
+                    tick(1, measuring)
             else:
                 uops_seen += 1
-                self._tick_window(1, measuring)
+                if windowed:
+                    tick(1, measuring)
                 is_load = kind == LOAD
-                self._access(op[1], op[2], is_load, measuring)
+                access(op[1], op[2], is_load, measuring)
                 if measuring:
                     if is_load:
                         result.loads += 1
@@ -107,6 +136,20 @@ class FunctionalSimulator:
         result.instructions = trace.instruction_count
         result.tlb_misses = self.hier.dtlb.stats.misses
         return result
+
+    def _flag_index(self, line_p: int) -> int:
+        """Bitset index for a physical line, growing the array to fit.
+
+        Frames are allocated densely upward from the page table's frame
+        base (see :mod:`repro.memory.pagetable`), so indexing by absolute
+        line number keeps the array proportional to the touched physical
+        footprint — one byte per line.
+        """
+        index = line_p >> self._line_shift
+        flags = self._line_flags
+        if index >= len(flags):
+            flags.extend(bytes(index + 4096 - len(flags)))
+        return index
 
     def _tick_window(self, uops: int, measuring: bool) -> None:
         window = self.result.mptu_window_uops
@@ -143,7 +186,11 @@ class FunctionalSimulator:
             if measuring:
                 result.demand_l2_misses += 1
                 self._window_misses += 1
-            self._counted_fills.discard(paddr & self._line_mask)
+            if self._use_sets:
+                self._counted_fills.discard(paddr & self._line_mask)
+            else:
+                index = self._flag_index(paddr & self._line_mask)
+                self._line_flags[index] &= ~_FLAG_COUNTED
             self.hier.l2.fill(paddr, vaddr=line_v, requester=Requester.DEMAND)
             if self.markov is not None:
                 for candidate in self.markov.observe_miss(
@@ -157,18 +204,24 @@ class FunctionalSimulator:
         self, line, paddr: int, vaddr: int, measuring: bool
     ) -> None:
         line_p = paddr & self._line_mask
-        if (
-            line.was_prefetched and not line.referenced and measuring
-            and line_p in self._counted_fills
-        ):
-            self._counted_fills.discard(line_p)
-            acct = self._accounting(line.requester)
-            acct.full_hits += 1
-            if (
-                line.requester is Requester.CONTENT
-                and line_p in self._content_overlap
-            ):
-                self.result.content_useful_overlap += 1
+        if line.was_prefetched and not line.referenced and measuring:
+            if self._use_sets:
+                counted = line_p in self._counted_fills
+                overlap = line_p in self._content_overlap
+                if counted:
+                    self._counted_fills.discard(line_p)
+            else:
+                index = self._flag_index(line_p)
+                flags = self._line_flags[index]
+                counted = flags & _FLAG_COUNTED
+                overlap = flags & _FLAG_OVERLAP
+                if counted:
+                    self._line_flags[index] = flags ^ _FLAG_COUNTED
+            if counted:
+                acct = self._accounting(line.requester)
+                acct.full_hits += 1
+                if line.requester is Requester.CONTENT and overlap:
+                    self.result.content_useful_overlap += 1
         rescan = self.content.should_rescan(line.depth, 0)
         line.promote(0, Requester.DEMAND)
         if rescan:
@@ -206,8 +259,12 @@ class FunctionalSimulator:
             if measuring:
                 self.result.prefetch_page_walks += 1
         line_p = paddr & self._line_mask
+        use_sets = self._use_sets
         if requester is Requester.STRIDE:
-            self._stride_lines.add(line_p)
+            if use_sets:
+                self._stride_lines.add(line_p)
+            else:
+                self._line_flags[self._flag_index(line_p)] |= _FLAG_STRIDE
         resident = self.hier.l2.peek(line_p)
         if resident is not None:
             if self.content.should_rescan(resident.depth, candidate.depth):
@@ -218,18 +275,35 @@ class FunctionalSimulator:
                 )
             acct.dropped_resident += 1
             return
-        if measuring:
-            acct.issued += 1
-            self._counted_fills.add(line_p)
-        else:
-            self._counted_fills.discard(line_p)
-        if requester is Requester.CONTENT:
-            if line_p in self._stride_lines:
-                self._content_overlap.add(line_p)
-                if measuring:
-                    self.result.content_issued_overlap += 1
+        if use_sets:
+            if measuring:
+                acct.issued += 1
+                self._counted_fills.add(line_p)
             else:
-                self._content_overlap.discard(line_p)
+                self._counted_fills.discard(line_p)
+            if requester is Requester.CONTENT:
+                if line_p in self._stride_lines:
+                    self._content_overlap.add(line_p)
+                    if measuring:
+                        self.result.content_issued_overlap += 1
+                else:
+                    self._content_overlap.discard(line_p)
+        else:
+            index = self._flag_index(line_p)
+            flags = self._line_flags[index]
+            if measuring:
+                acct.issued += 1
+                flags |= _FLAG_COUNTED
+            else:
+                flags &= ~_FLAG_COUNTED
+            if requester is Requester.CONTENT:
+                if flags & _FLAG_STRIDE:
+                    flags |= _FLAG_OVERLAP
+                    if measuring:
+                        self.result.content_issued_overlap += 1
+                else:
+                    flags &= ~_FLAG_OVERLAP
+            self._line_flags[index] = flags
         self.hier.l2.fill(
             line_p,
             vaddr=line_v,

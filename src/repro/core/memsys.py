@@ -37,6 +37,7 @@ from repro.memory.address import line_mask
 from repro.params import BusConfig, MachineConfig
 from repro.prefetch.base import PrefetchCandidate
 from repro.prefetch.content import ContentPrefetcher
+from repro.snapshot.hooks import canonical_heap
 from repro.prefetch.markov import MarkovPrefetcher
 from repro.prefetch.stride import StridePrefetcher
 
@@ -71,6 +72,20 @@ class TimingMemorySystem:
         self.markov = markov
         self.adaptive = adaptive
         self.result = result if result is not None else TimingResult("mem")
+        # Hot-path aliases: the hierarchy's components never change after
+        # construction, and the per-requester accounting map is fixed, so
+        # resolve both once instead of per access.
+        self._l1 = hierarchy.l1
+        self._l2 = hierarchy.l2
+        self._dtlb = hierarchy.dtlb
+        self._l1_latency = hierarchy.l1.config.latency
+        self._l2_latency = hierarchy.l2.config.latency
+        self._accts = (
+            None, self.result.stride, self.result.content, self.result.markov,
+        )
+        # Static content-policy knobs consulted on every prefetch issue.
+        self._content_offchip = config.content.placement == "offchip"
+        self._reinforcement = config.content.reinforcement
         self.bus = Bus(config.bus, line_size=config.line_size)
         self.l2_port = L2Port(config.bus.l2_throughput)
         self.bus_arbiter = PriorityArbiter(
@@ -87,6 +102,11 @@ class TimingMemorySystem:
         # Explicit event tie-break counter (not itertools.count) so
         # snapshots capture and restore the exact posting sequence.
         self._seq = 0
+        # Event-drain implementation (see set_drain_mode); the bound
+        # method is cached as an instance attribute because _advance is
+        # called once per demand access.
+        self.drain_mode = "batched"
+        self._advance = self._advance_batched
         self._bus_service_pending = False
         self._line_mask = line_mask(
             config.line_size, config.content.address_bits
@@ -151,7 +171,42 @@ class TimingMemorySystem:
             fill += self.faults.bus_grant_penalty()
         return grant, fill
 
-    def _advance(self, time: int) -> None:
+    def _advance_batched(self, time: int) -> None:
+        """Batched event drain: dispatch same-timestamp runs in one pass.
+
+        Pops the entire run of events sharing the head timestamp before
+        dispatching any of them, then processes the run in (seq) order —
+        the precomputed grant order for that cycle.  This reproduces the
+        reference (one-pop-at-a-time) order exactly: events posted during
+        processing always carry a seq greater than every already-pending
+        event, so within a timestamp the pending run drains first in both
+        schemes, and the outer loop re-checks the heap for runs the batch
+        itself scheduled.  Equivalence is property-tested digest-for-digest
+        against :meth:`_advance_reference` (tests/test_drain_equivalence).
+        """
+        events = self._events
+        pop = heapq.heappop
+        complete_fill = self._complete_fill
+        service_bus = self._service_bus
+        while events and events[0][0] <= time:
+            batch_time = events[0][0]
+            batch = [pop(events)]
+            while events and events[0][0] == batch_time:
+                batch.append(pop(events))
+            if batch_time > self.now:
+                self.now = batch_time
+            for event in batch:
+                if event[2] == _EV_FILL:
+                    complete_fill(event[3], batch_time)
+                else:
+                    service_bus(batch_time)
+        if time > self.now:
+            self.now = time
+
+    def _advance_reference(self, time: int) -> None:
+        """The original one-event-per-heap-pass drain, kept as the oracle
+        for the batched implementation (and selectable via
+        :meth:`set_drain_mode` for divergence hunts)."""
         events = self._events
         while events and events[0][0] <= time:
             ev_time, _, kind, payload = heapq.heappop(events)
@@ -163,6 +218,23 @@ class TimingMemorySystem:
                 self._service_bus(ev_time)
         if time > self.now:
             self.now = time
+
+    def set_drain_mode(self, mode: str) -> None:
+        """Select the event-drain implementation.
+
+        ``"batched"`` (the default) and ``"reference"`` are
+        digest-identical; the mode is an implementation choice, not
+        architectural state, so it is deliberately absent from
+        :meth:`state_dict` — a snapshot taken under either drain resumes
+        under either.
+        """
+        if mode not in ("batched", "reference"):
+            raise ValueError("unknown drain mode: %r" % mode)
+        self.drain_mode = mode
+        self._advance = (
+            self._advance_batched if mode == "batched"
+            else self._advance_reference
+        )
 
     def advance_to(self, time: int) -> None:
         """Process all memory-system events up to *time*."""
@@ -189,39 +261,47 @@ class TimingMemorySystem:
     def _demand_access(
         self, vaddr: int, pc: int, time: int, is_load: bool
     ) -> int:
-        self._advance(time)
+        # Inline the no-pending-events fast path of _advance: most demand
+        # accesses find nothing due, and both drain implementations reduce
+        # to exactly this clock bump in that case.
+        events = self._events
+        if events and events[0][0] <= time:
+            self._advance(time)
+        elif time > self.now:
+            self.now = time
         if self.inject_pollution:
             self._maybe_inject_pollution(time)
-        l1 = self.hier.l1
+        l1 = self._l1
         if l1.lookup(vaddr) is not None:
             if not is_load:
                 # Stores that hit the L1 dirty the L2 copy too (the model
                 # has no separate L1 writeback path).
-                paddr = self.hier.dtlb.peek(vaddr)
+                paddr = self._dtlb.peek(vaddr)
                 if paddr is not None:
-                    resident = self.hier.l2.peek(paddr & self._line_mask)
+                    resident = self._l2.peek(paddr & self._line_mask)
                     if resident is not None:
                         resident.dirty = True
             return l1.config.latency
-        self.result.demand_l1_misses += 1
+        result = self.result
+        result.demand_l1_misses += 1
         # The stride prefetcher monitors all L1 miss traffic (Figure 6).
         stride_candidates = self.stride.observe(pc, vaddr)
         # Translation: the L2 is physically indexed.
         walk_latency = 0
         if self.faults is not None:
-            self.faults.pre_translation(self.hier.dtlb, vaddr)
-        paddr = self.hier.dtlb.translate(vaddr)
+            self.faults.pre_translation(self._dtlb, vaddr)
+        paddr = self._dtlb.translate(vaddr)
         if paddr is None:
-            self.result.demand_page_walks += 1
+            result.demand_page_walks += 1
             walk_latency, paddr = self._page_walk(vaddr, time, prefetch=False)
         for candidate in stride_candidates:
             self._issue_prefetch(candidate, Requester.STRIDE, time)
         t_l2 = time + walk_latency
-        self.result.demand_l2_requests += 1
+        result.demand_l2_requests += 1
         line_p = paddr & self._line_mask
         line_v = vaddr & self._line_mask
         slot = self.l2_port.reserve(t_l2)
-        line = self.hier.l2.lookup(paddr)
+        line = self._l2.lookup(paddr)
         if line is not None:
             return self._demand_l2_hit(
                 line, line_p, vaddr, time, slot, is_load
@@ -244,9 +324,12 @@ class TimingMemorySystem:
         self, line, line_p: int, vaddr: int, time: int, slot: int,
         is_load: bool,
     ) -> int:
-        l2_latency = self.hier.l2.config.latency
-        latency = (slot - time) + self.hier.l1.config.latency + l2_latency
-        if is_load and line.was_prefetched and not line.referenced:
+        latency = (slot - time) + self._l1_latency + self._l2_latency
+        if (
+            is_load
+            and line.requester is not Requester.DEMAND
+            and not line.referenced
+        ):
             # A demand access found a prefetched line resident: the
             # prefetch fully masked the would-be miss.
             acct = self._accounting(line.requester)
@@ -264,7 +347,7 @@ class TimingMemorySystem:
             line.dirty = True
         if rescan:
             self._rescan(line.vaddr, line_p, vaddr, depth=0, time=slot)
-        self.hier.l1.fill(vaddr, vaddr=vaddr & self._line_mask)
+        self._l1.fill(vaddr, vaddr=vaddr & self._line_mask)
         return latency
 
     def _demand_buffer_hit(
@@ -278,8 +361,8 @@ class TimingMemorySystem:
         """
         transfer_slot = self.l2_port.reserve(slot)
         latency = (
-            (transfer_slot - time) + self.hier.l1.config.latency
-            + self.hier.l2.config.latency
+            (transfer_slot - time) + self._l1_latency
+            + self._l2_latency
         )
         if is_load:
             acct = self._accounting(buffered.requester)
@@ -291,11 +374,11 @@ class TimingMemorySystem:
                     self.observer.on_prefetch_hit(
                         line_p, transfer_slot, full=True
                     )
-        victim = self.hier.l2.fill(
+        victim = self._l2.fill(
             line_p, vaddr=buffered.vaddr, requester=buffered.requester,
             depth=buffered.depth, time=transfer_slot, kind=buffered.kind,
         )
-        resident = self.hier.l2.peek(line_p)
+        resident = self._l2.peek(line_p)
         if resident is not None:
             rescan = self.content.should_rescan(resident.depth, 0)
             resident.promote(0, Requester.DEMAND)
@@ -307,14 +390,14 @@ class TimingMemorySystem:
                     time=transfer_slot,
                 )
         self._write_back(victim, transfer_slot)
-        self.hier.l1.fill(vaddr, vaddr=vaddr & self._line_mask)
+        self._l1.fill(vaddr, vaddr=vaddr & self._line_mask)
         return latency
 
     def _demand_mshr_hit(
         self, status: MissStatus, time: int, slot: int, is_load: bool
     ) -> int:
         first_match = status.demand_waiters == 0
-        was_prefetch = status.requester.is_prefetch
+        was_prefetch = status.requester is not Requester.DEMAND
         if was_prefetch:
             # The in-flight prefetch is promoted to demand priority; the
             # depth reset (which keeps the chain alive when the fill is
@@ -323,7 +406,7 @@ class TimingMemorySystem:
             status.demand_waiters += 1
             if not status.promoted:
                 status.promoted = True
-                if self.config.content.reinforcement:
+                if self._reinforcement:
                     status.depth = 0
         else:
             status.demand_waiters += 1
@@ -335,7 +418,7 @@ class TimingMemorySystem:
             self._post(fill, _EV_FILL, status)
             if is_load and first_match:
                 self.result.unmasked_l2_misses += 1
-            return (fill - time) + self.hier.l1.config.latency
+            return (fill - time) + self._l1_latency
         # Granted and in flight: wait for the scheduled fill — a partially
         # masked miss if the original request was a prefetch.
         wait = max(0, status.fill_time - slot)
@@ -352,7 +435,7 @@ class TimingMemorySystem:
                     )
                 if self.adaptive is not None and status.requester is Requester.CONTENT:
                     self.adaptive.record_outcome(True)
-        return (slot - time) + self.hier.l1.config.latency + wait
+        return (slot - time) + self._l1_latency + wait
 
     def _demand_l2_miss(
         self, line_p: int, line_v: int, vaddr: int, pc: int,
@@ -374,7 +457,7 @@ class TimingMemorySystem:
         if self.markov is not None:
             for candidate in self.markov.observe_miss(vaddr, stride_covered):
                 self._issue_prefetch(candidate, Requester.MARKOV, time)
-        return (fill - time) + self.hier.l1.config.latency
+        return (fill - time) + self._l1_latency
 
     def _maybe_inject_pollution(self, time: int) -> None:
         """Inject a bad prefetch on an idle bus (the Section 3.5 study)."""
@@ -442,25 +525,18 @@ class TimingMemorySystem:
     # ------------------------------------------------------------------
 
     def _accounting(self, requester: Requester) -> PrefetchAccounting | None:
-        if requester is Requester.STRIDE:
-            return self.result.stride
-        if requester is Requester.CONTENT:
-            return self.result.content
-        if requester is Requester.MARKOV:
-            return self.result.markov
-        return None
+        # Requester values are 0..3 in arbiter priority order; index the
+        # fixed tuple built at construction (DEMAND maps to None).
+        return self._accts[requester]
 
     def _issue_prefetch(
         self, candidate: PrefetchCandidate, requester: Requester, time: int
     ) -> None:
-        acct = self._accounting(requester)
+        acct = self._accts[requester]
         # Translate the candidate virtual address.
-        paddr = self.hier.dtlb.peek(candidate.vaddr)
+        paddr = self._dtlb.peek(candidate.vaddr)
         if paddr is None:
-            if (
-                requester is Requester.CONTENT
-                and self.config.content.placement == "offchip"
-            ):
+            if requester is Requester.CONTENT and self._content_offchip:
                 # Off-chip placement has no DTLB access (Section 3.2).
                 acct.dropped_untranslated += 1
                 return
@@ -484,7 +560,7 @@ class TimingMemorySystem:
             acct.dropped_resident += 1
             return
         # Already resident: drop, but a lower-depth touch reinforces.
-        resident = self.hier.l2.peek(line_p)
+        resident = self._l2.peek(line_p)
         if resident is not None:
             if self.content.should_rescan(resident.depth, candidate.depth):
                 resident.promote(candidate.depth, requester)
@@ -499,10 +575,7 @@ class TimingMemorySystem:
         # in-flight" case).
         status = self.mshr.lookup(line_p)
         if status is not None:
-            if (
-                self.config.content.reinforcement
-                and candidate.depth < status.depth
-            ):
+            if self._reinforcement and candidate.depth < status.depth:
                 status.depth = candidate.depth
             acct.dropped_inflight += 1
             return
@@ -589,7 +662,7 @@ class TimingMemorySystem:
             requester = Requester.DEMAND
         if (
             self.prefetch_buffer is not None
-            and requester.is_prefetch
+            and requester is not Requester.DEMAND
         ):
             self.prefetch_buffer.fill(
                 status.line_paddr, status.line_vaddr, requester,
@@ -598,7 +671,7 @@ class TimingMemorySystem:
             )
             victim = None
         else:
-            victim = self.hier.l2.fill(
+            victim = self._l2.fill(
                 status.line_paddr,
                 vaddr=status.line_vaddr,
                 requester=requester,
@@ -607,7 +680,7 @@ class TimingMemorySystem:
                 kind=status.extra.get("kind", ""),
             )
         if status.extra.get("dirty"):
-            resident = self.hier.l2.peek(status.line_paddr)
+            resident = self._l2.peek(status.line_paddr)
             if resident is not None:
                 resident.dirty = True
         self._write_back(victim, time)
@@ -623,7 +696,7 @@ class TimingMemorySystem:
                 # promoted fill is demand data and is left alone.
                 self.faults.maybe_thrash(self)
         if status.extra.get("fill_l1") or status.promoted:
-            self.hier.l1.fill(status.line_vaddr, vaddr=status.line_vaddr)
+            self._l1.fill(status.line_vaddr, vaddr=status.line_vaddr)
         # A copy of all UL2 fill traffic goes to the content prefetcher.
         effective = status.extra.get("eff_vaddr", status.line_vaddr)
         self._scan(status.line_vaddr, effective, depth, time, rescan=False)
@@ -676,10 +749,13 @@ class TimingMemorySystem:
 
         Shared components (hierarchy, prefetchers, fault injector, the
         result) are serialized by their owners — the simulator composes
-        the full tree.  The event heap's raw array is captured verbatim
-        (not re-sorted): heap layout depends on insertion history, and a
-        resumed run must pop events in exactly the order the original
-        would have.  Fill-event payloads are MissStatus objects shared
+        the full tree.  The event heap is captured in canonical (sorted)
+        order: event keys ``(time, seq)`` are unique, so pop order is a
+        pure function of the pending set and a sorted array is itself a
+        valid heap (see :func:`repro.snapshot.hooks.canonical_heap`) —
+        this is what makes the batched and reference drains, whose heap
+        *layouts* differ, produce identical state digests and accept each
+        other's snapshots.  Fill-event payloads are MissStatus objects shared
         with the MSHR file; they serialize as line-address references and
         are resolved against the restored MSHRs on load, preserving the
         identity sharing (a demand promotion after resume must mutate the
@@ -696,7 +772,7 @@ class TimingMemorySystem:
             "events": [
                 [time, seq, kind,
                  payload.line_paddr if kind == _EV_FILL else None]
-                for time, seq, kind, payload in self._events
+                for time, seq, kind, payload in canonical_heap(self._events)
             ],
             "mshr": self.mshr.state_dict(),
             "bus": self.bus.state_dict(),

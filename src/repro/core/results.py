@@ -9,7 +9,7 @@ from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 __all__ = ["PrefetchAccounting", "FunctionalResult", "TimingResult"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetchAccounting:
     """Per-prefetcher issue/usefulness/timeliness counters.
 
@@ -83,7 +83,7 @@ class PrefetchAccounting:
         return self.full_hits / self.useful if self.useful else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionalResult:
     """Output of a functional (untimed) simulation."""
 
@@ -156,7 +156,7 @@ class FunctionalResult:
         return useful / generated if generated > 0 else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class TimingResult:
     """Output of a timing simulation."""
 

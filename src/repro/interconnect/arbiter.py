@@ -21,7 +21,11 @@ import heapq
 from dataclasses import dataclass, field
 
 from repro.cache.line import Requester
-from repro.snapshot.hooks import dataclass_state, load_dataclass_state
+from repro.snapshot.hooks import (
+    canonical_heap,
+    dataclass_state,
+    load_dataclass_state,
+)
 
 __all__ = ["MemoryRequest", "ArbiterStats", "PriorityArbiter"]
 
@@ -72,7 +76,7 @@ class MemoryRequest:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class ArbiterStats:
     enqueued: int = 0
     granted: int = 0
@@ -92,6 +96,9 @@ class ArbiterStats:
 class PriorityArbiter:
     """Bounded priority queue of :class:`MemoryRequest`."""
 
+    __slots__ = ("capacity", "name", "stats", "_heap", "_seq", "_live",
+                 "_lines")
+
     def __init__(self, capacity: int, name: str = "arbiter") -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -103,6 +110,11 @@ class PriorityArbiter:
         # capture and restore the exact enqueue sequence.
         self._seq = 0
         self._live = 0
+        # Line addresses of live (non-tombstoned) entries.  Duplicate
+        # enqueues are dropped, so membership is exact — this is the O(1)
+        # index behind contains_line, which sits on the prefetch-issue
+        # hot path and used to scan the whole heap.
+        self._lines: set = set()
 
     def __len__(self) -> int:
         return self._live
@@ -112,13 +124,10 @@ class PriorityArbiter:
         return self._live >= self.capacity
 
     def pending_lines(self) -> set:
-        return {req.line_paddr for _, _, req in self._heap if req is not None}
+        return set(self._lines)
 
     def contains_line(self, line_paddr: int) -> bool:
-        return any(
-            req is not None and req.line_paddr == line_paddr
-            for _, _, req in self._heap
-        )
+        return line_paddr in self._lines
 
     # -- enqueue -------------------------------------------------------------
 
@@ -128,7 +137,7 @@ class PriorityArbiter:
         Duplicate line addresses are dropped (the in-flight check of
         Section 3.5 extends to queued requests).
         """
-        if self.contains_line(request.line_paddr):
+        if request.line_paddr in self._lines:
             self.stats.duplicates_dropped += 1
             return False
         if self.full:
@@ -147,6 +156,7 @@ class PriorityArbiter:
         seq = self._seq
         self._seq = seq + 1
         heapq.heappush(self._heap, (request.priority_key(), seq, request))
+        self._lines.add(request.line_paddr)
         self._live += 1
         self.stats.enqueued += 1
         if self._live > self.stats.peak_occupancy:
@@ -165,8 +175,9 @@ class PriorityArbiter:
                 victim_index = index
         if victim_index is None:
             return False
-        key, seq, _ = self._heap[victim_index]
+        key, seq, victim = self._heap[victim_index]
         self._heap[victim_index] = (key, seq, None)
+        self._lines.discard(victim.line_paddr)
         self._live -= 1
         return True
 
@@ -177,6 +188,7 @@ class PriorityArbiter:
         while self._heap:
             _, _, request = heapq.heappop(self._heap)
             if request is not None:
+                self._lines.discard(request.line_paddr)
                 self._live -= 1
                 self.stats.granted += 1
                 return request
@@ -190,19 +202,25 @@ class PriorityArbiter:
     # -- snapshot hooks -------------------------------------------------------
 
     def state_dict(self) -> dict:
-        """The heap verbatim — including lazily-deleted entries.
+        """The heap in canonical order, tombstones dropped.
 
-        Preserving tombstones (``request is None``) keeps the heap array,
-        the tie-break counter, and therefore every future pop order
-        bit-identical to the run that was snapshotted.
+        Keys ``(priority_key, seq)`` are unique, so pop order is a pure
+        function of the live entry multiset — see
+        :func:`repro.snapshot.hooks.canonical_heap` for why canonical
+        (sorted) capture keeps digests layout-independent while restored
+        runs still pop bit-identically.  Lazily-deleted entries carry no
+        state (every skip-path observes only live entries), so they are
+        omitted rather than serialized; the tie-break counter is kept so
+        future enqueues continue the exact sequence.
         """
         return {
             "stats": dataclass_state(self.stats),
             "seq": self._seq,
             "live": self._live,
             "heap": [
-                [list(key), seq, None if req is None else req.state_dict()]
-                for key, seq, req in self._heap
+                [list(key), seq, req.state_dict()]
+                for key, seq, req in canonical_heap(self._heap)
+                if req is not None
             ],
         }
 
@@ -210,15 +228,12 @@ class PriorityArbiter:
         load_dataclass_state(self.stats, state["stats"])
         self._seq = state["seq"]
         self._live = state["live"]
+        # A sorted array is a valid binary heap; load it directly.
         self._heap = [
-            (
-                tuple(key),
-                seq,
-                None if req_state is None
-                else MemoryRequest.from_state(req_state),
-            )
+            (tuple(key), seq, MemoryRequest.from_state(req_state))
             for key, seq, req_state in state["heap"]
         ]
+        self._lines = {req.line_paddr for _, _, req in self._heap}
 
     # -- integrity ----------------------------------------------------------
 

@@ -25,7 +25,7 @@ from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 __all__ = ["BusStats", "Bus", "L2Port"]
 
 
-@dataclass
+@dataclass(slots=True)
 class BusStats:
     transfers: int = 0
     busy_cycles: int = 0
@@ -39,6 +39,8 @@ class BusStats:
 
 class Bus:
     """Serially-occupied front-side bus with fixed fill latency."""
+
+    __slots__ = ("config", "occupancy", "latency", "stats", "_next_free")
 
     def __init__(self, config: BusConfig, line_size: int = 64) -> None:
         self.config = config
@@ -60,12 +62,14 @@ class Bus:
         Returns ``(grant_time, fill_time)``: when the transfer actually
         started and when its data arrives at the L2.
         """
+        occupancy = self.occupancy
         grant_time = max(time, self._next_free)
-        self._next_free = grant_time + self.occupancy
+        self._next_free = grant_time + occupancy
         fill_time = grant_time + self.latency
-        self.stats.transfers += 1
-        self.stats.busy_cycles += self.occupancy
-        self.stats.total_queue_delay += grant_time - time
+        stats = self.stats
+        stats.transfers += 1
+        stats.busy_cycles += occupancy
+        stats.total_queue_delay += grant_time - time
         return grant_time, fill_time
 
     # -- snapshot hooks -------------------------------------------------------
@@ -83,6 +87,8 @@ class Bus:
 
 class L2Port:
     """The UL2's single access port (1-cycle throughput)."""
+
+    __slots__ = ("cycles_per_access", "_next_free", "accesses", "rescans")
 
     def __init__(self, cycles_per_access: int = 1) -> None:
         self.cycles_per_access = cycles_per_access

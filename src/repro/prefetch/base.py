@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.memory.address import ADDRESS_BITS, line_mask
 
@@ -25,9 +25,14 @@ class PrefetchKind(enum.Enum):
     MARKOV = "markov"
 
 
-@dataclass(frozen=True)
-class PrefetchCandidate:
-    """One address a prefetcher wants brought into the cache."""
+class PrefetchCandidate(NamedTuple):
+    """One address a prefetcher wants brought into the cache.
+
+    A ``NamedTuple`` rather than a (frozen) dataclass: candidates are
+    allocated once per matched pointer on every scanned fill, and tuple
+    construction skips both the instance ``__dict__`` and the
+    ``object.__setattr__`` calls frozen dataclasses pay per field.
+    """
 
     vaddr: int
     depth: int

@@ -27,8 +27,13 @@ from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 
 __all__ = ["ContentStats", "ContentPrefetcher"]
 
+# Hot-loop aliases: enum member lookups are class-dict accesses.
+_KIND_CHAIN = PrefetchKind.CHAIN
+_KIND_PREV = PrefetchKind.PREV_LINE
+_KIND_NEXT = PrefetchKind.NEXT_LINE
 
-@dataclass
+
+@dataclass(slots=True)
 class ContentStats:
     lines_scanned: int = 0
     rescans: int = 0
@@ -40,6 +45,21 @@ class ContentStats:
 class ContentPrefetcher:
     """Scans fill contents and emits prefetch candidates."""
 
+    __slots__ = (
+        "_config",
+        "matcher",
+        "stats",
+        "_line_size",
+        "_addr_mask",
+        "_line_mask",
+        "_enabled",
+        "_depth_threshold",
+        "_rescan_on",
+        "_rescan_margin",
+        "_prev_lines",
+        "_next_lines",
+    )
+
     def __init__(self, config: ContentConfig, line_size: int = 64) -> None:
         self.config = config
         self.matcher = VirtualAddressMatcher(config)
@@ -47,6 +67,24 @@ class ContentPrefetcher:
         self._line_size = line_size
         self._addr_mask = address_mask(config.address_bits)
         self._line_mask = line_mask(line_size, config.address_bits)
+
+    @property
+    def config(self) -> ContentConfig:
+        return self._config
+
+    @config.setter
+    def config(self, config: ContentConfig) -> None:
+        # The policy knobs consulted on every scan/hit are cached as flat
+        # attributes; routing assignment through this setter keeps them
+        # coherent when the adaptive controller swaps the config object
+        # mid-run (it retunes filter_bits, preserving these fields).
+        self._config = config
+        self._enabled = config.enabled
+        self._depth_threshold = config.depth_threshold
+        self._rescan_on = config.reinforcement and config.enabled
+        self._rescan_margin = config.rescan_margin
+        self._prev_lines = config.prev_lines
+        self._next_lines = config.next_lines
 
     # -- depth bookkeeping ----------------------------------------------------
 
@@ -94,16 +132,18 @@ class ContentPrefetcher:
         Returns the candidate list in line-scan order; chain candidates are
         followed by their width (previous/next line) companions.
         """
-        if not self.config.enabled:
+        if not self._enabled:
             return []
         next_depth = depth + 1
-        if next_depth > self.config.depth_threshold:
+        if next_depth > self._depth_threshold:
             self.stats.chains_terminated_by_depth += 1
             return []
         self.stats.lines_scanned += 1
         if is_rescan:
             self.stats.rescans += 1
         pointers = self.matcher.scan(line_bytes, effective_vaddr)
+        if not pointers:
+            return []
         candidates: list[PrefetchCandidate] = []
         emitted_lines: set[int] = {line_vaddr & self._line_mask}
         for pointer in pointers:
@@ -118,22 +158,39 @@ class ContentPrefetcher:
         out: list[PrefetchCandidate],
     ) -> None:
         line = pointer & self._line_mask
+        stats = self.stats
+        add = emitted_lines.add
+        append = out.append
         if line not in emitted_lines:
-            emitted_lines.add(line)
-            out.append(
-                PrefetchCandidate(pointer, depth, PrefetchKind.CHAIN, pointer)
+            add(line)
+            append(
+                PrefetchCandidate(pointer, depth, _KIND_CHAIN, pointer)
             )
-            self.stats.chain_candidates += 1
-        for k in range(1, self.config.prev_lines + 1):
-            self._emit_width(
-                line - k * self._line_size, depth, PrefetchKind.PREV_LINE,
-                pointer, emitted_lines, out,
-            )
-        for k in range(1, self.config.next_lines + 1):
-            self._emit_width(
-                line + k * self._line_size, depth, PrefetchKind.NEXT_LINE,
-                pointer, emitted_lines, out,
-            )
+            stats.chain_candidates += 1
+        # Width companions, inline (this is called once per matched
+        # pointer on every scanned fill): semantics identical to
+        # _emit_width, which is kept for targeted tests.
+        line_size = self._line_size
+        addr_mask = self._addr_mask
+        width_candidates = 0
+        for k in range(1, self._prev_lines + 1):
+            width = (line - k * line_size) & addr_mask
+            if width not in emitted_lines:
+                add(width)
+                append(
+                    PrefetchCandidate(width, depth, _KIND_PREV, pointer)
+                )
+                width_candidates += 1
+        for k in range(1, self._next_lines + 1):
+            width = (line + k * line_size) & addr_mask
+            if width not in emitted_lines:
+                add(width)
+                append(
+                    PrefetchCandidate(width, depth, _KIND_NEXT, pointer)
+                )
+                width_candidates += 1
+        if width_candidates:
+            stats.width_candidates += width_candidates
 
     def _emit_width(
         self,
@@ -161,9 +218,10 @@ class ContentPrefetcher:
         chain only when the incoming depth is at least two fewer than the
         stored depth" (margin 2) halves the rescan count.
         """
-        if not self.config.reinforcement or not self.config.enabled:
-            return False
-        return incoming_depth <= stored_depth - self.config.rescan_margin
+        return (
+            self._rescan_on
+            and incoming_depth <= stored_depth - self._rescan_margin
+        )
 
     # -- snapshot hooks -------------------------------------------------------
 

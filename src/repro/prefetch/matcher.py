@@ -44,7 +44,7 @@ __all__ = ["MatcherStats", "VirtualAddressMatcher"]
 _STRUCT_CODES = {2: "H", 4: "I", 8: "Q"}
 
 
-@dataclass
+@dataclass(slots=True)
 class MatcherStats:
     words_examined: int = 0
     candidates: int = 0
@@ -147,6 +147,13 @@ class VirtualAddressMatcher:
             return self._scan_bytewise(line_bytes, effective_vaddr, plan)
         if kind == "generic":
             return self._scan_generic(line_bytes, effective_vaddr)
+        return self._scan_words(line_bytes, effective_vaddr, plan)
+
+    def _scan_words(
+        self, line_bytes: bytes, effective_vaddr: int, plan
+    ) -> list[int]:
+        """Bulk-extraction scan: one ``struct.unpack_from`` per alignment
+        class, then a tight classification loop over machine ints."""
         align_mask = self._align_mask
         compare_shift = self._compare_shift
         upper_eff = (
@@ -247,30 +254,44 @@ class VirtualAddressMatcher:
                     slice(0, last + 1, step),
                     slice(word_size - 1, last + word_size, step),
                     count,
+                    # Dense-line escape hatch: when most scan positions
+                    # pass the compare test, the per-match Python work of
+                    # the byte classifier exceeds one bulk unpack — the
+                    # bytewise scan counts matches first and delegates.
+                    self._words_plan(length),
                 ),
             )
+        plan = self._words_plan(length)
+        if plan is None:
+            return ("generic", None)
+        return ("words", plan)
+
+    def _words_plan(self, length: int):
+        """Bulk-extraction plan for *length*-byte lines, or ``None`` when
+        the geometry cannot be expressed with ``struct`` alignment
+        classes (word sizes struct cannot encode, steps that do not tile
+        the word, an address space narrower than the word)."""
+        word_size = self._word_size
+        step = self.config.scan_step
         code = _STRUCT_CODES.get(word_size)
         if code is None or self._addr_mask < self._word_bits_mask:
-            return ("generic", None)
+            return None
         if step >= word_size:
             if step % word_size:
-                return ("generic", None)
+                return None
             words = length // word_size
             if words <= 0:
-                return ("generic", None)
-            return (
-                "words",
-                [("<%d%s" % (words, code), 0, step // word_size)],
-            )
+                return None
+            return [("<%d%s" % (words, code), 0, step // word_size)]
         if word_size % step:
-            return ("generic", None)
+            return None
         plan = []
         for j in range(word_size // step):
             offset = j * step
             words = (length - offset) // word_size
             if words > 0:
                 plan.append(("<%d%s" % (words, code), offset, 1))
-        return ("words", plan)
+        return plan
 
     def _compare_tbl(self, upper_eff: int) -> bytes:
         """Translate table flagging top bytes whose high ``compare_bits``
@@ -297,7 +318,7 @@ class VirtualAddressMatcher:
         ``translate().count()`` — both C loops.  Only the (typically
         rare) compare-matching words are touched in Python.
         """
-        low_slice, top_slice, count = plan
+        low_slice, top_slice, count, words_plan = plan
         upper_eff = (effective_vaddr & self._addr_mask) >> self._compare_shift
         top_bytes = line_bytes[top_slice]
         if self.config.compare_bits == 8:
@@ -306,6 +327,11 @@ class VirtualAddressMatcher:
         else:
             haystack = top_bytes.translate(self._compare_tbl(upper_eff))
             needle = 1
+        if words_plan is not None and haystack.count(needle) >= 4:
+            # Compare-match-dense line (pointer-heavy data): the per-match
+            # slicing below would dominate, so classify by bulk unpack
+            # instead.  Both paths apply bit-identical stats deltas.
+            return self._scan_words(line_bytes, effective_vaddr, words_plan)
         align_mask = self._align_mask
         if self._align_tbl is not None:
             rejected_align = (

@@ -24,14 +24,14 @@ from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 __all__ = ["StrideEntry", "StrideStats", "StridePrefetcher"]
 
 
-@dataclass
+@dataclass(slots=True)
 class StrideEntry:
     last_addr: int
     stride: int = 0
     confidence: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class StrideStats:
     observations: int = 0
     issued: int = 0
@@ -40,6 +40,15 @@ class StrideStats:
 
 class StridePrefetcher:
     """PC-indexed reference prediction table."""
+
+    __slots__ = (
+        "config",
+        "stats",
+        "_addr_mask",
+        "_line_mask",
+        "_line_size",
+        "_table",
+    )
 
     def __init__(
         self,

@@ -12,7 +12,32 @@ from __future__ import annotations
 
 from dataclasses import fields
 
-__all__ = ["dataclass_state", "load_dataclass_state"]
+__all__ = ["canonical_heap", "dataclass_state", "load_dataclass_state"]
+
+
+def canonical_heap(heap: list) -> list:
+    """A heap's entries in canonical (sorted) order, for serialization.
+
+    A binary heap's internal array layout depends on the exact
+    interleaving of pushes and pops, so two implementations that perform
+    the same logical work in a different operation order (the batched and
+    reference event drains, say) end up with different arrays — and
+    different state digests — despite being architecturally identical.
+
+    Sorting fixes that without changing behaviour, because of two facts:
+
+    * every heap in this codebase keys entries by a ``(primary, seq)``
+      prefix where *seq* is a unique tie-break counter, so entries are
+      **totally ordered** and the pop sequence is a pure function of the
+      entry multiset, not of the array layout;
+    * a sorted array **is** a valid binary heap, so the canonical form
+      loads directly back into ``heapq`` without re-heapifying.
+
+    Serializing ``canonical_heap(h)`` therefore yields layout-independent
+    digests while restored runs still pop in exactly the order the
+    original would have.
+    """
+    return sorted(heap)
 
 
 def _copied(value):

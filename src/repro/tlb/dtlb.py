@@ -17,7 +17,7 @@ from repro.snapshot.hooks import dataclass_state, load_dataclass_state
 __all__ = ["TLBStats", "DataTLB"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TLBStats:
     accesses: int = 0
     hits: int = 0
@@ -33,6 +33,15 @@ class TLBStats:
 
 class DataTLB:
     """True-LRU set-associative TLB mapping virtual pages to frames."""
+
+    __slots__ = (
+        "config",
+        "stats",
+        "_num_sets",
+        "_page_shift",
+        "_offset_mask",
+        "_sets",
+    )
 
     def __init__(self, config: TLBConfig) -> None:
         if config.entries % config.associativity:
@@ -51,21 +60,22 @@ class DataTLB:
 
     def translate(self, vaddr: int) -> int | None:
         """Architectural access: returns the physical address or ``None``."""
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         vpn = vaddr >> self._page_shift
-        entries = self._set_of(vpn)
+        entries = self._sets[vpn % self._num_sets]
         frame = entries.get(vpn)
         if frame is None:
-            self.stats.misses += 1
+            stats.misses += 1
             return None
-        self.stats.hits += 1
+        stats.hits += 1
         entries.move_to_end(vpn)
         return frame | (vaddr & self._offset_mask)
 
     def peek(self, vaddr: int) -> int | None:
         """Non-architectural probe: no LRU update, no statistics."""
         vpn = vaddr >> self._page_shift
-        frame = self._set_of(vpn).get(vpn)
+        frame = self._sets[vpn % self._num_sets].get(vpn)
         if frame is None:
             return None
         return frame | (vaddr & self._offset_mask)

@@ -7,8 +7,10 @@ from repro.trace.ops import (
     STORE,
     Trace,
     TraceBuilder,
+    TupleTraceBuilder,
 )
 from repro.trace.serialize import (
+    TRACE_FORMAT_VERSION,
     load_trace,
     load_workload,
     save_trace,
@@ -20,8 +22,10 @@ __all__ = [
     "COMPUTE",
     "LOAD",
     "STORE",
+    "TRACE_FORMAT_VERSION",
     "Trace",
     "TraceBuilder",
+    "TupleTraceBuilder",
     "load_trace",
     "load_workload",
     "save_trace",

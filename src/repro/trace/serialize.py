@@ -1,9 +1,13 @@
 """Trace serialization: save and reload µop traces.
 
 Workload generation is deterministic but not free; persisting a built
-trace lets sweeps and CI runs skip regeneration.  The format is a compact
-binary stream (one byte of opcode + varint fields), far smaller than
-pickled tuples, with a short header carrying the trace metadata.
+trace lets sweeps and CI runs skip regeneration.  The current format (v2)
+dumps the trace's column buffers (see :mod:`repro.trace.ops`) as one
+zlib-compressed block: encoding and decoding are single C-speed passes
+over flat arrays, where the v1 format paid a Python-level varint loop per
+op.  v1 files are still readable (the loader dispatches on the magic);
+:data:`TRACE_FORMAT_VERSION` is part of the workload disk-cache key, so
+caches written in the old format are invalidated rather than re-parsed.
 
 Note: a trace alone is not a workload — the content prefetcher also needs
 the memory image.  :func:`save_workload` / :func:`load_workload` persist
@@ -14,19 +18,32 @@ from __future__ import annotations
 
 import io
 import struct
+import zlib
 
 from repro.memory.backing import BackingMemory
 from repro.trace.ops import BRANCH, COMPUTE, LOAD, STORE, Trace
 
 __all__ = [
+    "TRACE_FORMAT_VERSION",
     "save_trace",
     "load_trace",
     "save_workload",
     "load_workload",
 ]
 
-_MAGIC = b"CDPT\x01"
+#: Bump when the on-disk encoding changes; embedded in workload-cache
+#: file names (see :func:`repro.workloads.suite.build_benchmark`) so
+#: stale caches invalidate cleanly instead of failing to parse.
+TRACE_FORMAT_VERSION = 2
+
+_MAGIC_V1 = b"CDPT\x01"
+_MAGIC = b"CDPT\x02"
 _IMAGE_MAGIC = b"CDPI\x01"
+
+#: zlib level 1: ~4x faster than the default at a few percent size cost —
+#: the disk cache is read far more often than written, but decode speed
+#: is identical across levels.
+_ZLIB_LEVEL = 1
 
 
 def _write_varint(out: io.BufferedIOBase, value: int) -> None:
@@ -53,39 +70,71 @@ def _read_varint(data: bytes, pos: int) -> tuple:
 
 
 def save_trace(trace: Trace, path: str) -> None:
-    """Write *trace* to *path* in the compact binary format."""
+    """Write *trace* to *path* in the v2 column format."""
+    kinds, f0, f1, f2 = trace.kinds, trace.f0, trace.f1, trace.f2
+    header = struct.pack(
+        "<QQQ2s", len(kinds), trace.instruction_count, trace.uop_count,
+        (f0.typecode + f2.typecode).encode("ascii"),
+    )
+    payload = zlib.compress(
+        bytes(kinds) + f0.tobytes() + f1.tobytes() + f2.tobytes(),
+        _ZLIB_LEVEL,
+    )
     with open(path, "wb") as handle:
         handle.write(_MAGIC)
         name_bytes = trace.name.encode("utf-8")
         handle.write(struct.pack("<H", len(name_bytes)))
         handle.write(name_bytes)
-        handle.write(struct.pack("<QQ", len(trace.ops),
-                                 trace.instruction_count))
-        buffer = io.BytesIO()
-        for op in trace.ops:
-            kind = op[0]
-            buffer.write(bytes([kind]))
-            if kind == LOAD:
-                _write_varint(buffer, op[1])
-                _write_varint(buffer, op[2])
-                _write_varint(buffer, op[3] + 1)  # dep: -1 -> 0
-            elif kind == STORE:
-                _write_varint(buffer, op[1])
-                _write_varint(buffer, op[2])
-            elif kind == COMPUTE:
-                _write_varint(buffer, op[1])
-            else:  # BRANCH
-                buffer.write(bytes([op[1]]))
-        handle.write(buffer.getvalue())
+        handle.write(header)
+        handle.write(struct.pack("<Q", len(payload)))
+        handle.write(payload)
 
 
 def load_trace(path: str) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace` (v2) or the v1 writer."""
     with open(path, "rb") as handle:
         data = handle.read()
+    if data.startswith(_MAGIC_V1):
+        return _load_trace_v1(data, path)
     if not data.startswith(_MAGIC):
         raise ValueError("not a CDP trace file: %s" % path)
     pos = len(_MAGIC)
+    (name_len,) = struct.unpack_from("<H", data, pos)
+    pos += 2
+    name = data[pos:pos + name_len].decode("utf-8")
+    pos += name_len
+    op_count, instruction_count, uop_count, codes = struct.unpack_from(
+        "<QQQ2s", data, pos
+    )
+    pos += 26
+    (payload_len,) = struct.unpack_from("<Q", data, pos)
+    pos += 8
+    raw = zlib.decompress(data[pos:pos + payload_len])
+    unsigned, signed = codes.decode("ascii")
+    from array import array
+
+    kinds = bytearray(raw[:op_count])
+    f0 = array(unsigned)
+    f1 = array(unsigned)
+    f2 = array(signed)
+    width = f0.itemsize
+    offset = op_count
+    f0.frombytes(raw[offset:offset + op_count * width])
+    offset += op_count * width
+    f1.frombytes(raw[offset:offset + op_count * width])
+    offset += op_count * width
+    f2.frombytes(raw[offset:offset + op_count * width])
+    return Trace(
+        name,
+        columns=(kinds, f0, f1, f2),
+        uop_count=uop_count,
+        instruction_count=instruction_count,
+    )
+
+
+def _load_trace_v1(data: bytes, path: str) -> Trace:
+    """Decode the v1 per-op varint stream (the tuple-era format)."""
+    pos = len(_MAGIC_V1)
     (name_len,) = struct.unpack_from("<H", data, pos)
     pos += 2
     name = data[pos:pos + name_len].decode("utf-8")

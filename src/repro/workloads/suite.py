@@ -220,8 +220,11 @@ def build_benchmark(
     path = None
     if cache_dir:
         os.makedirs(cache_dir, exist_ok=True)
+        from repro.trace.serialize import TRACE_FORMAT_VERSION
+
         path = os.path.join(
-            cache_dir, "%s-%s-%d.cdpt" % (name, round(scale, 6), seed)
+            cache_dir, "%s-%s-%d.v%d.cdpt"
+            % (name, round(scale, 6), seed, TRACE_FORMAT_VERSION)
         )
         if os.path.exists(path) and os.path.exists(path + ".img"):
             from repro.memory.layout import MemoryLayout

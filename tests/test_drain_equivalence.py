@@ -1,0 +1,130 @@
+"""Property tests: batched event drain vs the reference drain.
+
+:meth:`TimingMemorySystem._advance_batched` (the default) must be
+*digest-identical* to :meth:`_advance_reference` — same
+:class:`TimingResult` state tree, same final machine state, same
+``state_digests`` stream at every snapshot boundary — across machine
+configurations drawn by hypothesis, including active fault storms (which
+stress grant-order and MSHR-exhaustion event interleavings).
+
+On a mismatch the failure is reported through
+:func:`repro.snapshot.divergence.find_divergence`, which brackets the
+first diverging µop instead of just saying "digests differ".
+"""
+
+import contextlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simulator import TimingSimulator
+from repro.faults import fault_storm
+from repro.params import MachineConfig
+from repro.snapshot import SnapshotPolicy, set_policy
+from repro.snapshot.divergence import compare_digest_streams, find_divergence
+from repro.workloads.suite import build_benchmark
+
+EVERY = 6000
+WARMUP = 1000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_benchmark("b2b", scale=0.03, seed=7)
+
+
+@contextlib.contextmanager
+def installed(policy):
+    previous = set_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_policy(previous)
+
+
+def _make(config, workload, mode):
+    def factory():
+        sim = TimingSimulator(config, workload.memory)
+        sim.memsys.set_drain_mode(mode)
+        return sim
+    return factory
+
+
+def _run(config, workload, mode):
+    """One run under *mode*; returns (result, final state digest)."""
+    with installed(SnapshotPolicy(every=EVERY)):
+        sim = _make(config, workload, mode)()
+        result = sim.run(workload.trace, warmup_uops=WARMUP)
+        return result, sim.state_digest()
+
+
+def _assert_digest_identical(config, workload):
+    batched, batched_final = _run(config, workload, "batched")
+    reference, reference_final = _run(config, workload, "reference")
+    stream_point = compare_digest_streams(
+        batched.state_digests, reference.state_digests
+    )
+    if (
+        stream_point is not None
+        or batched_final != reference_final
+        or batched.state_dict() != reference.state_dict()
+    ):
+        point = find_divergence(
+            _make(config, workload, "batched"),
+            _make(config, workload, "reference"),
+            workload.trace, warmup_uops=WARMUP, every=EVERY, floor=500,
+        )
+        pytest.fail(
+            "batched drain diverged from reference: %s (boundary stream: %s)"
+            % (point, stream_point)
+        )
+    assert batched.cycles == reference.cycles
+
+
+machine_configs = st.builds(
+    lambda margin, reinforcement, fault_seed: (
+        MachineConfig().with_content(
+            rescan_margin=margin, reinforcement=reinforcement
+        )
+        if fault_seed is None else
+        MachineConfig().with_content(
+            rescan_margin=margin, reinforcement=reinforcement
+        ).with_faults(**vars(fault_storm(0.5, seed=fault_seed)))
+    ),
+    margin=st.sampled_from([1, 2]),
+    reinforcement=st.booleans(),
+    fault_seed=st.one_of(st.none(), st.integers(0, 20)),
+)
+
+
+class TestDrainEquivalence:
+    @given(config=machine_configs)
+    @settings(max_examples=6, deadline=None)
+    def test_digest_identical_across_machines(self, config, workload):
+        """TimingResult, digest stream, and final state all match."""
+        _assert_digest_identical(config, workload)
+
+    def test_default_machine(self, workload):
+        _assert_digest_identical(MachineConfig(), workload)
+
+
+class TestDrainModeSelection:
+    def test_default_is_batched(self, workload):
+        sim = TimingSimulator(MachineConfig(), workload.memory)
+        assert sim.memsys.drain_mode == "batched"
+
+    def test_unknown_mode_rejected(self, workload):
+        sim = TimingSimulator(MachineConfig(), workload.memory)
+        with pytest.raises(ValueError, match="drain mode"):
+            sim.memsys.set_drain_mode("eager")
+
+    def test_mode_is_not_architectural_state(self, workload):
+        """Snapshots carry no drain mode: either loop resumes either."""
+        sim = TimingSimulator(MachineConfig(), workload.memory)
+        sim.memsys.set_drain_mode("reference")
+        state = sim.state_dict()
+        assert "drain_mode" not in state["memsys"]
+        restored = TimingSimulator(MachineConfig(), workload.memory)
+        restored.load_state_dict(state)
+        assert restored.memsys.drain_mode == "batched"

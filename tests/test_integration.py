@@ -109,13 +109,25 @@ class TestStatelessness:
         from repro.prefetch.content import ContentPrefetcher
         from repro.params import ContentConfig
         prefetcher = ContentPrefetcher(ContentConfig())
-        # Policy object state: config, matcher, stats — no per-address
-        # storage of any kind.
-        state_attrs = {
-            name for name in vars(prefetcher)
-            if not name.startswith("_")
+        # Policy object state: config, matcher, stats, plus cached
+        # config-derived scalars — no per-address storage of any kind.
+        # The class is slotted, so the attribute set is closed: nothing
+        # can grow a table at runtime.
+        assert not hasattr(prefetcher, "__dict__")
+        slot_names = {
+            name
+            for klass in type(prefetcher).__mro__
+            for name in getattr(klass, "__slots__", ())
         }
-        assert state_attrs == {"config", "matcher", "stats"}
+        public = {name for name in slot_names if not name.startswith("_")}
+        assert public == {"matcher", "stats"}
+        # Every private slot holds a scalar (config-derived cache) or the
+        # config itself — no dicts/lists/sets that could key on addresses.
+        for name in slot_names - public - {"_config"}:
+            value = getattr(prefetcher, name)
+            assert isinstance(value, (int, bool, type(None))), (
+                "per-fill state leak: %s = %r" % (name, value)
+            )
 
 
 class TestWarmupDiscipline:

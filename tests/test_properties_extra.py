@@ -36,7 +36,7 @@ class TestTraceSerializationProperties:
             if item[0] == "load":
                 dep = item[3] if item[3] < load_count else -1
                 builder.load(item[1], item[2], dep=dep)
-                load_count = len(builder._ops)
+                load_count = len(builder)
             elif item[0] == "store":
                 builder.store(item[1], item[2])
             elif item[0] == "compute":

@@ -193,6 +193,54 @@ class TestWatchdogAndResume:
         assert resumed.state_dict() == reference.state_dict()
 
 
+@pytest.mark.integrity
+class TestCrossDrainResume:
+    """Snapshots are interchangeable across event-drain implementations.
+
+    The drain mode (batched vs reference, see
+    :meth:`TimingMemorySystem.set_drain_mode`) is an implementation
+    choice, not architectural state: a run interrupted under either loop
+    must resume under the other and reproduce the uninterrupted run bit
+    for bit — digest stream, result tree, and final machine state.
+    """
+
+    @pytest.mark.parametrize(
+        "snap_mode,resume_mode",
+        [("reference", "batched"), ("batched", "reference")],
+    )
+    def test_cross_implementation_resume(
+        self, workload, tmp_path, snap_mode, resume_mode
+    ):
+        def sim_with(mode):
+            sim = TimingSimulator(storm_config(), workload.memory)
+            sim.memsys.set_drain_mode(mode)
+            return sim
+
+        with installed(SnapshotPolicy(every=EVERY)):
+            sim = sim_with(resume_mode)
+            reference = sim.run(workload.trace, warmup_uops=1000)
+            reference_state = sim.state_dict()
+
+        snapdir = str(tmp_path)
+        with installed(ExpireAfter(EVERY, snapdir, after=2)):
+            interrupted = sim_with(snap_mode)
+            with pytest.raises(WatchdogExpired) as excinfo:
+                interrupted.run(workload.trace, warmup_uops=1000)
+        assert os.path.exists(excinfo.value.path)
+
+        with installed(
+            SnapshotPolicy(every=EVERY, directory=snapdir, resume=True)
+        ):
+            resumed_sim = sim_with(resume_mode)
+            resumed = resumed_sim.run(workload.trace, warmup_uops=1000)
+            resumed_state = resumed_sim.state_dict()
+
+        assert resumed.cycles == reference.cycles
+        assert resumed.state_digests == reference.state_digests
+        assert resumed.state_dict() == reference.state_dict()
+        assert state_digest(resumed_state) == state_digest(reference_state)
+
+
 class TestStore:
     FINGERPRINT = {"config": "abc", "trace": {"name": "t"}}
 

@@ -1,0 +1,150 @@
+"""Property tests: array-backed TraceBuilder vs the tuple oracle.
+
+:class:`repro.trace.ops.TraceBuilder` emits into flat column buffers;
+:class:`TupleTraceBuilder` is the original per-op-tuple builder, retained
+as the equivalence oracle.  Both are driven with identical call sequences
+drawn by hypothesis, and every observable of the resulting traces must
+match: op tuples, load handles, µop counts, chunked iteration, and the
+serialized form.
+"""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.ops import (
+    BRANCH,
+    COMPUTE,
+    LOAD,
+    STORE,
+    Trace,
+    TraceBuilder,
+    TupleTraceBuilder,
+)
+from repro.trace.serialize import load_trace, save_trace
+
+# One builder call: ("load", vaddr, pc, dep_back) / ("store", vaddr, pc) /
+# ("compute", count) / ("branch", mispredicted).  dep_back picks a prior
+# load handle by index (modulo how many exist at replay time).
+_narrow = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+_wide = st.integers(min_value=0, max_value=(1 << 48) - 1)
+
+
+def _calls(addresses):
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("load"), addresses, _narrow,
+                      st.integers(-1, 63)),
+            st.tuples(st.just("store"), addresses, _narrow),
+            st.tuples(st.just("compute"), st.integers(-2, 40)),
+            st.tuples(st.just("branch"), st.booleans()),
+        ),
+        max_size=120,
+    )
+
+
+def _replay(builder, calls):
+    """Drive one builder through the call sequence; returns load handles."""
+    handles = []
+    for call in calls:
+        if call[0] == "load":
+            _, vaddr, pc, dep_back = call
+            dep = handles[dep_back % len(handles)] if (
+                handles and dep_back >= 0
+            ) else -1
+            handles.append(builder.load(vaddr, pc, dep))
+        elif call[0] == "store":
+            builder.store(call[1], call[2])
+        elif call[0] == "compute":
+            builder.compute(call[1])
+        else:
+            builder.branch(call[1])
+    return handles
+
+
+def _assert_equivalent(calls, address_bits):
+    column = TraceBuilder("t", address_bits=address_bits)
+    oracle = TupleTraceBuilder("t", address_bits=address_bits)
+    assert _replay(column, calls) == _replay(oracle, calls)
+    assert len(column) == len(oracle)
+    assert column.uop_count == oracle.uop_count
+
+    built = column.build()
+    want = oracle.build()
+    assert built.ops == want.ops
+    assert built.uop_count == want.uop_count
+    assert len(built) == len(want)
+    assert list(built.kinds) == [op[0] for op in want.ops]
+
+
+class TestBuilderEquivalence:
+    @given(_calls(_narrow))
+    @settings(max_examples=150)
+    def test_narrow_addresses(self, calls):
+        _assert_equivalent(calls, address_bits=32)
+
+    @given(_calls(_wide))
+    @settings(max_examples=60)
+    def test_wide_addresses(self, calls):
+        """Addresses past 2^32 switch the columns to 8-byte typecodes."""
+        _assert_equivalent(calls, address_bits=48)
+
+    @given(_calls(_narrow))
+    @settings(max_examples=60)
+    def test_iteration_paths_agree(self, calls):
+        """ops, iter_ops, and op_chunks present the same stream."""
+        builder = TraceBuilder("t")
+        _replay(builder, calls)
+        trace = builder.build()
+        assert list(trace.iter_ops()) == trace.ops
+        chunked = []
+        for chunk, base in trace.op_chunks(chunk_size=7):
+            assert base == len(chunked)
+            chunked.extend(chunk)
+        assert chunked == trace.ops
+
+    @given(_calls(_narrow))
+    @settings(max_examples=30)
+    def test_serialize_roundtrip_matches_oracle(self, calls):
+        """Column-built and tuple-built traces serialize identically."""
+        column = TraceBuilder("t")
+        oracle = TupleTraceBuilder("t")
+        _replay(column, calls)
+        _replay(oracle, calls)
+        fd, path = tempfile.mkstemp(suffix=".trace")
+        os.close(fd)
+        try:
+            save_trace(column.build(), path)
+            with open(path, "rb") as handle:
+                column_bytes = handle.read()
+            loaded = load_trace(path)
+            save_trace(oracle.build(), path)
+            with open(path, "rb") as handle:
+                oracle_bytes = handle.read()
+        finally:
+            os.unlink(path)
+        assert column_bytes == oracle_bytes
+        assert loaded.ops == column.build().ops
+        assert loaded.uop_count == column.uop_count
+
+
+class TestTraceConstruction:
+    def test_ops_and_columns_paths_agree(self):
+        ops = [
+            (LOAD, 0x1000, 0x40, -1),
+            (COMPUTE, 5),
+            (STORE, 0x2000, 0x44),
+            (BRANCH, 1),
+            (LOAD, 0x1008, 0x48, 0),
+        ]
+        from_ops = Trace("t", ops)
+        from_columns = Trace(
+            "t",
+            columns=(from_ops.kinds, from_ops.f0, from_ops.f1, from_ops.f2),
+        )
+        assert from_columns.ops == from_ops.ops == ops
+        assert from_columns.uop_count == from_ops.uop_count == 9
+        assert from_columns.load_count == 2
+        assert from_columns.store_count == 1
