@@ -232,6 +232,69 @@ def bench_service(seed: int = 1, jobs: int = SERVICE_JOBS) -> dict:
     }
 
 
+CHAOS_JOBS = 8
+#: Worker-kill rates for the degradation curve: clean, light storm,
+#: heavy storm.  Fixed so successive records are comparable.
+CHAOS_KILL_RATES = (0.0, 0.15, 0.4)
+
+
+def bench_service_chaos(seed: int = 1, jobs: int = CHAOS_JOBS) -> dict:
+    """Cold-sweep throughput under seeded worker-kill storms.
+
+    The degradation curve — jobs/sec at each kill rate of
+    :data:`CHAOS_KILL_RATES` — quantifies what crash-only recovery
+    costs: every storm run computes the same results as the clean one
+    (retries recompute; content addressing guarantees equivalence), the
+    only degradation allowed is wall clock.  Not a gated metric: the
+    curve is recorded for trajectory, not thresholded (kill timing is
+    inherently racy).
+    """
+    import shutil
+    import tempfile
+
+    from repro.faults.infra import InfraChaosConfig
+    from repro.params import MachineConfig
+    from repro.service import SimRequest
+    from repro.service.client import ServiceSession
+
+    requests = [
+        SimRequest(
+            machine=MachineConfig(), benchmark=SIM_BENCHMARK,
+            scale=SERVICE_SCALE, seed=seed + i, mode="functional",
+        )
+        for i in range(jobs)
+    ]
+    curve = {}
+    for kill_rate in CHAOS_KILL_RATES:
+        clear_cache()
+        store = tempfile.mkdtemp(prefix="bench-chaos-")
+        try:
+            chaos = (
+                InfraChaosConfig(
+                    seed=42, worker_kill_rate=kill_rate,
+                    kill_delay=(0.0, 0.05),
+                )
+                if kill_rate else None
+            )
+            with ServiceSession(
+                store_dir=store, max_pending=jobs + 8, max_workers=2,
+                worker_mode="process", retries=10, stall_timeout=5.0,
+                chaos=chaos, breaker_threshold=None,
+            ) as session:
+                started = time.perf_counter()
+                session.run_batch(requests)
+                elapsed = time.perf_counter() - started
+                status = session.status()
+            curve["kill_rate_%.2f" % kill_rate] = {
+                "jobs_per_sec": round(jobs / elapsed, 2),
+                "worker_deaths": status.worker_deaths,
+                "retries": status.retried,
+            }
+        finally:
+            shutil.rmtree(store, ignore_errors=True)
+    return {"jobs": jobs, "scale": SERVICE_SCALE, **curve}
+
+
 #: Reduced-scale settings for the per-PR CI smoke run: the same gated
 #: metrics at a fraction of the wall clock.  Smoke runs are checked
 #: against the ``smoke_baseline`` section recorded at these same
@@ -241,6 +304,7 @@ SMOKE = {
     "timing_scale": 0.08,
     "matcher_repeats": 10,
     "service_jobs": 8,
+    "chaos_jobs": 4,
 }
 
 
@@ -257,6 +321,9 @@ def measure(smoke: bool = False) -> dict:
         ),
         "service": bench_service(
             jobs=SMOKE["service_jobs"] if smoke else SERVICE_JOBS
+        ),
+        "service_chaos": bench_service_chaos(
+            jobs=SMOKE["chaos_jobs"] if smoke else CHAOS_JOBS
         ),
         **bench_simulators(
             functional_scale=functional_scale, timing_scale=timing_scale
@@ -310,14 +377,30 @@ def with_history(current: dict, previous: dict | None) -> dict:
     """Attach the perf trajectory: prior entries plus this run's point.
 
     A committed file that predates the history format contributes a
-    backfilled entry (metrics only — its revision is unknown), so the
-    trajectory keeps its oldest measured point.
+    backfilled entry stamped ``"git_rev": "seed"`` (its exact revision
+    is unknown, but its provenance — the seed measurement — is not),
+    so the trajectory keeps its oldest measured point.  Pre-existing
+    null-rev rows are migrated to the same stamp: every history row
+    carries non-null provenance.
+
+    Raises ``SystemExit`` when this run's own revision is unknown —
+    appending an unattributable row would corrupt the trajectory.
     """
+    entry = _history_entry(current)
+    if entry["git_rev"] is None:
+        raise SystemExit(
+            "refusing to append a history entry with no git revision "
+            "(not in a git checkout?); run from the repository or use "
+            "--check/--smoke which never rewrite the baseline"
+        )
     history = []
     if previous is not None:
-        history = list(previous.get("history", []))
+        history = [
+            {**row, "git_rev": row.get("git_rev") or "seed"}
+            for row in previous.get("history", [])
+        ]
         if not history:
-            backfill = {"recorded_at": None, "git_rev": None}
+            backfill = {"recorded_at": None, "git_rev": "seed"}
             for path, _ in _GATED:
                 try:
                     backfill[".".join(path)] = _dig(previous, path)
@@ -325,7 +408,7 @@ def with_history(current: dict, previous: dict | None) -> dict:
                     pass
             if len(backfill) > 2:
                 history.append(backfill)
-    history.append(_history_entry(current))
+    history.append(entry)
     return {**current, "history": history}
 
 

@@ -26,13 +26,52 @@ from dataclasses import dataclass, field
 from repro.params import MachineConfig
 
 __all__ = [
+    "CODE_SIM_ERROR",
+    "CODE_TIMEOUT",
+    "CODE_WORKER_CRASHED",
+    "CODE_WORKER_STALLED",
+    "INFRASTRUCTURE_CODES",
     "JobFailure",
     "SweepOutcome",
     "backoff_delay",
     "drain_sweep_failures",
+    "is_infrastructure_code",
     "run_sweep",
     "parallel_speedups",
 ]
+
+# -- failure taxonomy ---------------------------------------------------------
+#
+# Every failed execution attempt carries one of these stable code strings,
+# shared between the sweep runner and the serving tier (repro.service).
+# The split that matters operationally is *simulation* failures (the job
+# itself is wrong — retrying cannot help beyond transient flakiness) vs
+# *infrastructure* failures (the machinery running the job died — the job
+# may be fine, or it may be poison that kills every worker it touches).
+
+#: The job raised a clean Python exception (bad benchmark name, a bug in
+#: the simulator, an assertion): the worker survived to report it.
+CODE_SIM_ERROR = "sim_error"
+#: The job exceeded its wall-clock budget and was abandoned (and, under
+#: supervised process workers, killed).
+CODE_TIMEOUT = "timeout"
+#: The worker process died without reporting a result (signal, OOM kill,
+#: interpreter abort).
+CODE_WORKER_CRASHED = "worker_crashed"
+#: The worker's heartbeat went silent past the stall window and the
+#: scheduler's reaper killed it.
+CODE_WORKER_STALLED = "worker_stalled"
+
+#: Codes that indicate the *infrastructure* failed, not the simulation.
+#: These feed the service's circuit breaker and poison-job quarantine.
+INFRASTRUCTURE_CODES = frozenset(
+    {CODE_TIMEOUT, CODE_WORKER_CRASHED, CODE_WORKER_STALLED}
+)
+
+
+def is_infrastructure_code(code: str) -> bool:
+    """Whether *code* names an infrastructure (not simulation) failure."""
+    return code in INFRASTRUCTURE_CODES
 
 #: Per-attempt backoff base (seconds); attempt *n* waits ``backoff * n``
 #: on average, jittered ±50% (see :func:`_backoff_delay`).
@@ -79,6 +118,13 @@ class JobFailure:
     error: str
     attempts: int
     timed_out: bool = False
+    #: Failure-taxonomy code of the *final* attempt (see module constants).
+    code: str = CODE_SIM_ERROR
+
+    @property
+    def infrastructure(self) -> bool:
+        """Whether the infrastructure, not the simulation, failed."""
+        return is_infrastructure_code(self.code)
 
 
 @dataclass
@@ -209,7 +255,8 @@ def run_sweep(
                     retry_names.append(name)
                 else:
                     outcome.failures[name] = JobFailure(
-                        name, error, attempts[name], timed_out=timed_out
+                        name, error, attempts[name], timed_out=timed_out,
+                        code=CODE_TIMEOUT if timed_out else CODE_SIM_ERROR,
                     )
             pending = {}
             for name in retry_names:

@@ -13,6 +13,12 @@ Under any fault scenario the simulator must still satisfy the invariants of
 event-time monotonicity, ...) or raise a typed
 ``SimulationIntegrityError`` — it must never silently produce wrong
 speedups.
+
+:mod:`repro.faults.infra` is the same idea one layer up: seeded faults
+in the *infrastructure* that runs the simulator — SIGKILLed worker
+processes, stalled heartbeats, corrupted result-store entries — driving
+the serving tier's crash-only chaos suite.  It is imported lazily (it
+pulls in :mod:`repro.service`); reach it as ``repro.faults.infra``.
 """
 
 from repro.faults.injector import FaultInjector, FaultStats, fault_storm

@@ -18,6 +18,18 @@ the substrate the ROADMAP's "heavy traffic" north star builds on:
   :class:`ServiceSession` facade, which can route the experiments CLI's
   sweeps through the cache (``repro-experiments ... --service-store``).
 * :mod:`repro.service.cli` — the ``repro-serve`` command.
+
+The tier is *crash-only* (PR 6): process workers are supervised by
+heartbeat (stalled ones are reaped and their jobs retried), jobs that
+repeatedly kill their workers are quarantined as poison and never
+resubmitted, damaged store entries are quarantined — never deleted —
+and repairable ones recomputed (:meth:`ResultStore.scrub`), and a
+circuit breaker sheds sweep-class load under infrastructure failure
+storms while interactive requests keep flowing.  Failures carry stable
+taxonomy codes (:data:`repro.experiments.parallel.INFRASTRUCTURE_CODES`)
+surfaced by ``repro-serve status``.  :mod:`repro.faults.infra` injects
+seeded chaos (worker kills, heartbeat stalls, store corruption) to
+prove all of it.
 """
 
 from repro.service.client import ServiceSession, sweep_requests, sweep_speedups
@@ -27,35 +39,50 @@ from repro.service.request import (
     SimRequest,
     canonical_request_tree,
     request_digest,
+    request_from_fingerprint,
 )
 from repro.service.scheduler import (
     Job,
     JobFailed,
+    JobQuarantined,
     QueueFull,
     ServiceClosed,
+    ServiceDegraded,
     ServiceRejected,
     ServiceStatus,
     SimulationService,
 )
-from repro.service.store import RESULT_STORE_VERSION, ResultStore, StoreStats
+from repro.service.store import (
+    RESULT_STORE_VERSION,
+    ResultStore,
+    ScrubReport,
+    StoreStats,
+)
+from repro.service.workers import JobExecutionError, WorkerCrashed
 
 __all__ = [
     "RESULT_SCHEMA_VERSION",
     "RESULT_STORE_VERSION",
     "Job",
+    "JobExecutionError",
     "JobFailed",
+    "JobQuarantined",
     "Priority",
     "QueueFull",
     "ResultStore",
+    "ScrubReport",
     "ServiceClosed",
+    "ServiceDegraded",
     "ServiceRejected",
     "ServiceSession",
     "ServiceStatus",
     "SimRequest",
     "SimulationService",
     "StoreStats",
+    "WorkerCrashed",
     "canonical_request_tree",
     "request_digest",
+    "request_from_fingerprint",
     "sweep_requests",
     "sweep_speedups",
 ]

@@ -3,7 +3,8 @@
 Subcommands::
 
     repro-serve batch FILE [--store DIR] [--workers N] [...]
-    repro-serve status [--store DIR]
+    repro-serve status [--store DIR] [--json]
+    repro-serve scrub [--store DIR] [--repair] [--workers N] [--json]
 
 ``batch`` runs a JSON request file through a :class:`SimulationService`
 and prints one line per request plus the service status report.  A batch
@@ -27,9 +28,22 @@ is served from cache: that round trip is the CI smoke test.
 ``--report-json`` writes a machine-readable summary (per-request source
 and latency plus the full status counters).
 
-Exit codes: 0 — all requests served; 2 — bad invocation or malformed
-batch file; 3 — some requests failed or were rejected (the survivors'
-results are valid and cached).
+``status`` reports the store's cached entries, the quarantine (damaged
+entries moved aside by validation/scrub, and poison jobs refused by the
+scheduler), and — when the last service run persisted its counters —
+the failure taxonomy of that run.  ``--json`` emits the same facts with
+a stable schema: ``{"store": ..., "quarantine": {"entries", "jobs"},
+"last_run": ...|null}``.
+
+``scrub`` sweeps every entry through full checksum validation, moving
+damaged ones to the quarantine directory (never deleting — forensics
+first).  With ``--repair``, entries whose fingerprint survived are
+recomputed through a local service and verified back into the store.
+
+Exit codes: 0 — all requests served (``batch``) / store clean or fully
+repaired (``scrub``); 2 — bad invocation or malformed batch file; 3 —
+some requests failed or were rejected, or unrepaired corruption remains
+(the survivors' results are valid and cached).
 """
 
 from __future__ import annotations
@@ -108,6 +122,7 @@ def _cmd_batch(args) -> int:
         max_pending=args.max_pending,
         job_timeout=args.timeout,
         retries=args.retries,
+        stall_timeout=args.stall_timeout,
         snapshot_every=args.snapshot_every,
     )
     with session:
@@ -150,18 +165,111 @@ def _cmd_batch(args) -> int:
     return EXIT_PARTIAL if failures else EXIT_CLEAN
 
 
+def _job_quarantine_records(store) -> list:
+    """Poison-job record paths under ``<store>/quarantine/jobs/``."""
+    import os
+
+    directory = os.path.join(store.directory, "quarantine", "jobs")
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )
+
+
+def _last_run_stats(store) -> dict | None:
+    """The counters the last service shutdown persisted, if any."""
+    import os
+
+    from repro.service.scheduler import STATS_FILENAME
+
+    path = os.path.join(store.directory, STATS_FILENAME)
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
 def _cmd_status(args) -> int:
     from repro.service.store import ResultStore
 
     store = ResultStore(args.store)
     entries = store.entries()
+    quarantine = store.quarantine_summary()
+    jobs = _job_quarantine_records(store)
+    last_run = _last_run_stats(store)
+
+    if args.json:
+        json.dump(
+            {
+                "store": {
+                    "directory": store.directory,
+                    "entries": len(entries),
+                },
+                "quarantine": {
+                    "entries": quarantine,
+                    "jobs": len(jobs),
+                },
+                "last_run": last_run,
+            },
+            sys.stdout, indent=2,
+        )
+        sys.stdout.write("\n")
+        return EXIT_CLEAN
+
     print("result store %s: %d cached result%s"
           % (store.directory, len(entries), "" if len(entries) == 1 else "s"))
     for digest in entries[: args.limit]:
         print("  %s" % digest)
     if len(entries) > args.limit:
         print("  ... %d more" % (len(entries) - args.limit))
+    if quarantine["total"]:
+        print("quarantined entries: %d" % quarantine["total"])
+        for code in sorted(quarantine["by_code"]):
+            print("  %-20s %d" % (code, quarantine["by_code"][code]))
+    if jobs:
+        print("quarantined poison jobs: %d" % len(jobs))
+        for path in jobs[: args.limit]:
+            print("  %s" % path)
+    if last_run is not None:
+        codes = last_run.get("failure_codes") or {}
+        print("last service run: %d completed, %d failed, breaker %s"
+              % (last_run.get("completed", 0), last_run.get("failed", 0),
+                 last_run.get("breaker_state", "?")))
+        if codes:
+            print("  failures by code: "
+                  + ", ".join("%s=%d" % (code, codes[code])
+                              for code in sorted(codes)))
     return EXIT_CLEAN
+
+
+def _cmd_scrub(args) -> int:
+    from repro.service.store import ResultStore
+
+    if not args.repair:
+        store = ResultStore(args.store)
+        report = store.scrub()
+    else:
+        from repro.service.client import ServiceSession
+
+        session = ServiceSession(
+            store_dir=args.store,
+            max_workers=args.workers,
+            worker_mode=args.worker_mode,
+        )
+        with session:
+            report = session.scrub(repair=True)
+
+    if args.json:
+        json.dump(report.as_dict(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(report.render())
+    return EXIT_PARTIAL if report.unrepaired else EXIT_CLEAN
 
 
 def main(argv=None) -> int:
@@ -201,6 +309,11 @@ def main(argv=None) -> int:
         help="retry budget per job (default: 1)",
     )
     batch.add_argument(
+        "--stall-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry a process worker whose heartbeat goes "
+             "silent this long (process mode only)",
+    )
+    batch.add_argument(
         "--snapshot-every", type=int, default=None, metavar="N",
         help="make timing jobs preemptible/resumable at N-uop snapshot "
              "boundaries (snapshots live under the store)",
@@ -212,7 +325,7 @@ def main(argv=None) -> int:
     batch.set_defaults(func=_cmd_batch)
 
     status = sub.add_parser(
-        "status", help="inspect a result store"
+        "status", help="inspect a result store and its quarantine"
     )
     status.add_argument(
         "--store", default=DEFAULT_STORE,
@@ -222,7 +335,38 @@ def main(argv=None) -> int:
         "--limit", type=int, default=20,
         help="max digests to list (default: 20)",
     )
+    status.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable report instead of the listing",
+    )
     status.set_defaults(func=_cmd_status)
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="checksum-verify every stored entry; quarantine damage",
+    )
+    scrub.add_argument(
+        "--store", default=DEFAULT_STORE,
+        help="result-store directory (default: %(default)s)",
+    )
+    scrub.add_argument(
+        "--repair", action="store_true",
+        help="recompute quarantined-but-fingerprinted entries through a "
+             "local service and verify them back into the store",
+    )
+    scrub.add_argument(
+        "--workers", type=int, default=1,
+        help="worker count for --repair recomputation (default: 1)",
+    )
+    scrub.add_argument(
+        "--worker-mode", choices=("thread", "process"), default="thread",
+        help="worker tier kind for --repair (default: thread)",
+    )
+    scrub.add_argument(
+        "--json", action="store_true",
+        help="emit the scrub report as JSON",
+    )
+    scrub.set_defaults(func=_cmd_scrub)
 
     args = parser.parse_args(argv)
     return args.func(args)

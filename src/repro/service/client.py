@@ -243,6 +243,34 @@ class ServiceSession:
 
         return self._call(snap())
 
+    def scrub(self, repair: bool = False):
+        """Run a store scrub through this session's service.
+
+        With ``repair=True``, every quarantined-but-fingerprinted entry
+        is recomputed through the service (cache misses by construction
+        — the damaged entry was just moved aside — so the worker tier
+        does real work) and verified back into the store.  Returns the
+        :class:`~repro.service.store.ScrubReport`.
+        """
+        store = self.service.store
+        if store is None:
+            raise RuntimeError("this session's service has no store")
+        repair_cb = None
+        if repair:
+            from repro.service.request import (
+                request_digest,
+                request_from_fingerprint,
+            )
+
+            def repair_cb(digest: str, fingerprint: dict) -> bool:
+                request = request_from_fingerprint(fingerprint)
+                if request_digest(request) != digest:
+                    return False  # fingerprint itself is damaged
+                self.run(request)
+                return True
+
+        return store.scrub(repair=repair_cb)
+
     # -- experiments integration ----------------------------------------------
 
     def install(self) -> "ServiceSession":

@@ -38,6 +38,7 @@ __all__ = [
     "SimRequest",
     "canonical_request_tree",
     "request_digest",
+    "request_from_fingerprint",
 ]
 
 #: Version of "what a request means".  Bump on any simulator-visible
@@ -141,6 +142,37 @@ def canonical_request_tree(request: SimRequest) -> dict:
 def request_digest(request: SimRequest) -> str:
     """Hex content address of *request* (32 hex chars, blake2b-128)."""
     return state_digest(canonical_request_tree(request))
+
+
+def request_from_fingerprint(fingerprint: dict) -> SimRequest:
+    """Rebuild the :class:`SimRequest` a stored fingerprint names.
+
+    The fingerprint *is* the canonical request tree, so a store entry
+    whose envelope survived corruption carries everything needed to
+    recompute it — this is what makes scrub-with-repair possible.
+    Raises ``ValueError`` for trees from another schema version (their
+    digests could never match a current request, so recomputing them
+    would fill a slot nothing will ever read).
+    """
+    if not isinstance(fingerprint, dict):
+        raise ValueError("fingerprint must be a dict")
+    schema = fingerprint.get("schema")
+    if schema != RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            "fingerprint schema %r is not current (%d); the entry is "
+            "orphaned, not repairable" % (schema, RESULT_SCHEMA_VERSION)
+        )
+    try:
+        return SimRequest(
+            machine=machine_config_from_dict(fingerprint["machine"]),
+            benchmark=fingerprint["benchmark"],
+            scale=float(fingerprint["scale"]),
+            seed=int(fingerprint["seed"]),
+            warmup_fraction=float(fingerprint["warmup_fraction"]),
+            mode=fingerprint["mode"],
+        )
+    except KeyError as exc:
+        raise ValueError("fingerprint is missing field %s" % exc) from None
 
 
 def parse_priority(value) -> Priority:

@@ -33,6 +33,37 @@ locks); blocking simulation work happens in the worker tier
 ``shutdown(drain=True)`` stops intake and runs the queue dry;
 ``drain=False`` fails queued jobs with :class:`ServiceClosed` and waits
 only for running ones.
+
+**Crash-only hardening.**  The serving tier inherits the paper's
+crash-only philosophy: every result is content-addressed, so any
+worker, process, or store entry may die at any moment and the system
+recomputes and converges.  Three mechanisms turn that from a slogan
+into behaviour:
+
+* **Worker supervision** — under process workers with a
+  ``stall_timeout``, every execution heartbeats into a per-digest file
+  (:mod:`repro.service.workers`); a reaper task kills + requeues any
+  worker whose heartbeat goes silent past the stall window.  This is a
+  *liveness* check, distinct from the wall-clock ``job_timeout``: a
+  wedged worker is reaped after seconds of silence even when the job
+  budget is minutes.
+* **Poison-job quarantine** — a job whose retries exhaust with worker
+  *death* (``worker_crashed`` / ``worker_stalled`` — as opposed to a
+  clean simulation error) is quarantined: its spec and failure history
+  are persisted under the store's quarantine directory, the digest is
+  refused on every later submission (:class:`JobQuarantined`), and the
+  retry budget is never burned on it again.
+* **Circuit breaker** — ``breaker_threshold`` consecutive
+  infrastructure failures (taxonomy codes in
+  :data:`~repro.experiments.parallel.INFRASTRUCTURE_CODES`) open the
+  breaker: sweep-class submissions are shed with
+  :class:`ServiceDegraded` while interactive requests keep flowing.
+  After ``breaker_cooldown`` seconds a sweep submission is admitted as
+  a probe; the first success closes the breaker.
+
+Every failed execution attempt is counted by taxonomy code in
+:attr:`ServiceStatus.failure_codes` — the degradation story is
+observable, not inferred from log spelunking.
 """
 
 from __future__ import annotations
@@ -40,13 +71,23 @@ from __future__ import annotations
 import asyncio
 import heapq
 import itertools
+import json
+import os
+import shutil
+import tempfile
+import time as _time
 from dataclasses import dataclass, field
 
 from repro import perf
 from repro.experiments.parallel import (
+    CODE_SIM_ERROR,
+    CODE_TIMEOUT,
+    CODE_WORKER_CRASHED,
+    CODE_WORKER_STALLED,
     DEFAULT_BACKOFF,
     JobFailure,
     backoff_delay,
+    is_infrastructure_code,
 )
 from repro.service.request import (
     Priority,
@@ -56,8 +97,11 @@ from repro.service.request import (
 )
 from repro.service.store import ResultStore
 from repro.service.workers import (
+    JobExecutionError,
+    WorkerCrashed,
     WorkerPool,
     clear_preempt_flag,
+    heartbeat_path,
     make_job_spec,
     raise_preempt_flag,
 )
@@ -65,20 +109,36 @@ from repro.service.workers import (
 __all__ = [
     "Job",
     "JobFailed",
+    "JobQuarantined",
     "QueueFull",
     "ServiceClosed",
+    "ServiceDegraded",
     "ServiceRejected",
     "ServiceStatus",
     "SimulationService",
+    "STATS_FILENAME",
 ]
+
+#: Filename (under the store root) the service persists its final
+#: status counters to at shutdown, for ``repro-serve status``.
+STATS_FILENAME = "service-stats.json"
 
 
 class ServiceRejected(Exception):
-    """Base class for typed submission rejections."""
+    """Base class for typed submission rejections.
+
+    ``code`` is the stable failure-taxonomy string for the rejection
+    class — the same vocabulary :attr:`ServiceStatus.failure_codes`
+    counts execution failures in.
+    """
+
+    code = "rejected"
 
 
 class QueueFull(ServiceRejected):
     """The bounded job queue is at capacity; try again later."""
+
+    code = "queue_full"
 
     def __init__(self, digest: str, depth: int, limit: int) -> None:
         super().__init__(
@@ -93,15 +153,54 @@ class QueueFull(ServiceRejected):
 class ServiceClosed(ServiceRejected):
     """The service is shutting down and no longer accepts work."""
 
+    code = "service_closed"
+
+
+class JobQuarantined(ServiceRejected):
+    """This digest repeatedly killed its workers; it will not be rerun.
+
+    Quarantine is permanent for the store directory: the record (spec +
+    failure history) persists under ``quarantine/jobs/`` and every
+    service serving that store refuses the digest until an operator
+    removes the record.
+    """
+
+    code = "quarantined"
+
+    def __init__(self, digest: str, record_path: str | None) -> None:
+        super().__init__(
+            "request %s is quarantined as a poison job%s"
+            % (digest[:12],
+               " (see %s)" % record_path if record_path else "")
+        )
+        self.digest = digest
+        self.record_path = record_path
+
+
+class ServiceDegraded(ServiceRejected):
+    """The breaker is open: sweep-class load is shed, interactive flows."""
+
+    code = "degraded"
+
+    def __init__(self, digest: str, consecutive: int) -> None:
+        super().__init__(
+            "service degraded after %d consecutive infrastructure "
+            "failures; sweep request %s shed (interactive requests are "
+            "still served)" % (consecutive, digest[:12])
+        )
+        self.digest = digest
+        self.consecutive = consecutive
+
 
 class JobFailed(Exception):
     """A job exhausted its retries; ``failure`` is the JobFailure record."""
 
     def __init__(self, failure: JobFailure) -> None:
         super().__init__(
-            "%s failed after %d attempt%s: %s"
+            "%s failed after %d attempt%s [%s]: %s"
             % (failure.benchmark, failure.attempts,
-               "" if failure.attempts == 1 else "s", failure.error)
+               "" if failure.attempts == 1 else "s", failure.code,
+               failure.error)
         )
         self.failure = failure
 
@@ -124,6 +223,12 @@ class Job:
     preemptions: int = 0
     preempt_requested: bool = False
     started_seq: int = -1
+    #: Worker deaths (crash/stall/timeout-kill) across this job's attempts.
+    deaths: int = 0
+    #: Per-attempt failure records: {"attempt", "code", "error"}.
+    failure_history: list = field(default_factory=list)
+    #: Wall-clock start of the current attempt (heartbeat grace anchor).
+    attempt_started: float = 0.0
 
 
 class _Latency:
@@ -173,6 +278,23 @@ class ServiceStatus:
     workers: int = 0
     worker_mode: str = ""
     closed: bool = False
+    #: Failed execution attempts by taxonomy code (sim_error, timeout,
+    #: worker_crashed, worker_stalled) plus shed/quarantine rejections.
+    failure_codes: dict = field(default_factory=dict)
+    #: Worker deaths observed (crashes + reaper kills + timeout kills).
+    worker_deaths: int = 0
+    #: Workers killed by the heartbeat reaper specifically.
+    reaped: int = 0
+    #: Digests quarantined as poison jobs (known to this service).
+    quarantined_jobs: int = 0
+    #: Submissions refused because their digest is quarantined.
+    quarantine_rejections: int = 0
+    #: Sweep submissions shed while the breaker was open.
+    shed: int = 0
+    #: "closed" or "open" (open = degraded: sweep load is shed).
+    breaker_state: str = "closed"
+    #: Times the breaker has opened since construction.
+    breaker_opened: int = 0
     latency: dict = field(default_factory=dict)
     store: dict | None = None
     failures: list = field(default_factory=list)
@@ -189,10 +311,13 @@ class ServiceStatus:
                 "completed", "failed", "rejected", "retried",
                 "preempt_requests", "preempted", "resumed", "queue_depth",
                 "queue_high_water", "running", "workers", "worker_mode",
-                "closed",
+                "closed", "worker_deaths", "reaped", "quarantined_jobs",
+                "quarantine_rejections", "shed", "breaker_state",
+                "breaker_opened",
             )
         }
         data["cache_hit_rate"] = round(self.cache_hit_rate, 4)
+        data["failure_codes"] = dict(self.failure_codes)
         data["latency"] = dict(self.latency)
         data["store"] = self.store
         data["failures"] = list(self.failures)
@@ -213,6 +338,30 @@ class ServiceStatus:
             "  queue depth %d (high-water %d), running %d"
             % (self.queue_depth, self.queue_high_water, self.running),
         ]
+        if (self.worker_deaths or self.reaped or self.quarantined_jobs
+                or self.quarantine_rejections):
+            lines.append(
+                "  worker deaths %d (reaped %d), quarantined jobs %d "
+                "(%d rejection%s)"
+                % (self.worker_deaths, self.reaped, self.quarantined_jobs,
+                   self.quarantine_rejections,
+                   "" if self.quarantine_rejections == 1 else "s")
+            )
+        if self.breaker_state != "closed" or self.breaker_opened:
+            lines.append(
+                "  breaker %s (opened %d time%s, %d sweep job%s shed)"
+                % (self.breaker_state, self.breaker_opened,
+                   "" if self.breaker_opened == 1 else "s", self.shed,
+                   "" if self.shed == 1 else "s")
+            )
+        if self.failure_codes:
+            lines.append(
+                "  failures by code: "
+                + ", ".join(
+                    "%s=%d" % (code, self.failure_codes[code])
+                    for code in sorted(self.failure_codes)
+                )
+            )
         for name in sorted(self.latency):
             agg = self.latency[name]
             lines.append(
@@ -246,6 +395,22 @@ class SimulationService:
     job_timeout / retries / backoff:
         Per-execution wall-clock limit and retry policy (shared
         semantics with :func:`repro.experiments.parallel.run_sweep`).
+    stall_timeout:
+        Heartbeat stall window for process workers: a worker whose
+        heartbeat goes silent this long is killed and its job retried
+        (code ``worker_stalled``).  Orthogonal to ``job_timeout`` — a
+        worker making progress heartbeats forever; a wedged one is
+        reaped in seconds.  Ignored under thread workers (threads
+        cannot be killed).
+    breaker_threshold / breaker_cooldown:
+        Open the circuit breaker after this many *consecutive*
+        infrastructure failures (shedding sweep-class submissions);
+        after the cooldown, admit one sweep probe — a success closes
+        the breaker.  ``breaker_threshold=None`` disables shedding.
+    chaos:
+        A :class:`repro.faults.infra.InfraChaosConfig` (or its
+        ``worker_spec()`` dict) injecting seeded worker faults — test
+        harness plumbing, never set in production.
     snapshot_every / snapshot_dir:
         Enable preemptible timing jobs: snapshots every N µops into
         *snapshot_dir* (default: ``<store>/snapshots``).  Without these,
@@ -263,6 +428,10 @@ class SimulationService:
         job_timeout: float | None = None,
         retries: int = 1,
         backoff: float = DEFAULT_BACKOFF,
+        stall_timeout: float | None = None,
+        breaker_threshold: int | None = 8,
+        breaker_cooldown: float = 30.0,
+        chaos=None,
         snapshot_every: int | None = None,
         snapshot_dir: str | None = None,
     ) -> None:
@@ -273,14 +442,16 @@ class SimulationService:
             raise ValueError("max_pending must be positive")
         if snapshot_every is not None and snapshot_every <= 0:
             raise ValueError("snapshot_every must be positive")
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ValueError("stall_timeout must be positive")
+        if breaker_threshold is not None and breaker_threshold <= 0:
+            raise ValueError("breaker_threshold must be positive")
         if snapshot_dir is None and snapshot_every is not None:
             if store is None:
                 raise ValueError(
                     "snapshot_every needs snapshot_dir (or a store to "
                     "default it under)"
                 )
-            import os
-
             snapshot_dir = os.path.join(store.directory, "snapshots")
         self.max_pending = max_pending
         self.job_timeout = job_timeout
@@ -288,7 +459,19 @@ class SimulationService:
         self.backoff = backoff
         self.snapshot_every = snapshot_every
         self.snapshot_dir = snapshot_dir
+        self.stall_timeout = stall_timeout
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        if chaos is not None and hasattr(chaos, "worker_spec"):
+            chaos = chaos.worker_spec()
+        self._chaos = chaos
         self._pool = WorkerPool(max_workers=max_workers, mode=worker_mode)
+        self._supervised = worker_mode == "process" and stall_timeout
+        self._hb_dir = None
+        if self._supervised:
+            # Heartbeats are transient runtime state, never persisted
+            # with results: a private scratch dir, removed at shutdown.
+            self._hb_dir = tempfile.mkdtemp(prefix="repro-heartbeats-")
         self._queue: list = []  # (priority, seq, job) heap, lazy deletion
         self._seq = itertools.count()
         self._queued = 0
@@ -296,12 +479,107 @@ class SimulationService:
         self._running: set = set()
         self._free_workers = max_workers
         self._tasks: set = set()
+        self._reaper: asyncio.Task | None = None
         self._closed = False
         self._stats = ServiceStatus(
             workers=max_workers, worker_mode=worker_mode
         )
         self._latency = {p.name: _Latency() for p in Priority}
         self._failures: list = []
+        # Poison-job quarantine: digests refused on sight.  Persisted
+        # records (if there is a store) survive restarts.
+        self._poisoned: dict = {}  # digest -> record path (or None)
+        self._load_quarantined_jobs()
+        self._stats.quarantined_jobs = len(self._poisoned)
+        # Circuit breaker state.
+        self._infra_streak = 0
+        self._breaker_open = False
+        self._breaker_opened_at = 0.0
+
+    # -- poison-job quarantine ------------------------------------------------
+
+    @property
+    def _job_quarantine_dir(self) -> str | None:
+        if self.store is None:
+            return None
+        return os.path.join(self.store.directory, "quarantine", "jobs")
+
+    def _load_quarantined_jobs(self) -> None:
+        directory = self._job_quarantine_dir
+        if directory is None or not os.path.isdir(directory):
+            return
+        for name in os.listdir(directory):
+            if name.endswith(".json"):
+                digest = name[: -len(".json")]
+                self._poisoned[digest] = os.path.join(directory, name)
+
+    def _quarantine_job(self, job: Job, failure: JobFailure) -> None:
+        """Persist a poison job's spec + failure history; refuse it forever."""
+        record_path = None
+        directory = self._job_quarantine_dir
+        if directory is not None:
+            record = {
+                "digest": job.digest,
+                "benchmark": job.request.benchmark,
+                "mode": job.request.mode,
+                "fingerprint": canonical_request_tree(job.request),
+                "attempts": job.attempts,
+                "deaths": job.deaths,
+                "final_code": failure.code,
+                "failure_history": list(job.failure_history),
+                "quarantined_at": _time.strftime(
+                    "%Y-%m-%dT%H:%M:%SZ", _time.gmtime()
+                ),
+            }
+            os.makedirs(directory, exist_ok=True)
+            record_path = os.path.join(directory, job.digest + ".json")
+            tmp = "%s.tmp.%d" % (record_path, os.getpid())
+            with open(tmp, "w") as handle:
+                json.dump(record, handle, indent=2)
+                handle.write("\n")
+            os.replace(tmp, record_path)
+        self._poisoned[job.digest] = record_path
+        self._stats.quarantined_jobs = len(self._poisoned)
+        perf.counter("service.job_quarantined")
+
+    # -- circuit breaker ------------------------------------------------------
+
+    def _record_failure_code(self, code: str) -> None:
+        self._stats.failure_codes[code] = (
+            self._stats.failure_codes.get(code, 0) + 1
+        )
+        if not is_infrastructure_code(code):
+            return
+        self._infra_streak += 1
+        if (self.breaker_threshold is not None
+                and not self._breaker_open
+                and self._infra_streak >= self.breaker_threshold):
+            self._breaker_open = True
+            self._breaker_opened_at = _time.monotonic()
+            self._stats.breaker_opened += 1
+            perf.counter("service.breaker_opened")
+
+    def _record_success(self) -> None:
+        self._infra_streak = 0
+        if self._breaker_open:
+            self._breaker_open = False
+            perf.counter("service.breaker_closed")
+
+    def _shed_check(self, digest: str, priority: Priority) -> None:
+        """Raise :class:`ServiceDegraded` for sweep load while open."""
+        if not self._breaker_open or priority == Priority.INTERACTIVE:
+            return
+        elapsed = _time.monotonic() - self._breaker_opened_at
+        if elapsed >= self.breaker_cooldown:
+            # Half-open: admit this sweep submission as a probe.  The
+            # breaker stays open until a success closes it, so a failed
+            # probe resumes shedding without re-counting to threshold.
+            self._breaker_opened_at = _time.monotonic()
+            return
+        self._stats.shed += 1
+        self._stats.rejected += 1
+        perf.counter("service.shed")
+        raise ServiceDegraded(digest, self._infra_streak)
 
     # -- submission -----------------------------------------------------------
 
@@ -311,10 +589,12 @@ class SimulationService:
         """Schedule *request*; returns its (possibly shared) :class:`Job`.
 
         Must be called on the service's event loop.  Raises
-        :class:`ServiceClosed` after shutdown began and
-        :class:`QueueFull` under backpressure.  ``job.source`` tells the
-        caller how this submission was satisfied: ``"cache"``,
-        ``"dedup"``, or ``"computed"``.
+        :class:`ServiceClosed` after shutdown began, :class:`QueueFull`
+        under backpressure, :class:`JobQuarantined` for poison digests,
+        and :class:`ServiceDegraded` for sweep requests while the
+        breaker is open.  ``job.source`` tells the caller how this
+        submission was satisfied: ``"cache"``, ``"dedup"``, or
+        ``"computed"``.
         """
         if self._closed:
             raise ServiceClosed("service is shut down; submission refused")
@@ -352,6 +632,14 @@ class SimulationService:
                     state="done", source="cache",
                 )
 
+        if digest in self._poisoned:
+            self._stats.quarantine_rejections += 1
+            self._stats.rejected += 1
+            perf.counter("service.quarantine_rejected")
+            raise JobQuarantined(digest, self._poisoned[digest])
+
+        self._shed_check(digest, priority)
+
         if self._queued >= self.max_pending:
             self._stats.rejected += 1
             perf.counter("service.rejected")
@@ -365,10 +653,18 @@ class SimulationService:
             spec=make_job_spec(request, digest, snapshot),
             future=loop.create_future(), submitted_at=loop.time(),
         )
+        if self._supervised:
+            job.spec["supervise"] = {
+                "dir": self._hb_dir,
+                "interval": max(0.05, min(0.5, self.stall_timeout / 4.0)),
+            }
+        if self._chaos is not None:
+            job.spec["chaos"] = dict(self._chaos)
         self._inflight[digest] = job
         self._enqueue(job)
         if priority == Priority.INTERACTIVE:
             self._maybe_preempt()
+        self._ensure_reaper(loop)
         self._pump(loop)
         return job
 
@@ -442,10 +738,53 @@ class SimulationService:
         self._stats.preempt_requests += 1
         perf.counter("service.preempt_request")
 
+    # -- the reaper -----------------------------------------------------------
+
+    def _ensure_reaper(self, loop) -> None:
+        if not self._supervised or self._reaper is not None:
+            return
+        self._reaper = loop.create_task(self._reap_loop())
+
+    async def _reap_loop(self) -> None:
+        """Kill workers whose heartbeat went silent past the stall window.
+
+        The check is mtime-based: :func:`execute_job` touches the
+        per-digest heartbeat file every ``interval`` seconds.  A job
+        whose file is missing (worker still importing/spawning) is
+        measured from its attempt start instead — spawn time consumes
+        stall budget, which is correct: a worker that cannot even write
+        its first beat within the window *is* stalled.
+        """
+        period = max(0.05, min(self.stall_timeout / 2.0, 2.0))
+        while True:
+            await asyncio.sleep(period)
+            now = _time.time()
+            for job in list(self._running):
+                if not job.spec.get("supervise") or job.attempt_started <= 0:
+                    continue
+                path = heartbeat_path(self._hb_dir, job.digest)
+                try:
+                    last = os.stat(path).st_mtime
+                except OSError:
+                    last = job.attempt_started
+                # A retry may briefly see the killed attempt's stale
+                # beat file; measure from whichever is later so a fresh
+                # worker always gets the full window to write its first.
+                last = max(last, job.attempt_started)
+                if now - last <= self.stall_timeout:
+                    continue
+                if self._pool.kill(job.digest, CODE_WORKER_STALLED):
+                    self._stats.reaped += 1
+                    perf.counter("service.reaped")
+
+    # -- execution ------------------------------------------------------------
+
     async def _execute(self, job: Job) -> None:
         try:
             while True:
                 job.attempts += 1
+                job.spec["attempt"] = job.attempts
+                job.attempt_started = _time.time()
                 self._stats.executed += 1
                 perf.counter("service.executed")
                 handle = asyncio.wrap_future(self._pool.submit(job.spec))
@@ -458,15 +797,38 @@ class SimulationService:
                         outcome = await handle
                 except asyncio.TimeoutError:
                     error = "timed out after %.1fs" % self.job_timeout
-                    timed_out = True
+                    code = CODE_TIMEOUT
+                    # A timed-out process worker is killed, not leaked:
+                    # its tardy result must never land, and its seat
+                    # frees immediately.  (Thread workers cannot be
+                    # killed; their results are simply discarded.)
+                    if self._pool.kill(job.digest, CODE_TIMEOUT):
+                        self._stats.worker_deaths += 1
+                        job.deaths += 1
+                    handle.add_done_callback(_swallow)
                 except asyncio.CancelledError:
                     raise
+                except WorkerCrashed as exc:
+                    error = str(exc)
+                    code = exc.code
+                    job.deaths += 1
+                    self._stats.worker_deaths += 1
+                except JobExecutionError as exc:
+                    # Already "TypeName: message" from the worker side.
+                    error = str(exc)
+                    code = CODE_SIM_ERROR
                 except Exception as exc:  # noqa: BLE001 - worker may raise anything
                     error = "%s: %s" % (type(exc).__name__, exc)
-                    timed_out = False
+                    code = CODE_SIM_ERROR
                 else:
+                    self._record_success()
                     self._settle(job, outcome)
                     return
+                job.failure_history.append({
+                    "attempt": job.attempts, "code": code, "error": error,
+                })
+                self._record_failure_code(code)
+                perf.counter("service.attempt_failed")
                 if job.attempts <= self.retries:
                     self._stats.retried += 1
                     await asyncio.sleep(
@@ -477,7 +839,7 @@ class SimulationService:
                     job,
                     JobFailure(
                         job.request.benchmark, error, job.attempts,
-                        timed_out=timed_out,
+                        timed_out=(code == CODE_TIMEOUT), code=code,
                     ),
                 )
                 return
@@ -528,6 +890,14 @@ class SimulationService:
         self._stats.failed += 1
         self._failures.append(failure)
         perf.counter("service.failed")
+        # Poison-job detection: the retries were exhausted by worker
+        # *deaths*, not by a clean simulation error — this job takes its
+        # worker down with it and must never be resubmitted.  (Timeouts
+        # are excluded: a too-slow job is a budget problem, not poison.)
+        if job.deaths > 0 and failure.code in (
+            CODE_WORKER_CRASHED, CODE_WORKER_STALLED,
+        ):
+            self._quarantine_job(job, failure)
         if not job.future.done():
             job.future.set_exception(JobFailed(failure))
 
@@ -560,7 +930,37 @@ class SimulationService:
             await asyncio.gather(*pending, return_exceptions=True)
         if self._tasks:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+            self._reaper = None
         self._pool.shutdown(wait=True)
+        if self._hb_dir is not None:
+            shutil.rmtree(self._hb_dir, ignore_errors=True)
+        self._persist_stats()
+
+    def _persist_stats(self) -> None:
+        """Best-effort final counters sidecar for ``repro-serve status``.
+
+        Crash-only: the file is advisory observability, written
+        atomically, and its absence (the process died before shutdown)
+        is handled by every reader.
+        """
+        if self.store is None:
+            return
+        path = os.path.join(self.store.directory, STATS_FILENAME)
+        try:
+            os.makedirs(self.store.directory, exist_ok=True)
+            tmp = "%s.tmp.%d" % (path, os.getpid())
+            with open(tmp, "w") as handle:
+                json.dump(self.status().as_dict(), handle, indent=2)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except OSError:
+            pass
 
     @property
     def closed(self) -> bool:
@@ -575,6 +975,8 @@ class SimulationService:
         status = copy.copy(self._stats)
         status.queue_depth = self._queued
         status.running = len(self._running)
+        status.breaker_state = "open" if self._breaker_open else "closed"
+        status.failure_codes = dict(self._stats.failure_codes)
         status.latency = {
             name: agg.as_dict()
             for name, agg in self._latency.items()
@@ -584,10 +986,15 @@ class SimulationService:
             self.store.stats.as_dict() if self.store is not None else None
         )
         status.failures = [
-            "%s: %s (after %d attempt%s%s)"
+            "%s: %s (after %d attempt%s, %s)"
             % (f.benchmark, f.error, f.attempts,
-               "" if f.attempts == 1 else "s",
-               ", timed out" if f.timed_out else "")
+               "" if f.attempts == 1 else "s", f.code)
             for f in self._failures
         ]
         return status
+
+
+def _swallow(future) -> None:
+    """Retrieve an abandoned future's exception so asyncio stays quiet."""
+    if not future.cancelled():
+        future.exception()

@@ -1,8 +1,8 @@
-"""Worker tier: executes one service job, in a thread or a process.
+"""Worker tier: executes one service job, in a thread or a supervised process.
 
 The scheduler never touches a simulator directly; it serializes each
 :class:`~repro.service.request.SimRequest` into a plain job *spec* dict
-(picklable, so the same spec runs under a thread pool or a process pool)
+(picklable, so the same spec runs under a thread or a process worker)
 and hands it to :func:`execute_job`.  A job returns either
 
 * ``("done", result, meta)`` — the completed
@@ -20,21 +20,81 @@ the job digest) so it works identically for thread and process workers:
 the scheduler touches the flag, the running job observes it at its next
 snapshot boundary.
 
-The retry/backoff machinery is shared with the crash-safe sweep runner
-(:func:`repro.experiments.parallel.backoff_delay`,
-:class:`repro.experiments.parallel.JobFailure`) — the service is the
-always-on face of the same worker discipline.
+**Supervised process mode (crash-only).**  ``mode="process"`` spawns one
+supervised ``multiprocessing.Process`` per job instead of sharing a
+``ProcessPoolExecutor`` — a pool executor is the wrong shape for a
+crash-only tier, because one SIGKILLed worker breaks the whole pool for
+every later job.  Each supervised worker:
+
+* writes its outcome to a scratch file with the repo's atomic-replace
+  idiom, so a watcher that finds no outcome *knows* the process died
+  mid-job rather than racing a partial write;
+* when the spec carries ``supervise``, touches a per-digest heartbeat
+  file every ``interval`` seconds from a daemon thread, so the
+  scheduler's reaper can tell a worker that is *computing* from one that
+  is *wedged* (no heartbeat within the stall window) and kill + requeue
+  it — a liveness check orthogonal to the wall-clock ``job_timeout``.
+
+A worker that dies without an outcome resolves its future with
+:class:`WorkerCrashed` carrying a failure-taxonomy code
+(:data:`~repro.experiments.parallel.CODE_WORKER_CRASHED`, or the code
+the reaper recorded when it did the killing).  A clean simulation
+exception crosses the process boundary as :class:`JobExecutionError`
+with the original ``TypeName: message`` text, so the scheduler can keep
+telling "the job is wrong" apart from "the machinery died".
+
+The retry/backoff machinery and the failure taxonomy are shared with the
+crash-safe sweep runner (:mod:`repro.experiments.parallel`) — the
+service is the always-on face of the same worker discipline.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import multiprocessing
 import os
+import pickle
+import shutil
+import tempfile
+import threading
 
 from repro.configio import machine_config_from_dict
+from repro.experiments.parallel import CODE_WORKER_CRASHED
 from repro.snapshot.policy import SnapshotPolicy, WatchdogExpired
 
-__all__ = ["WorkerPool", "execute_job", "make_job_spec", "preempt_flag_path"]
+__all__ = [
+    "JobExecutionError",
+    "WorkerCrashed",
+    "WorkerPool",
+    "execute_job",
+    "heartbeat_path",
+    "make_job_spec",
+    "preempt_flag_path",
+]
+
+
+class WorkerCrashed(Exception):
+    """A worker process died without reporting an outcome.
+
+    ``code`` is the failure-taxonomy code: ``worker_crashed`` for a
+    spontaneous death, ``worker_stalled`` / ``timeout`` when the
+    scheduler killed it on purpose (recorded via ``WorkerPool.kill``).
+    """
+
+    def __init__(self, message: str, code: str = CODE_WORKER_CRASHED,
+                 exitcode: int | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.exitcode = exitcode
+
+
+class JobExecutionError(Exception):
+    """A clean simulation exception relayed from a process worker.
+
+    ``str(exc)`` is the original ``TypeName: message`` text — the same
+    shape thread-mode failures format to — so failure records look
+    identical across worker modes.
+    """
 
 
 def make_job_spec(request, digest: str, snapshot: dict | None) -> dict:
@@ -43,6 +103,15 @@ def make_job_spec(request, digest: str, snapshot: dict | None) -> dict:
     *snapshot*, when given, is ``{"every": N, "dir": path}`` and makes a
     timing job preemptible and resumable; functional jobs ignore it
     (they are short by construction — scans, no cycle accounting).
+
+    The scheduler may later attach:
+
+    * ``supervise`` — ``{"dir": path, "interval": seconds}``; the worker
+      heartbeats into *dir* so the reaper can spot stalls;
+    * ``chaos`` — a :mod:`repro.faults.infra` worker profile (test
+      harness only: seeded self-SIGKILLs and heartbeat stalls);
+    * ``attempt`` — the 1-based execution attempt, so seeded chaos
+      decisions differ between retries of one digest.
     """
     from repro.configio import machine_config_to_dict
 
@@ -56,6 +125,9 @@ def make_job_spec(request, digest: str, snapshot: dict | None) -> dict:
         "mode": request.mode,
         "snapshot": None,
         "resume": False,
+        "supervise": None,
+        "chaos": None,
+        "attempt": 1,
     }
     if snapshot is not None and request.mode == "timing":
         spec["snapshot"] = {
@@ -85,51 +157,113 @@ def clear_preempt_flag(snapshot_dir: str, digest: str) -> None:
         pass
 
 
+# -- heartbeats ---------------------------------------------------------------
+
+def heartbeat_path(directory: str, digest: str) -> str:
+    return os.path.join(directory, digest + ".hb")
+
+
+def _write_heartbeat(spec: dict) -> str | None:
+    """Write the initial beat file (with the worker pid, for forensics).
+
+    Split from :func:`_start_beat_thread` so chaos can be armed *between*
+    the first beat and the beat thread: a chaos-stalled worker then
+    wedges with exactly one beat on record and true silence after — the
+    fault the reaper exists to catch.  A beat thread started first would
+    keep touching the file from under the wedged main thread and hide
+    the stall forever.
+    """
+    supervise = spec.get("supervise")
+    if not supervise:
+        return None
+    os.makedirs(supervise["dir"], exist_ok=True)
+    path = heartbeat_path(supervise["dir"], spec["digest"])
+    with open(path, "w") as handle:
+        handle.write("%d\n" % os.getpid())
+    return path
+
+
+def _start_beat_thread(spec: dict, path: str | None):
+    """Touch *path* every supervise interval from a daemon thread.
+
+    The beat is an ``os.utime`` touch — the reaper only reads mtimes.
+    Returns a stopper callable (a no-op when unsupervised).
+    """
+    if path is None:
+        return lambda: None
+    interval = float(spec["supervise"]["interval"])
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(interval):
+            try:
+                os.utime(path)
+            except OSError:
+                return  # heartbeat dir torn down: the run is over
+
+    thread = threading.Thread(
+        target=beat, name="repro-heartbeat", daemon=True
+    )
+    thread.start()
+    return stop.set
+
+
 def execute_job(spec: dict):
     """Run one job spec to completion (or preemption).  See module docs.
 
-    Module-level and argument-picklable on purpose: process pools must be
-    able to import and call it.
+    Module-level and argument-picklable on purpose: process workers must
+    be able to import and call it.
     """
     import time
 
     from repro.workloads.suite import build_benchmark
 
-    config = machine_config_from_dict(spec["machine"])
-    workload = build_benchmark(
-        spec["benchmark"], scale=spec["scale"], seed=spec["seed"]
-    )
-    warmup = int(workload.trace.uop_count * spec["warmup_fraction"])
-    started = time.perf_counter()
+    beat_file = _write_heartbeat(spec)
+    if spec.get("chaos"):
+        from repro.faults.infra import arm_worker_chaos
 
-    if spec["mode"] == "functional":
-        from repro.core.functional import FunctionalSimulator
-
-        result = FunctionalSimulator(config, workload.memory).run(
-            workload.trace, warmup
-        )
-        return ("done", result, _meta(spec, workload, started))
-
-    from repro.core.simulator import TimingSimulator
-
-    simulator = TimingSimulator(config, workload.memory)
-    snapshot = spec.get("snapshot")
-    if snapshot is None:
-        result = simulator.run(workload.trace, warmup)
-        return ("done", result, _meta(spec, workload, started))
-
-    flag = preempt_flag_path(snapshot["dir"], spec["digest"])
-    policy = SnapshotPolicy(
-        every=snapshot["every"],
-        directory=snapshot["dir"],
-        resume=bool(spec.get("resume")),
-        interrupt=lambda: os.path.exists(flag),
-    )
+        # Test harness only: may SIGKILL this process mid-job or wedge
+        # it right here with its heartbeat silenced (never returns).
+        arm_worker_chaos(spec)
+    stop_heartbeat = _start_beat_thread(spec, beat_file)
     try:
-        result = simulator.run(workload.trace, warmup, policy=policy)
-    except WatchdogExpired as exc:
-        return ("preempted", {"path": exc.path, "uop": exc.uop})
-    return ("done", result, _meta(spec, workload, started))
+        config = machine_config_from_dict(spec["machine"])
+        workload = build_benchmark(
+            spec["benchmark"], scale=spec["scale"], seed=spec["seed"]
+        )
+        warmup = int(workload.trace.uop_count * spec["warmup_fraction"])
+        started = time.perf_counter()
+
+        if spec["mode"] == "functional":
+            from repro.core.functional import FunctionalSimulator
+
+            result = FunctionalSimulator(config, workload.memory).run(
+                workload.trace, warmup
+            )
+            return ("done", result, _meta(spec, workload, started))
+
+        from repro.core.simulator import TimingSimulator
+
+        simulator = TimingSimulator(config, workload.memory)
+        snapshot = spec.get("snapshot")
+        if snapshot is None:
+            result = simulator.run(workload.trace, warmup)
+            return ("done", result, _meta(spec, workload, started))
+
+        flag = preempt_flag_path(snapshot["dir"], spec["digest"])
+        policy = SnapshotPolicy(
+            every=snapshot["every"],
+            directory=snapshot["dir"],
+            resume=bool(spec.get("resume")),
+            interrupt=lambda: os.path.exists(flag),
+        )
+        try:
+            result = simulator.run(workload.trace, warmup, policy=policy)
+        except WatchdogExpired as exc:
+            return ("preempted", {"path": exc.path, "uop": exc.uop})
+        return ("done", result, _meta(spec, workload, started))
+    finally:
+        stop_heartbeat()
 
 
 def _meta(spec: dict, workload, started) -> dict:
@@ -144,13 +278,51 @@ def _meta(spec: dict, workload, started) -> dict:
     }
 
 
+def _supervised_entry(spec: dict, outcome_path: str) -> None:
+    """Process-worker main: run the job, atomically persist the outcome.
+
+    The outcome file only ever appears complete (same-dir temp +
+    ``os.replace``), so the watcher can treat "process exited, no
+    outcome" as a crash with no torn-write ambiguity.  Clean exceptions
+    are persisted as ``("error", "TypeName: message")`` rather than
+    re-raised: a dying worker and a failing job must stay
+    distinguishable.
+    """
+    try:
+        outcome = execute_job(spec)
+    except Exception as exc:  # noqa: BLE001 - relay any simulation error
+        outcome = ("error", "%s: %s" % (type(exc).__name__, exc))
+    tmp = "%s.tmp.%d" % (outcome_path, os.getpid())
+    with open(tmp, "wb") as handle:
+        pickle.dump(outcome, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, outcome_path)
+
+
+class _SupervisedJob:
+    """Bookkeeping for one in-flight supervised process worker."""
+
+    __slots__ = ("digest", "process", "future", "outcome_path", "kill_code")
+
+    def __init__(self, digest, process, future, outcome_path) -> None:
+        self.digest = digest
+        self.process = process
+        self.future = future
+        self.outcome_path = outcome_path
+        #: Failure code recorded by ``WorkerPool.kill`` before the
+        #: SIGKILL, so the watcher reports *why* the worker died.
+        self.kill_code = None
+
+
 class WorkerPool:
-    """Thin executor wrapper: ``mode`` picks threads or processes.
+    """Executes job specs: ``mode`` picks threads or supervised processes.
 
     Thread workers share the in-process workload image cache (cheap,
     GIL-bound — right for cache-heavy serving); process workers give
-    real CPU parallelism for cold sweeps at the cost of per-process
-    image rebuilds, exactly like :func:`repro.experiments.parallel.run_sweep`.
+    real CPU parallelism *and* kill-ability: each job runs in its own
+    supervised process, so the scheduler can SIGKILL a wedged or
+    timed-out worker (:meth:`kill`) without poisoning anything shared.
     """
 
     MODES = ("thread", "process")
@@ -165,20 +337,110 @@ class WorkerPool:
             raise ValueError("max_workers must be positive")
         self.mode = mode
         self.max_workers = max_workers
-        if mode == "process":
-            self._executor = concurrent.futures.ProcessPoolExecutor(
-                max_workers=max_workers
-            )
-        else:
+        self._executor = None
+        self._jobs: dict = {}  # digest -> _SupervisedJob
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._scratch = None
+        if mode == "thread":
             self._executor = concurrent.futures.ThreadPoolExecutor(
                 max_workers=max_workers,
                 thread_name_prefix="repro-service-worker",
             )
+        else:
+            self._scratch = tempfile.mkdtemp(prefix="repro-workers-")
 
     def submit(self, spec: dict) -> concurrent.futures.Future:
-        return self._executor.submit(execute_job, spec)
+        if self.mode == "thread":
+            return self._executor.submit(execute_job, spec)
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        future.set_running_or_notify_cancel()
+        with self._lock:
+            self._seq += 1
+            outcome_path = os.path.join(
+                self._scratch, "%s.%d.out" % (spec["digest"], self._seq)
+            )
+        process = multiprocessing.Process(
+            target=_supervised_entry, args=(spec, outcome_path),
+            name="repro-worker-%s" % spec["digest"][:8], daemon=True,
+        )
+        job = _SupervisedJob(spec["digest"], process, future, outcome_path)
+        with self._lock:
+            self._jobs[job.digest] = job
+        process.start()
+        threading.Thread(
+            target=self._watch, args=(job,),
+            name="repro-watch-%s" % spec["digest"][:8], daemon=True,
+        ).start()
+        return future
+
+    def _watch(self, job: _SupervisedJob) -> None:
+        job.process.join()
+        with self._lock:
+            self._jobs.pop(job.digest, None)
+        outcome = None
+        try:
+            with open(job.outcome_path, "rb") as handle:
+                outcome = pickle.load(handle)
+            os.unlink(job.outcome_path)
+        except FileNotFoundError:
+            pass
+        except Exception as exc:  # noqa: BLE001 - unreadable outcome = crash
+            job.future.set_exception(WorkerCrashed(
+                "worker outcome unreadable: %s" % exc,
+                exitcode=job.process.exitcode,
+            ))
+            return
+        if outcome is None:
+            code = job.kill_code or CODE_WORKER_CRASHED
+            exitcode = job.process.exitcode
+            detail = ("killed by signal %d" % -exitcode
+                      if exitcode is not None and exitcode < 0
+                      else "exit code %s" % exitcode)
+            job.future.set_exception(WorkerCrashed(
+                "worker process died without an outcome (%s)" % detail,
+                code=code, exitcode=exitcode,
+            ))
+            return
+        if outcome[0] == "error":
+            job.future.set_exception(JobExecutionError(outcome[1]))
+            return
+        job.future.set_result(outcome)
+
+    def kill(self, digest: str, code: str) -> bool:
+        """SIGKILL the worker running *digest*, recording *code* as why.
+
+        Returns whether a live worker was found.  The job's future then
+        resolves with :class:`WorkerCrashed` carrying *code* — the
+        normal crash path; killing is never a special case downstream.
+        """
+        with self._lock:
+            job = self._jobs.get(digest)
+            if job is None:
+                return False
+            job.kill_code = code
+        job.process.kill()
+        return True
+
+    def live_workers(self) -> int:
+        """Supervised processes currently alive (0 in thread mode)."""
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values() if job.process.is_alive()
+            )
 
     def shutdown(self, wait: bool = True) -> None:
-        # cancel_futures guards against jobs sneaking in post-drain; any
-        # straggler process is killed with the pool, as in parallel.py.
-        self._executor.shutdown(wait=wait, cancel_futures=True)
+        if self.mode == "thread":
+            # cancel_futures guards against jobs sneaking in post-drain.
+            self._executor.shutdown(wait=wait, cancel_futures=True)
+            return
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            if wait:
+                job.process.join()
+            else:
+                job.process.kill()
+                job.process.join()
+        if self._scratch is not None:
+            shutil.rmtree(self._scratch, ignore_errors=True)

@@ -70,6 +70,8 @@ class TestFailurePaths:
         assert "worker exploded" in failure.error
         assert failure.attempts == 2  # initial try + one retry
         assert not failure.timed_out
+        assert failure.code == "sim_error"
+        assert not failure.infrastructure
         assert not outcome.complete
         assert "boom" in outcome.describe_failures()
 
@@ -84,6 +86,8 @@ class TestFailurePaths:
         assert set(outcome.failures) == {"hang"}
         assert outcome.failures["hang"].timed_out
         assert "timed out" in outcome.failures["hang"].error
+        assert outcome.failures["hang"].code == "timeout"
+        assert outcome.failures["hang"].infrastructure
 
     def test_serial_path_records_failures_too(self):
         outcome = run_sweep(
@@ -102,3 +106,28 @@ class TestFailurePaths:
         )
         assert outcome.complete
         assert outcome.describe_failures() == ""
+
+
+class TestFailureTaxonomy:
+    def test_infrastructure_codes_cover_machinery_not_jobs(self):
+        from repro.experiments.parallel import (
+            CODE_SIM_ERROR,
+            CODE_TIMEOUT,
+            CODE_WORKER_CRASHED,
+            CODE_WORKER_STALLED,
+            INFRASTRUCTURE_CODES,
+            is_infrastructure_code,
+        )
+
+        assert INFRASTRUCTURE_CODES == {
+            CODE_TIMEOUT, CODE_WORKER_CRASHED, CODE_WORKER_STALLED,
+        }
+        assert not is_infrastructure_code(CODE_SIM_ERROR)
+        assert all(is_infrastructure_code(c) for c in INFRASTRUCTURE_CODES)
+
+    def test_job_failure_defaults_to_sim_error(self):
+        from repro.experiments.parallel import JobFailure
+
+        failure = JobFailure("b2c", "boom", 1)
+        assert failure.code == "sim_error"
+        assert not failure.infrastructure

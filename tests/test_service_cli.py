@@ -156,3 +156,108 @@ class TestStatus:
             ["status", "--store", str(tmp_path / "void")]
         ) == EXIT_CLEAN
         assert "0 cached results" in capsys.readouterr().out
+
+    def test_status_json_schema(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        assert main(["batch", _write_batch(tmp_path), "--store", store]) \
+            == EXIT_CLEAN
+        capsys.readouterr()
+        assert main(["status", "--store", store, "--json"]) == EXIT_CLEAN
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"store", "quarantine", "last_run"}
+        assert report["store"]["entries"] == 3
+        assert report["store"]["directory"]
+        assert set(report["quarantine"]) == {"entries", "jobs"}
+        assert report["quarantine"]["entries"] == {"total": 0, "by_code": {}}
+        assert report["quarantine"]["jobs"] == 0
+        # The batch run's shutdown persisted its taxonomy counters.
+        assert report["last_run"] is not None
+        assert report["last_run"]["completed"] == 3
+        assert report["last_run"]["failure_codes"] == {}
+        assert report["last_run"]["breaker_state"] == "closed"
+
+    def test_status_json_reports_failures_and_quarantine(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "cache")
+        bad = {"requests": [
+            {"benchmark": "b2c", "scale": 0.02, "mode": "functional"},
+            {"benchmark": "no-such-bench", "scale": 0.02,
+             "mode": "functional"},
+        ]}
+        assert main(["batch", _write_batch(tmp_path, bad), "--store", store,
+                     "--retries", "0"]) == EXIT_PARTIAL
+        # Damage the cached entry so status sees store quarantine too.
+        from repro.service.store import ResultStore
+        damaged = ResultStore(store)
+        digest = damaged.entries()[0]
+        with open(damaged.path(digest), "wb") as handle:
+            handle.write(b"garbage")
+        damaged.scrub()
+        capsys.readouterr()
+        assert main(["status", "--store", store, "--json"]) == EXIT_CLEAN
+        report = json.loads(capsys.readouterr().out)
+        assert report["quarantine"]["entries"]["total"] == 1
+        assert report["quarantine"]["entries"]["by_code"] == {"unreadable": 1}
+        assert report["last_run"]["failure_codes"] == {"sim_error": 1}
+        capsys.readouterr()
+        assert main(["status", "--store", store]) == EXIT_CLEAN
+        human = capsys.readouterr().out
+        assert "quarantined entries: 1" in human
+        assert "failures by code: sim_error=1" in human
+
+
+class TestScrub:
+    def _seed_store(self, tmp_path):
+        store = str(tmp_path / "cache")
+        assert main(["batch", _write_batch(tmp_path), "--store", store]) \
+            == EXIT_CLEAN
+        return store
+
+    def test_scrub_clean_store_exits_clean(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        capsys.readouterr()
+        assert main(["scrub", "--store", store]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "3 scanned, 3 ok" in out
+
+    def test_scrub_quarantines_damage_and_exits_partial(
+        self, tmp_path, capsys
+    ):
+        store = self._seed_store(tmp_path)
+        from repro.service.store import ResultStore
+        damaged = ResultStore(store)
+        digest = damaged.entries()[0]
+        with open(damaged.path(digest), "wb") as handle:
+            handle.write(b"garbage")
+        capsys.readouterr()
+        assert main(["scrub", "--store", store, "--json"]) == EXIT_PARTIAL
+        report = json.loads(capsys.readouterr().out)
+        assert report["scanned"] == 3
+        assert report["ok"] == 2
+        assert report["quarantined"] == {"unreadable": 1}
+        assert report["unrepaired"] == 1
+
+    def test_scrub_repair_recomputes_flipped_entry(self, tmp_path, capsys):
+        import pickle
+
+        store = self._seed_store(tmp_path)
+        from repro.service.store import ResultStore
+        damaged = ResultStore(store)
+        digest = damaged.entries()[0]
+        path = damaged.path(digest)
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+        envelope["result"] = pickle.dumps("tampered")
+        with open(path, "wb") as handle:
+            pickle.dump(envelope, handle)
+        capsys.readouterr()
+        assert main(["scrub", "--store", store, "--repair"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "1 repaired" in out.replace("(", "").replace(")", "")
+        # The entry is valid again and the store is fully warm.
+        fresh = ResultStore(store)
+        assert digest in fresh
+        capsys.readouterr()
+        assert main(["scrub", "--store", store]) == EXIT_CLEAN
+        assert "3 ok" in capsys.readouterr().out

@@ -1,10 +1,12 @@
 """The content-addressed result store (repro.service.store).
 
 A cache must never be load-bearing: every corruption mode here has to
-degrade to a miss (plus invalidation of the damaged entry), never to a
-wrong or torn result.
+degrade to a miss (plus quarantine of the damaged entry — moved aside
+for forensics, never deleted), never to a wrong or torn result.
 """
 
+import json
+import os
 import pickle
 
 import pytest
@@ -145,3 +147,123 @@ class TestMaintenance:
     def test_empty_store_entries(self, store):
         assert store.entries() == []
         assert store.prune() == 0
+
+
+class TestQuarantine:
+    def test_damaged_entry_moves_to_quarantine_not_unlink(self, store):
+        store.put(DIGEST, 42)
+        with open(store.path(DIGEST), "wb") as handle:
+            handle.write(b"not a pickle at all")
+        assert store.get(DIGEST) is None
+        # The bytes survive for forensics, with a reason sidecar.
+        moved = os.listdir(store.quarantine_dir)
+        assert DIGEST + ".res" in moved
+        assert DIGEST + ".res.reason.json" in moved
+        sidecar = json.loads(
+            open(os.path.join(store.quarantine_dir,
+                              DIGEST + ".res.reason.json")).read()
+        )
+        assert sidecar["code"] == "unreadable"
+        assert sidecar["quarantined_at"]
+
+    def test_quarantined_counted_by_code(self, store):
+        store.put(DIGEST, "payload")
+        store.put(OTHER, "payload2")
+        with open(store.path(DIGEST), "wb") as handle:
+            handle.write(b"garbage")
+        path = store.path(OTHER)
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+        envelope["result"] = pickle.dumps("swapped")
+        with open(path, "wb") as handle:
+            pickle.dump(envelope, handle)
+        store.get(DIGEST)
+        store.get(OTHER)
+        assert store.stats.quarantined == {
+            "unreadable": 1, "checksum_mismatch": 1,
+        }
+        summary = store.quarantine_summary()
+        assert summary["total"] == 2
+        assert summary["by_code"] == {
+            "unreadable": 1, "checksum_mismatch": 1,
+        }
+
+    def test_quarantine_collisions_keep_every_copy(self, store):
+        for _ in range(3):
+            store.put(DIGEST, "payload")
+            with open(store.path(DIGEST), "wb") as handle:
+                handle.write(b"garbage")
+            assert store.get(DIGEST) is None
+        names = [n for n in os.listdir(store.quarantine_dir)
+                 if n.endswith(".res") or ".res." in n]
+        res_files = [n for n in names if not n.endswith(".reason.json")]
+        assert len(res_files) == 3  # no overwrite of older evidence
+
+    def test_quarantine_dir_is_not_an_entry_shard(self, store):
+        store.put(DIGEST, "good")
+        store.put(OTHER, "bad")
+        with open(store.path(OTHER), "wb") as handle:
+            handle.write(b"garbage")
+        store.get(OTHER)
+        assert store.entries() == [DIGEST]
+
+
+class TestScrub:
+    def test_scrub_clean_store(self, store):
+        store.put(DIGEST, 1, fingerprint={"seed": 1})
+        report = store.scrub()
+        assert report.scanned == 1
+        assert report.ok == 1
+        assert report.corrupt == 0
+        assert "1 ok" in report.render()
+
+    def test_scrub_quarantines_and_reports_by_code(self, store):
+        store.put(DIGEST, "good")
+        store.put(OTHER, "bad")
+        with open(store.path(OTHER), "wb") as handle:
+            handle.write(b"garbage")
+        report = store.scrub()
+        assert report.scanned == 2
+        assert report.ok == 1
+        assert report.quarantined == {"unreadable": 1}
+        assert report.unrepaired == 1
+        assert OTHER not in store
+        assert store.get(DIGEST) == "good"
+
+    def test_scrub_repairs_fingerprinted_entries(self, store):
+        store.put(DIGEST, "original", fingerprint={"seed": 1})
+        path = store.path(DIGEST)
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+        envelope["result"] = pickle.dumps("tampered")
+        with open(path, "wb") as handle:
+            pickle.dump(envelope, handle)
+
+        calls = []
+
+        def repair(digest, fingerprint):
+            calls.append((digest, fingerprint))
+            store.put(digest, "recomputed", fingerprint=fingerprint)
+            return True
+
+        report = store.scrub(repair=repair)
+        assert calls == [(DIGEST, {"seed": 1})]
+        assert report.repaired == 1
+        assert report.unrepaired == 0
+        assert store.get(DIGEST, fingerprint={"seed": 1}) == "recomputed"
+
+    def test_failed_repair_counts_as_unrepaired(self, store):
+        store.put(DIGEST, "original", fingerprint={"seed": 1})
+        with open(store.path(DIGEST), "wb") as handle:
+            handle.write(b"garbage")  # unreadable: no fingerprint survives
+        report = store.scrub(repair=lambda d, f: True)
+        assert report.repaired == 0
+        assert report.unrepaired == 1
+
+    def test_prune_is_scrub_without_repair(self, store):
+        store.put(DIGEST, "good")
+        store.put(OTHER, "bad")
+        with open(store.path(OTHER), "wb") as handle:
+            handle.write(b"garbage")
+        assert store.prune() == 1
+        assert store.entries() == [DIGEST]

@@ -1,0 +1,110 @@
+"""Concurrent multi-process ResultStore access: no torn reads, ever.
+
+Several fork-started processes hammer one store directory — overlapping
+puts of the same digests, gets with fingerprint verification, and
+concurrent scrubs.  The store's contract under this race is:
+
+* a get returns either ``None`` (miss) or a complete, checksum-valid
+  result — never a partial or mixed write (atomic same-dir replace);
+* scrubbing while writers are active never corrupts a good entry —
+  at worst an in-flight entry is re-put by its writer;
+* no worker ever sees an exception escape the store API.
+"""
+
+import multiprocessing
+import pickle
+
+from repro.service.store import ResultStore
+
+DIGESTS = ["%032x" % (0xABC000 + n) for n in range(8)]
+ROUNDS = 40
+
+
+def _payload(digest: str, round_number: int):
+    # Deterministic per digest so any reader can validate what it got —
+    # a torn or mixed read cannot produce a valid (digest, payload) pair.
+    return {"digest": digest, "value": digest * 3, "round": "fixed"}
+
+
+def _fingerprint(digest: str) -> dict:
+    return {"for": digest}
+
+
+def _hammer(directory: str, worker: int, failures):
+    try:
+        store = ResultStore(directory)
+        for round_number in range(ROUNDS):
+            for index, digest in enumerate(DIGESTS):
+                if (index + round_number + worker) % 3 == 0:
+                    store.put(
+                        digest, _payload(digest, round_number),
+                        fingerprint=_fingerprint(digest),
+                    )
+                got = store.get(digest, fingerprint=_fingerprint(digest))
+                if got is not None and got != _payload(digest, 0):
+                    failures.put(
+                        "worker %d: torn read for %s: %r"
+                        % (worker, digest, got)
+                    )
+            if worker == 0 and round_number % 10 == 5:
+                store.scrub()
+    except Exception as exc:  # noqa: BLE001 - any escape is a failure
+        failures.put("worker %d: %s: %s" % (worker, type(exc).__name__, exc))
+
+
+class TestMultiprocessStore:
+    def test_racing_put_get_scrub_never_tears(self, tmp_path):
+        directory = str(tmp_path / "shared-store")
+        context = multiprocessing.get_context("fork")
+        failures = context.Queue()
+        workers = [
+            context.Process(target=_hammer, args=(directory, n, failures))
+            for n in range(3)
+        ]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        problems = []
+        while not failures.empty():
+            problems.append(failures.get())
+        assert problems == []
+
+        # The store converges: every digest readable and valid.
+        store = ResultStore(directory)
+        for digest in DIGESTS:
+            got = store.get(digest, fingerprint=_fingerprint(digest))
+            assert got == _payload(digest, 0)
+
+    def test_concurrent_identical_puts_leave_one_valid_entry(self, tmp_path):
+        directory = str(tmp_path / "shared-store")
+        context = multiprocessing.get_context("fork")
+        failures = context.Queue()
+        digest = DIGESTS[0]
+
+        def put_many(worker: int) -> None:
+            try:
+                store = ResultStore(directory)
+                for _ in range(50):
+                    store.put(digest, _payload(digest, 0),
+                              fingerprint=_fingerprint(digest))
+            except Exception as exc:  # noqa: BLE001
+                failures.put("%s: %s" % (type(exc).__name__, exc))
+
+        workers = [
+            context.Process(target=put_many, args=(n,)) for n in range(4)
+        ]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        assert failures.empty()
+
+        store = ResultStore(directory)
+        assert store.entries() == [digest]
+        path = store.path(digest)
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)  # loads = the file is whole
+        assert envelope["digest"] == digest
