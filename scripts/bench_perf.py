@@ -18,6 +18,12 @@ root:
   and cached (every cell served from the content-addressed store; this
   is the per-request overhead of digesting, scheduling, and one store
   read, so it is gated).
+* ``http`` — served-requests/sec through the full HTTP front end
+  (``repro-serve serve``): the loopback server driven by the
+  profile-based load generator (:mod:`repro.service.loadgen`, mixed
+  profile), cold and cached.  Recorded in history for trajectory but
+  not gated — closed-loop HTTP throughput on a shared CI box is too
+  scheduler-noisy to threshold.
 
 Simulator rates are best-of-``SIM_REPEATS`` over one shared workload:
 the aggregate rate folds in scheduler preemption and allocator warm-up,
@@ -295,6 +301,81 @@ def bench_service_chaos(seed: int = 1, jobs: int = CHAOS_JOBS) -> dict:
     return {"jobs": jobs, "scale": SERVICE_SCALE, **curve}
 
 
+HTTP_DURATION = 2.0
+HTTP_CONCURRENCY = 4
+HTTP_POOL = 16
+
+
+def bench_http(
+    duration: float = HTTP_DURATION,
+    concurrency: int = HTTP_CONCURRENCY,
+    pool_size: int = HTTP_POOL,
+) -> dict:
+    """Served-requests/sec over loopback HTTP, cold and cached.
+
+    One in-process server (thread workers, fresh store), the mixed
+    profile, closed-loop clients.  Cold draws unique seeds so every
+    request simulates; cached round-robins a pre-warmed pool so every
+    request is a 200-from-cache — the two regimes bound the serving
+    story from both sides.
+    """
+    import shutil
+    import tempfile
+
+    import asyncio
+
+    from repro.service.client import AsyncServiceClient
+    from repro.service.http import ServiceHTTPServer
+    from repro.service.loadgen import generate_load, request_pool
+    from repro.service.scheduler import SimulationService
+
+    async def run() -> dict:
+        clear_cache()
+        store = tempfile.mkdtemp(prefix="bench-http-")
+        try:
+            service = SimulationService(
+                store=store, max_workers=2, max_pending=512
+            )
+            server = ServiceHTTPServer(service, port=0)
+            await server.start()
+            try:
+                cold = await generate_load(
+                    "127.0.0.1", server.port, profile="mixed",
+                    concurrency=concurrency, duration=duration, mode="cold",
+                )
+                pool = request_pool(pool_size, scale=SERVICE_SCALE)
+                client = AsyncServiceClient(port=server.port)
+                for request in pool:  # pre-warm the cache
+                    await client.run(request)
+                await client.close()
+                cached = await generate_load(
+                    "127.0.0.1", server.port, profile="mixed",
+                    concurrency=concurrency, duration=duration,
+                    mode="cached", pool=pool,
+                )
+            finally:
+                await server.close()
+                await service.shutdown(drain=False)
+            return {
+                "profile": "mixed",
+                "concurrency": concurrency,
+                "duration_seconds": duration,
+                "cold_served_per_sec": cold["served_per_second"],
+                "cached_served_per_sec": cached["served_per_second"],
+                "cached_p95_latency_seconds":
+                    cached["latency_seconds"]["p95"],
+                "rejections": {
+                    "cold": cold["rejections"],
+                    "cached": cached["rejections"],
+                },
+                "errors": cold["errors"] + cached["errors"],
+            }
+        finally:
+            shutil.rmtree(store, ignore_errors=True)
+
+    return asyncio.run(run())
+
+
 #: Reduced-scale settings for the per-PR CI smoke run: the same gated
 #: metrics at a fraction of the wall clock.  Smoke runs are checked
 #: against the ``smoke_baseline`` section recorded at these same
@@ -305,6 +386,8 @@ SMOKE = {
     "matcher_repeats": 10,
     "service_jobs": 8,
     "chaos_jobs": 4,
+    "http_duration": 1.0,
+    "http_concurrency": 2,
 }
 
 
@@ -325,6 +408,11 @@ def measure(smoke: bool = False) -> dict:
         "service_chaos": bench_service_chaos(
             jobs=SMOKE["chaos_jobs"] if smoke else CHAOS_JOBS
         ),
+        "http": bench_http(
+            duration=SMOKE["http_duration"] if smoke else HTTP_DURATION,
+            concurrency=SMOKE["http_concurrency"] if smoke
+            else HTTP_CONCURRENCY,
+        ),
         **bench_simulators(
             functional_scale=functional_scale, timing_scale=timing_scale
         ),
@@ -337,6 +425,13 @@ _GATED = [
     (("timing_uops_per_sec",), "timing uops/sec"),
     (("matcher", "words_per_sec_vectorized"), "matcher words/sec"),
     (("service", "cached_jobs_per_sec"), "service cached jobs/sec"),
+]
+
+#: Ungated metrics that still belong in the history trajectory (too
+#: scheduler-noisy to threshold, too load-bearing to lose).
+_HISTORY_EXTRA = [
+    (("http", "cold_served_per_sec"), "http cold served/sec"),
+    (("http", "cached_served_per_sec"), "http cached served/sec"),
 ]
 
 
@@ -365,7 +460,7 @@ def _history_entry(measured: dict) -> dict:
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "git_rev": _git_rev(),
     }
-    for path, _ in _GATED:
+    for path, _ in _GATED + _HISTORY_EXTRA:
         try:
             entry[".".join(path)] = _dig(measured, path)
         except (KeyError, TypeError):

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Profile-driven load benchmark for the HTTP serving front end.
+
+Runs named traffic profiles (priority mixes) against a ``repro-serve
+serve`` endpoint and reports served-requests/sec with latency
+quantiles — the serving-tier analogue of ``bench_perf.py``, in the
+shape of bleepstore's ``bench_profiles.py``: profile × concurrency ×
+duration, JSON out.
+
+By default the script owns the whole experiment: it starts an
+in-process server on a free loopback port with a fresh temporary store,
+runs the requested profiles in both regimes (``cold`` — every request
+unique, every request simulates; ``cached`` — a pre-warmed pool, every
+request a 200-from-cache), and tears everything down.  Point it at an
+already-running server with ``--host``/``--port`` (the store state is
+then whatever that server has; only the regimes you ask for with
+``--mode`` run).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serve.py                 # all profiles
+    PYTHONPATH=src python scripts/bench_serve.py --profile mixed \\
+        --concurrency 8 --duration 5 --json out.json
+    PYTHONPATH=src python scripts/bench_serve.py --port 8140 \\
+        --mode cached --token sweep-token
+
+Exit code is nonzero when any cell recorded hard errors (typed 429/503
+rejections are backpressure, not errors — they are counted and
+reported, and the generator honours the server's Retry-After hint).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.service.client import AsyncServiceClient  # noqa: E402
+from repro.service.loadgen import (  # noqa: E402
+    PROFILES,
+    generate_load,
+    request_pool,
+)
+
+
+async def _run_cells(args, host: str, port: int) -> list:
+    profiles = [args.profile] if args.profile else sorted(PROFILES)
+    modes = ("cold", "cached") if args.mode == "both" else (args.mode,)
+    pool = request_pool(args.pool_size, scale=args.scale)
+    if "cached" in modes:
+        client = AsyncServiceClient(host=host, port=port, token=args.token)
+        try:
+            for request in pool:  # pre-warm so cached means cached
+                await client.run(request)
+        finally:
+            await client.close()
+    reports = []
+    for profile in profiles:
+        for mode in modes:
+            report = await generate_load(
+                host, port, profile=profile, mode=mode,
+                concurrency=args.concurrency, duration=args.duration,
+                pool=pool, token=args.token, seed=args.seed,
+                scale=args.scale,
+            )
+            reports.append(report)
+            print(
+                "%-18s %-7s %5.1f req/s  p95 %.4fs  "
+                "(%d served, %d rejected, %d errors)"
+                % (profile, mode, report["served_per_second"],
+                   report["latency_seconds"]["p95"], report["served"],
+                   sum(report["rejections"].values()), report["errors"]),
+                file=sys.stderr,
+            )
+    return reports
+
+
+async def _with_local_server(args) -> list:
+    import shutil
+    import tempfile
+
+    from repro.service.http import ServiceHTTPServer
+    from repro.service.scheduler import SimulationService
+
+    store = args.store or tempfile.mkdtemp(prefix="bench-serve-")
+    cleanup = args.store is None
+    service = SimulationService(
+        store=store, max_workers=args.workers, max_pending=args.max_pending,
+    )
+    server = ServiceHTTPServer(service, host="127.0.0.1", port=0)
+    await server.start()
+    print("bench_serve: local server on port %d (store %s)"
+          % (server.port, store), file=sys.stderr)
+    try:
+        return await _run_cells(args, "127.0.0.1", server.port)
+    finally:
+        await server.close()
+        await service.shutdown(drain=False)
+        if cleanup:
+            shutil.rmtree(store, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default=None,
+        help="traffic profile (default: run all of them)",
+    )
+    parser.add_argument(
+        "--mode", choices=("cold", "cached", "both"), default="both",
+        help="serving regime(s) to measure (default: both)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=4,
+        help="closed-loop client count (default: 4)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=3.0,
+        help="seconds per profile × mode cell (default: 3)",
+    )
+    parser.add_argument(
+        "--pool-size", type=int, default=16,
+        help="distinct requests in the cached pool (default: 16)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.02,
+        help="workload scale of the generated requests (default: 0.02)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="deterministic priority/request stream seed (default: 1)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="target an existing server at this host",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="target an existing server at this port "
+             "(default: start a local in-process server)",
+    )
+    parser.add_argument(
+        "--token", default=None,
+        help="bearer token when the target server has auth enabled",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker count for the local in-process server (default: 2)",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=256,
+        help="queue bound for the local in-process server (default: 256)",
+    )
+    parser.add_argument(
+        "--store", default=None,
+        help="store directory for the local server "
+             "(default: fresh temp dir, removed afterwards)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the report cells as JSON to PATH ('-' = stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.port is not None:
+        reports = asyncio.run(_run_cells(args, args.host, args.port))
+    else:
+        reports = asyncio.run(_with_local_server(args))
+
+    payload = json.dumps({"cells": reports}, indent=2) + "\n"
+    if args.json == "-":
+        sys.stdout.write(payload)
+    elif args.json:
+        with open(args.json, "w") as handle:
+            handle.write(payload)
+    else:
+        sys.stdout.write(payload)
+    return 1 if any(report["errors"] for report in reports) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""CI smoke test for the HTTP serving front end (``repro-serve serve``).
+
+Boots the real CLI server as a subprocess on a free port, then from the
+outside — exactly like a deployment probe would — round-trips a cold
+job, verifies the same submission is then served from cache with an
+identical result digest, and asserts the ``/health`` and ``/metrics``
+schemas.  Auth is enabled, so the 401 path is exercised too.
+
+Everything is wrapped in a hard wall-clock watchdog: if the server
+hangs at any point, the script SIGKILLs it and fails loudly rather than
+letting the CI job run to its global timeout.
+
+Usage::
+
+    PYTHONPATH=src python scripts/http_smoke.py [--timeout SECONDS]
+
+Exit code 0 on success; nonzero with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.params import MachineConfig  # noqa: E402
+from repro.service import (  # noqa: E402
+    ServiceClient,
+    ServiceHTTPError,
+    SimRequest,
+    encode_result,
+    request_digest,
+)
+
+TOKEN = "smoke-token"
+
+REQUIRED_HEALTH_KEYS = (
+    "status", "uptime_seconds", "workers", "worker_mode", "queue_depth",
+    "queue_limit", "running", "breaker", "retry_after_hint", "store",
+)
+REQUIRED_METRIC_FAMILIES = (
+    "repro_service_submitted_total",
+    "repro_service_cache_hits_total",
+    "repro_service_completed_total",
+    "repro_service_queue_depth",
+    "repro_service_queue_limit",
+    "repro_service_breaker_open",
+    "repro_service_retry_after_seconds",
+    "repro_service_quarantined_jobs",
+    "repro_service_store_puts_total",
+    "repro_service_store_quarantined_entries",
+    "repro_service_http_requests_total",
+)
+
+
+def fail(message: str) -> "SystemExit":
+    return SystemExit("http_smoke: FAILED: %s" % message)
+
+
+def wait_for_port(proc: subprocess.Popen, deadline: float) -> int:
+    """Parse the bound port from the server's startup line."""
+    line = ""
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise fail("server exited early (code %s): %r"
+                       % (proc.returncode, proc.stdout.read()))
+        line = proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if match:
+            return int(match.group(1))
+    raise fail("server never announced its port (last line: %r)" % line)
+
+
+def run_smoke(port: int) -> None:
+    request = SimRequest(
+        machine=MachineConfig(), benchmark="b2c", scale=0.02, seed=1,
+        mode="functional",
+    )
+    digest = request_digest(request)
+
+    # 1. Auth is on: a token-less probe of an authed endpoint is a 401...
+    with ServiceClient(port=port) as anonymous:
+        try:
+            anonymous.job_status(digest)
+        except ServiceHTTPError as exc:
+            if exc.status != 401:
+                raise fail("expected 401 without token, got %d" % exc.status)
+        else:
+            raise fail("authed endpoint answered without a token")
+        # ...but /health and /metrics stay open for probes.
+        health = anonymous.health()
+
+    for key in REQUIRED_HEALTH_KEYS:
+        if key not in health:
+            raise fail("/health missing %r (got %s)" % (key, sorted(health)))
+    if health["status"] != "ok":
+        raise fail("/health status %r" % health["status"])
+
+    with ServiceClient(port=port, token=TOKEN) as client:
+        # 2. Cold round trip: submit -> status -> result.
+        accepted = client.submit(request, priority="interactive")
+        if accepted["digest"] != digest:
+            raise fail("server digest %s != client digest %s"
+                       % (accepted["digest"], digest))
+        cold = client.run(request)
+        status = client.job_status(digest)
+        if status["state"] != "done":
+            raise fail("job not done after result arrived: %s" % status)
+
+        # 3. Cached round trip: same submission is a 200-from-cache with
+        #    an identical result digest.
+        again = client.submit(request)
+        if (again["state"], again["source"]) != ("done", "cache"):
+            raise fail("resubmission not served from cache: %s" % again)
+        cached = client.result(digest)
+        cold_digest = encode_result(cold)["digest"]
+        cached_digest = encode_result(cached)["digest"]
+        if cold_digest != cached_digest:
+            raise fail("cold/cached result digests differ: %s != %s"
+                       % (cold_digest, cached_digest))
+
+        # 4. /metrics schema: every family present, counters moved.
+        metrics = client.metrics()
+        for family in REQUIRED_METRIC_FAMILIES:
+            if family not in metrics:
+                raise fail("/metrics missing family %r" % family)
+        samples = {}
+        for line in metrics.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            name, value = line.rsplit(None, 1)
+            samples[name] = float(value)
+        if samples["repro_service_submitted_total"] < 2:
+            raise fail("submitted_total did not count the round trips")
+        if samples["repro_service_cache_hits_total"] < 1:
+            raise fail("cache_hits_total did not count the cached serve")
+
+    print("http_smoke: ok — cold+cached round trip digest-identical "
+          "(%s), health and metrics schemas verified" % cold_digest[:16])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="hard wall-clock budget for the whole smoke (default: 120s)",
+    )
+    args = parser.parse_args(argv)
+    deadline = time.monotonic() + args.timeout
+
+    store = tempfile.mkdtemp(prefix="http-smoke-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service.cli", "serve",
+         "--port", "0", "--store", store, "--workers", "2",
+         "--token", "%s=interactive" % TOKEN],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        cwd=REPO_ROOT, env=env,
+    )
+    try:
+        port = wait_for_port(proc, deadline)
+        run_smoke(port)
+        # Graceful teardown must finish inside the budget too.
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=max(1.0, deadline - time.monotonic()))
+        except subprocess.TimeoutExpired:
+            raise fail("server ignored SIGTERM within the time budget")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()  # the hard stop the CI job relies on
+            proc.wait(timeout=10)
+        import shutil
+
+        shutil.rmtree(store, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,15 @@ the substrate the ROADMAP's "heavy traffic" north star builds on:
   bit-identically).
 * :mod:`repro.service.client` — async sweep batching plus the blocking
   :class:`ServiceSession` facade, which can route the experiments CLI's
-  sweeps through the cache (``repro-experiments ... --service-store``).
+  sweeps through the cache (``repro-experiments ... --service-store``),
+  and the HTTP clients (:class:`AsyncServiceClient` /
+  :class:`ServiceClient`) for the served tier.
+* :mod:`repro.service.http` — :class:`ServiceHTTPServer`: the network
+  front end (``repro-serve serve``), with bearer-token → priority-class
+  auth, typed 429/503/409 backpressure responses, digest-verified
+  result transport, and Prometheus ``/metrics`` + ``/health``.
+* :mod:`repro.service.loadgen` — profile-driven load generator for the
+  HTTP tier (named traffic mixes × concurrency × duration).
 * :mod:`repro.service.cli` — the ``repro-serve`` command.
 
 The tier is *crash-only* (PR 6): process workers are supervised by
@@ -32,7 +40,19 @@ seeded chaos (worker kills, heartbeat stalls, store corruption) to
 prove all of it.
 """
 
-from repro.service.client import ServiceSession, sweep_requests, sweep_speedups
+from repro.service.client import (
+    AsyncServiceClient,
+    ServiceClient,
+    ServiceHTTPError,
+    ServiceSession,
+    sweep_requests,
+    sweep_speedups,
+)
+from repro.service.http import (
+    ServiceHTTPServer,
+    decode_result,
+    encode_result,
+)
 from repro.service.request import (
     RESULT_SCHEMA_VERSION,
     Priority,
@@ -63,6 +83,7 @@ from repro.service.workers import JobExecutionError, WorkerCrashed
 __all__ = [
     "RESULT_SCHEMA_VERSION",
     "RESULT_STORE_VERSION",
+    "AsyncServiceClient",
     "Job",
     "JobExecutionError",
     "JobFailed",
@@ -71,8 +92,11 @@ __all__ = [
     "QueueFull",
     "ResultStore",
     "ScrubReport",
+    "ServiceClient",
     "ServiceClosed",
     "ServiceDegraded",
+    "ServiceHTTPError",
+    "ServiceHTTPServer",
     "ServiceRejected",
     "ServiceSession",
     "ServiceStatus",
@@ -81,6 +105,8 @@ __all__ = [
     "StoreStats",
     "WorkerCrashed",
     "canonical_request_tree",
+    "decode_result",
+    "encode_result",
     "request_digest",
     "request_from_fingerprint",
     "sweep_requests",

@@ -3,6 +3,7 @@
 Subcommands::
 
     repro-serve batch FILE [--store DIR] [--workers N] [...]
+    repro-serve serve [--port P] [--store DIR] [--token TOKEN=PRIORITY] [...]
     repro-serve status [--store DIR] [--json]
     repro-serve scrub [--store DIR] [--repair] [--workers N] [--json]
 
@@ -34,6 +35,14 @@ scheduler), and — when the last service run persisted its counters —
 the failure taxonomy of that run.  ``--json`` emits the same facts with
 a stable schema: ``{"store": ..., "quarantine": {"entries", "jobs"},
 "last_run": ...|null}``.
+
+``serve`` runs the HTTP front end (:mod:`repro.service.http`) over a
+local :class:`SimulationService` until SIGINT/SIGTERM: submit / status /
+result endpoints plus ``/health`` and Prometheus ``/metrics``.
+``--token TOKEN=PRIORITY`` (repeatable) enables bearer-token auth and
+maps each token to its priority ceiling; with no tokens, auth is off and
+the request body's ``priority`` field is honoured.  The bound address is
+printed on startup (``--port 0`` picks a free port — handy under CI).
 
 ``scrub`` sweeps every entry through full checksum validation, moving
 damaged ones to the quarantine directory (never deleting — forensics
@@ -163,6 +172,73 @@ def _cmd_batch(args) -> int:
             )
             handle.write("\n")
     return EXIT_PARTIAL if failures else EXIT_CLEAN
+
+
+def _parse_tokens(specs) -> dict:
+    """``{token: Priority}`` from repeated ``TOKEN=PRIORITY`` options."""
+    tokens = {}
+    for spec in specs or []:
+        token, sep, priority = spec.partition("=")
+        if not token or not sep:
+            raise ValueError(
+                "--token wants TOKEN=PRIORITY, got %r" % spec
+            )
+        tokens[token] = parse_priority(priority)
+    return tokens
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.http import ServiceHTTPServer
+    from repro.service.scheduler import SimulationService
+
+    try:
+        tokens = _parse_tokens(args.token)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_ERROR
+
+    async def serve() -> int:
+        service = SimulationService(
+            store=args.store,
+            max_workers=args.workers,
+            worker_mode=args.worker_mode,
+            max_pending=args.max_pending,
+            job_timeout=args.timeout,
+            retries=args.retries,
+            stall_timeout=args.stall_timeout,
+            snapshot_every=args.snapshot_every,
+        )
+        server = ServiceHTTPServer(
+            service, host=args.host, port=args.port, tokens=tokens
+        )
+        await server.start()
+        print(
+            "repro-serve: http://%s:%d (store %s, %d %s worker%s, auth %s)"
+            % (server.host, server.port, args.store, args.workers,
+               args.worker_mode, "" if args.workers == 1 else "s",
+               "on" if tokens else "off"),
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without loop signal handlers
+        await stop.wait()
+        print("repro-serve: shutting down", flush=True)
+        await server.close()
+        await service.shutdown(drain=True)
+        return EXIT_CLEAN
+
+    try:
+        return asyncio.run(serve())
+    except KeyboardInterrupt:
+        return EXIT_CLEAN
 
 
 def _job_quarantine_records(store) -> list:
@@ -323,6 +399,56 @@ def main(argv=None) -> int:
         help="also write a machine-readable report to PATH",
     )
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="serve the simulation service over HTTP"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8140,
+        help="bind port; 0 picks a free one (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--store", default=DEFAULT_STORE,
+        help="result-store directory (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker count (default: 2)",
+    )
+    serve.add_argument(
+        "--worker-mode", choices=("thread", "process"), default="thread",
+        help="worker tier kind (default: thread)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=256,
+        help="queued-job bound before a 429 (default: 256)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job wall-clock timeout in seconds",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=1,
+        help="retry budget per job (default: 1)",
+    )
+    serve.add_argument(
+        "--stall-timeout", type=float, default=None, metavar="SECONDS",
+        help="heartbeat reaper threshold (process mode only)",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="make timing jobs preemptible at N-uop snapshot boundaries",
+    )
+    serve.add_argument(
+        "--token", action="append", metavar="TOKEN=PRIORITY",
+        help="enable bearer auth; maps TOKEN to its priority ceiling "
+             "(interactive or sweep); repeatable",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     status = sub.add_parser(
         "status", help="inspect a result store and its quarantine"

@@ -16,19 +16,38 @@ Two layers:
   :func:`repro.experiments.common.set_speedup_provider`, at which point
   every existing experiment sweep transparently runs through the
   service's cache.
+
+* **HTTP clients** against a ``repro-serve serve`` front end
+  (:mod:`repro.service.http`) — :class:`AsyncServiceClient` (asyncio,
+  persistent keep-alive connection, what the load generator drives) and
+  :class:`ServiceClient` (blocking, stdlib ``http.client``, for scripts
+  and notebooks).  Both speak the same wire format, decode results
+  through :func:`repro.service.http.decode_result` (digest-verified),
+  and raise :class:`ServiceHTTPError` carrying the failure-taxonomy
+  code and any ``Retry-After`` hint on non-2xx responses.
 """
 
 from __future__ import annotations
 
 import asyncio
+import http.client
+import json
 import threading
+import time
 
 from repro.experiments import common as _common
 from repro.params import MachineConfig
 from repro.service.request import Priority, SimRequest
 from repro.service.scheduler import SimulationService
 
-__all__ = ["ServiceSession", "sweep_requests", "sweep_speedups"]
+__all__ = [
+    "AsyncServiceClient",
+    "ServiceClient",
+    "ServiceHTTPError",
+    "ServiceSession",
+    "sweep_requests",
+    "sweep_speedups",
+]
 
 
 def baseline_machine(config: MachineConfig) -> MachineConfig:
@@ -287,3 +306,300 @@ class ServiceSession:
             _common.set_speedup_provider(self._installed_previous)
             self._installed = False
             self._installed_previous = None
+
+
+# ---------------------------------------------------------------------------
+# HTTP clients (server side: repro.service.http)
+# ---------------------------------------------------------------------------
+
+class ServiceHTTPError(Exception):
+    """A non-2xx response from the serving front end.
+
+    ``code`` is the failure-taxonomy / rejection code from the response
+    body (``queue_full``, ``quarantined``, ``unauthorized``, ...);
+    ``retry_after`` is the server's backoff hint in seconds when one was
+    sent (429/503), else ``None``.
+    """
+
+    def __init__(self, status: int, body: dict,
+                 retry_after: float | None = None) -> None:
+        self.status = status
+        self.body = body if isinstance(body, dict) else {"error": str(body)}
+        self.code = self.body.get("code", "error")
+        if retry_after is None:
+            retry_after = self.body.get("retry_after")
+        self.retry_after = retry_after
+        super().__init__(
+            "HTTP %d [%s]: %s"
+            % (status, self.code, self.body.get("error", "request failed"))
+        )
+
+
+def _request_body(request: SimRequest, priority) -> bytes:
+    from repro.service.http import request_to_wire
+
+    return json.dumps(request_to_wire(request, priority)).encode()
+
+
+def _decode_payload(payload: dict):
+    from repro.service.http import decode_result
+
+    return decode_result(payload)
+
+
+class AsyncServiceClient:
+    """Asyncio client for the HTTP front end, one keep-alive connection.
+
+    Not task-safe by design: one client == one connection == one
+    outstanding request (HTTP/1.1 without pipelining).  Concurrency is
+    expressed as N clients — exactly how the load generator models N
+    simultaneous callers.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8140,
+                 token: str | None = None) -> None:
+        self.host = host
+        self.port = port
+        self.token = token
+        self._reader = None
+        self._writer = None
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def _roundtrip(self, method: str, path: str, body: bytes):
+        headers = [
+            "%s %s HTTP/1.1" % (method, path),
+            "Host: %s:%d" % (self.host, self.port),
+            "Content-Length: %d" % len(body),
+        ]
+        if self.token:
+            headers.append("Authorization: Bearer %s" % self.token)
+        if body:
+            headers.append("Content-Type: application/json")
+        raw = ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body
+        self._writer.write(raw)
+        await self._writer.drain()
+
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        parts = line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        response_headers = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0"))
+        payload = await self._reader.readexactly(length) if length else b""
+        return status, response_headers, payload
+
+    async def request(self, method: str, path: str, tree=None):
+        """One JSON round trip; returns ``(status, headers, parsed_body)``.
+
+        Reconnects once on a dead keep-alive connection.  Raises
+        :class:`ServiceHTTPError` for status >= 400.
+        """
+        body = json.dumps(tree).encode() if tree is not None else b""
+        if self._writer is None:
+            await self._connect()
+        try:
+            status, headers, payload = await self._roundtrip(
+                method, path, body
+            )
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            await self.close()
+            await self._connect()
+            status, headers, payload = await self._roundtrip(
+                method, path, body
+            )
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        content_type = headers.get("content-type", "")
+        if content_type.startswith("application/json"):
+            parsed = json.loads(payload.decode() or "null")
+        else:
+            parsed = payload.decode()
+        if status >= 400:
+            retry_after = headers.get("retry-after")
+            raise ServiceHTTPError(
+                status, parsed,
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        return status, headers, parsed
+
+    # -- endpoint wrappers --------------------------------------------------
+
+    async def submit(self, request: SimRequest, priority=None) -> dict:
+        """``POST /v1/jobs``; returns the acceptance body (with digest)."""
+        from repro.service.http import request_to_wire
+
+        _status, _headers, body = await self.request(
+            "POST", "/v1/jobs", request_to_wire(request, priority)
+        )
+        return body
+
+    async def job_status(self, digest: str) -> dict:
+        _status, _headers, body = await self.request(
+            "GET", "/v1/jobs/%s" % digest
+        )
+        return body
+
+    async def result(self, digest: str):
+        """The decoded (digest-verified) result; ``None`` while pending."""
+        status, _headers, body = await self.request(
+            "GET", "/v1/jobs/%s/result" % digest
+        )
+        if status == 202:
+            return None
+        return _decode_payload(body)
+
+    async def run(self, request: SimRequest, priority=None,
+                  poll_interval: float = 0.05, timeout: float = 300.0):
+        """Submit and block (polling) until the result is available."""
+        accepted = await self.submit(request, priority)
+        digest = accepted["digest"]
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            result = await self.result(digest)
+            if result is not None:
+                return result
+            if asyncio.get_running_loop().time() >= deadline:
+                raise TimeoutError(
+                    "job %s not done within %.1fs" % (digest[:12], timeout)
+                )
+            await asyncio.sleep(poll_interval)
+
+    async def health(self) -> dict:
+        _status, _headers, body = await self.request("GET", "/health")
+        return body
+
+    async def metrics(self) -> str:
+        _status, _headers, body = await self.request("GET", "/metrics")
+        return body
+
+
+class ServiceClient:
+    """Blocking HTTP client (stdlib ``http.client``), same surface.
+
+    For scripts, tests, and notebooks that are not async — the CI smoke
+    job drives the server through this class.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8140,
+                 token: str | None = None, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.token = token
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _roundtrip(self, method: str, path: str, body: bytes):
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        headers = {"Content-Type": "application/json"} if body else {}
+        if self.token:
+            headers["Authorization"] = "Bearer %s" % self.token
+        self._conn.request(method, path, body=body or None, headers=headers)
+        response = self._conn.getresponse()
+        payload = response.read()
+        response_headers = {
+            name.lower(): value for name, value in response.getheaders()
+        }
+        return response.status, response_headers, payload
+
+    def request(self, method: str, path: str, tree=None):
+        body = json.dumps(tree).encode() if tree is not None else b""
+        try:
+            status, headers, payload = self._roundtrip(method, path, body)
+        except (ConnectionError, http.client.HTTPException, OSError):
+            self.close()
+            status, headers, payload = self._roundtrip(method, path, body)
+        content_type = headers.get("content-type", "")
+        if content_type.startswith("application/json"):
+            parsed = json.loads(payload.decode() or "null")
+        else:
+            parsed = payload.decode()
+        if status >= 400:
+            retry_after = headers.get("retry-after")
+            raise ServiceHTTPError(
+                status, parsed,
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        return status, headers, parsed
+
+    def submit(self, request: SimRequest, priority=None) -> dict:
+        from repro.service.http import request_to_wire
+
+        _status, _headers, body = self.request(
+            "POST", "/v1/jobs", request_to_wire(request, priority)
+        )
+        return body
+
+    def job_status(self, digest: str) -> dict:
+        _status, _headers, body = self.request("GET", "/v1/jobs/%s" % digest)
+        return body
+
+    def result(self, digest: str):
+        status, _headers, body = self.request(
+            "GET", "/v1/jobs/%s/result" % digest
+        )
+        if status == 202:
+            return None
+        return _decode_payload(body)
+
+    def run(self, request: SimRequest, priority=None,
+            poll_interval: float = 0.05, timeout: float = 300.0):
+        accepted = self.submit(request, priority)
+        digest = accepted["digest"]
+        deadline = time.monotonic() + timeout
+        while True:
+            result = self.result(digest)
+            if result is not None:
+                return result
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "job %s not done within %.1fs" % (digest[:12], timeout)
+                )
+            time.sleep(poll_interval)
+
+    def health(self) -> dict:
+        _status, _headers, body = self.request("GET", "/health")
+        return body
+
+    def metrics(self) -> str:
+        _status, _headers, body = self.request("GET", "/metrics")
+        return body

@@ -1,0 +1,195 @@
+"""Profile-driven load generator for the HTTP serving tier.
+
+The paper's equal-silicon comparison ethos, applied to serving: measure
+served throughput under *named traffic profiles*, not ad-hoc curls, so
+any two runs of the bench are comparing the same workload.  The shape
+follows bleepstore's ``bench_profiles.py`` (SNIPPETS.md Snippet 1):
+``profile × concurrency × duration`` with machine-readable output.
+
+A profile is a priority mix — what fraction of callers are interactive
+(a human waiting on one cell) versus sweep (a grid filling in)::
+
+    PROFILES = {interactive-heavy: 80/20, sweep-heavy: 20/80, mixed: 50/50}
+
+Two serving regimes are measured separately, because they are different
+systems with the same API:
+
+* ``cached`` — every request's digest is already in the result store;
+  the server answers 200-from-cache.  This is the steady-state sweep
+  regime and is bounded by the HTTP + store lookup path.
+* ``cold`` — every request is unique (fresh seeds), so each one runs a
+  real simulation; throughput is bounded by the worker tier.
+
+Concurrency is modelled as N independent clients, each with its own
+keep-alive connection and deterministic request stream
+(``random.Random(seed + worker)``), submitting its next request as soon
+as the previous one resolves — closed-loop load, the profile shape the
+scheduler's latency aggregates are designed around.  Typed rejections
+(429/503) are counted, honoured (the client backs off by the server's
+``Retry-After`` hint), and reported separately from hard errors.
+
+Used by ``scripts/bench_serve.py`` (CLI) and ``scripts/bench_perf.py``
+(the ``http`` section of BENCH_perf.json's history).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+
+from repro.params import MachineConfig
+from repro.service.client import AsyncServiceClient, ServiceHTTPError
+from repro.service.request import SimRequest
+
+__all__ = ["PROFILES", "generate_load", "run_load"]
+
+#: Named traffic mixes: fraction of requests submitted interactive.
+PROFILES = {
+    "interactive-heavy": 0.8,
+    "sweep-heavy": 0.2,
+    "mixed": 0.5,
+}
+
+#: Reported latency quantiles.
+_QUANTILES = (0.5, 0.95)
+
+
+def request_pool(
+    size: int,
+    benchmark: str = "b2c",
+    scale: float = 0.02,
+    base_seed: int = 1,
+    machine: MachineConfig | None = None,
+) -> list:
+    """*size* distinct cacheable requests (tiny functional cells)."""
+    if machine is None:
+        machine = MachineConfig()
+    return [
+        SimRequest(
+            machine=machine, benchmark=benchmark, scale=scale,
+            seed=base_seed + index, mode="functional",
+        )
+        for index in range(size)
+    ]
+
+
+def _quantile(sorted_values: list, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+async def generate_load(
+    host: str,
+    port: int,
+    profile: str = "mixed",
+    concurrency: int = 4,
+    duration: float = 2.0,
+    mode: str = "cached",
+    pool: list | None = None,
+    token: str | None = None,
+    seed: int = 1,
+    benchmark: str = "b2c",
+    scale: float = 0.02,
+) -> dict:
+    """Drive one ``profile × concurrency × duration`` cell; returns the
+    report dict (see module docs for the regimes).
+
+    ``cached`` mode round-robins over *pool* (pre-warm it first — e.g.
+    by running the pool through the server once); ``cold`` mode draws
+    globally unique seeds so every request computes.
+    """
+    if profile not in PROFILES:
+        raise ValueError(
+            "unknown profile %r (have: %s)"
+            % (profile, ", ".join(sorted(PROFILES)))
+        )
+    if mode not in ("cached", "cold"):
+        raise ValueError("mode must be 'cached' or 'cold', got %r" % mode)
+    if pool is None:
+        pool = request_pool(
+            max(concurrency * 4, 16), benchmark=benchmark, scale=scale,
+        )
+    interactive_fraction = PROFILES[profile]
+    loop = asyncio.get_running_loop()
+    # Cold requests need seeds no other run cell has used against this
+    # store; anchor the range far away from the cached pool's seeds.
+    cold_seeds = itertools.count(1_000_000 * (seed + 1))
+    machine = pool[0].machine if pool else MachineConfig()
+
+    served = []          # latencies of successful round trips
+    rejections = {"429": 0, "503": 0, "409": 0}
+    errors = []
+    stop_at = loop.time() + duration
+
+    async def worker(worker_index: int) -> None:
+        rng = random.Random(seed * 1000 + worker_index)
+        client = AsyncServiceClient(host=host, port=port, token=token)
+        position = worker_index  # stagger the round-robin starts
+        try:
+            while loop.time() < stop_at:
+                if mode == "cached":
+                    request = pool[position % len(pool)]
+                    position += concurrency
+                else:
+                    request = SimRequest(
+                        machine=machine, benchmark=benchmark, scale=scale,
+                        seed=next(cold_seeds), mode="functional",
+                    )
+                priority = ("interactive"
+                            if rng.random() < interactive_fraction
+                            else "sweep")
+                started = loop.time()
+                try:
+                    await client.run(
+                        request, priority=priority,
+                        timeout=max(30.0, duration * 10),
+                    )
+                except ServiceHTTPError as exc:
+                    key = str(exc.status)
+                    if key in rejections:
+                        rejections[key] += 1
+                        await asyncio.sleep(
+                            min(exc.retry_after or 0.1, 1.0)
+                        )
+                    else:
+                        errors.append("%s: %s" % (exc.code, exc))
+                except (ConnectionError, OSError, TimeoutError) as exc:
+                    errors.append("%s: %s" % (type(exc).__name__, exc))
+                    return  # server went away; stop this worker
+                else:
+                    served.append(loop.time() - started)
+        finally:
+            await client.close()
+
+    await asyncio.gather(*(worker(index) for index in range(concurrency)))
+
+    elapsed = duration  # closed-loop: workers stop at the deadline
+    latencies = sorted(served)
+    report = {
+        "profile": profile,
+        "mode": mode,
+        "concurrency": concurrency,
+        "duration_seconds": round(elapsed, 3),
+        "served": len(served),
+        "served_per_second": round(len(served) / elapsed, 3) if elapsed
+        else 0.0,
+        "rejections": dict(rejections),
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "latency_seconds": {
+            "mean": round(sum(latencies) / len(latencies), 6)
+            if latencies else 0.0,
+            "p50": round(_quantile(latencies, _QUANTILES[0]), 6),
+            "p95": round(_quantile(latencies, _QUANTILES[1]), 6),
+            "max": round(latencies[-1], 6) if latencies else 0.0,
+        },
+    }
+    return report
+
+
+def run_load(host: str, port: int, **kwargs) -> dict:
+    """Blocking wrapper around :func:`generate_load` (own event loop)."""
+    return asyncio.run(generate_load(host, port, **kwargs))

@@ -69,9 +69,9 @@ observable, not inferred from log spelunking.
 from __future__ import annotations
 
 import asyncio
+import collections
 import heapq
 import itertools
-import json
 import os
 import shutil
 import tempfile
@@ -95,7 +95,7 @@ from repro.service.request import (
     canonical_request_tree,
     request_digest,
 )
-from repro.service.store import ResultStore
+from repro.service.store import ResultStore, atomic_write_json
 from repro.service.workers import (
     JobExecutionError,
     WorkerCrashed,
@@ -136,18 +136,27 @@ class ServiceRejected(Exception):
 
 
 class QueueFull(ServiceRejected):
-    """The bounded job queue is at capacity; try again later."""
+    """The bounded job queue is at capacity; try again later.
+
+    ``retry_after`` is the service's estimate (seconds) of when a queue
+    slot will free, derived from the recent drain rate — the number the
+    HTTP tier's 429 ``Retry-After`` header and a polite retrying client
+    both want, instead of guessing a backoff blind.
+    """
 
     code = "queue_full"
 
-    def __init__(self, digest: str, depth: int, limit: int) -> None:
+    def __init__(self, digest: str, depth: int, limit: int,
+                 retry_after: float = 1.0) -> None:
         super().__init__(
-            "job queue is full (%d pending, limit %d); request %s rejected"
-            % (depth, limit, digest[:12])
+            "job queue is full (%d pending, limit %d); request %s "
+            "rejected, retry in ~%.1fs"
+            % (depth, limit, digest[:12], retry_after)
         )
         self.digest = digest
         self.depth = depth
         self.limit = limit
+        self.retry_after = retry_after
 
 
 class ServiceClosed(ServiceRejected):
@@ -227,8 +236,17 @@ class Job:
     deaths: int = 0
     #: Per-attempt failure records: {"attempt", "code", "error"}.
     failure_history: list = field(default_factory=list)
-    #: Wall-clock start of the current attempt (heartbeat grace anchor).
+    #: Monotonic start of the current attempt (heartbeat grace anchor).
+    #: Durations are always monotonic arithmetic — a wall-clock step
+    #: (NTP, DST, operator) must never fake or hide a stall.
     attempt_started: float = 0.0
+    #: Last heartbeat-file mtime the reaper observed, and the monotonic
+    #: instant it first saw that value.  The mtime itself is wall-clock
+    #: (the filesystem gives us nothing else) but it is only ever used
+    #: for *change detection*; staleness is measured on the monotonic
+    #: clock between observations.
+    last_beat_mtime: float = 0.0
+    last_beat_mono: float = 0.0
 
 
 class _Latency:
@@ -295,6 +313,9 @@ class ServiceStatus:
     breaker_state: str = "closed"
     #: Times the breaker has opened since construction.
     breaker_opened: int = 0
+    #: Current backoff estimate (seconds) a QueueFull rejection would
+    #: carry — recent drain rate applied to the queue bound.
+    retry_after_hint: float = 1.0
     latency: dict = field(default_factory=dict)
     store: dict | None = None
     failures: list = field(default_factory=list)
@@ -313,7 +334,7 @@ class ServiceStatus:
                 "queue_high_water", "running", "workers", "worker_mode",
                 "closed", "worker_deaths", "reaped", "quarantined_jobs",
                 "quarantine_rejections", "shed", "breaker_state",
-                "breaker_opened",
+                "breaker_opened", "retry_after_hint",
             )
         }
         data["cache_hit_rate"] = round(self.cache_hit_rate, 4)
@@ -495,6 +516,9 @@ class SimulationService:
         self._infra_streak = 0
         self._breaker_open = False
         self._breaker_opened_at = 0.0
+        # Monotonic instants of recent job settlements (done or failed),
+        # for the QueueFull retry-after estimate.
+        self._drain_marks: collections.deque = collections.deque(maxlen=32)
 
     # -- poison-job quarantine ------------------------------------------------
 
@@ -531,13 +555,8 @@ class SimulationService:
                     "%Y-%m-%dT%H:%M:%SZ", _time.gmtime()
                 ),
             }
-            os.makedirs(directory, exist_ok=True)
             record_path = os.path.join(directory, job.digest + ".json")
-            tmp = "%s.tmp.%d" % (record_path, os.getpid())
-            with open(tmp, "w") as handle:
-                json.dump(record, handle, indent=2)
-                handle.write("\n")
-            os.replace(tmp, record_path)
+            atomic_write_json(record_path, record)
         self._poisoned[job.digest] = record_path
         self._stats.quarantined_jobs = len(self._poisoned)
         perf.counter("service.job_quarantined")
@@ -580,6 +599,35 @@ class SimulationService:
         self._stats.rejected += 1
         perf.counter("service.shed")
         raise ServiceDegraded(digest, self._infra_streak)
+
+    # -- backpressure hints ---------------------------------------------------
+
+    #: Only settlements this recent (seconds, monotonic) count toward the
+    #: drain-rate estimate; older ones describe a different load regime.
+    DRAIN_WINDOW = 60.0
+    #: Clamp for the retry-after estimate: never tell a client to hammer
+    #: (sub-100ms) or to give up for minutes on a momentary estimate.
+    RETRY_AFTER_BOUNDS = (0.1, 60.0)
+
+    def retry_after_hint(self) -> float:
+        """Estimated seconds until a queue slot frees (see QueueFull).
+
+        One queued job starts (freeing a slot) per settlement, so the
+        mean gap between recent settlements is the expected wait.  With
+        no drain observed yet (cold service, or everything so far was a
+        cache hit) the estimate falls back to 1s — small enough that an
+        early client is not parked behind a queue that is about to move.
+        """
+        lo, hi = self.RETRY_AFTER_BOUNDS
+        now = _time.monotonic()
+        marks = [m for m in self._drain_marks if now - m <= self.DRAIN_WINDOW]
+        if len(marks) < 2:
+            return 1.0
+        rate = (len(marks) - 1) / (marks[-1] - marks[0] or 1e-9)
+        return min(hi, max(lo, 1.0 / rate))
+
+    def _mark_drained(self) -> None:
+        self._drain_marks.append(_time.monotonic())
 
     # -- submission -----------------------------------------------------------
 
@@ -643,7 +691,10 @@ class SimulationService:
         if self._queued >= self.max_pending:
             self._stats.rejected += 1
             perf.counter("service.rejected")
-            raise QueueFull(digest, self._queued, self.max_pending)
+            raise QueueFull(
+                digest, self._queued, self.max_pending,
+                retry_after=self.retry_after_hint(),
+            )
 
         snapshot = None
         if self.snapshot_every is not None:
@@ -758,24 +809,44 @@ class SimulationService:
         period = max(0.05, min(self.stall_timeout / 2.0, 2.0))
         while True:
             await asyncio.sleep(period)
-            now = _time.time()
-            for job in list(self._running):
-                if not job.spec.get("supervise") or job.attempt_started <= 0:
-                    continue
-                path = heartbeat_path(self._hb_dir, job.digest)
-                try:
-                    last = os.stat(path).st_mtime
-                except OSError:
-                    last = job.attempt_started
-                # A retry may briefly see the killed attempt's stale
-                # beat file; measure from whichever is later so a fresh
-                # worker always gets the full window to write its first.
-                last = max(last, job.attempt_started)
-                if now - last <= self.stall_timeout:
-                    continue
+            for job in self._find_stalled():
                 if self._pool.kill(job.digest, CODE_WORKER_STALLED):
                     self._stats.reaped += 1
                     perf.counter("service.reaped")
+
+    def _find_stalled(self, now: float | None = None) -> list:
+        """Supervised jobs whose worker is silent past the stall window.
+
+        All staleness arithmetic is on the monotonic clock: heartbeat
+        mtimes (wall-clock — the filesystem offers nothing else) are used
+        only to *detect* that a new beat landed, at which point the
+        monotonic observation time is recorded.  A wall-clock step
+        therefore can neither reap a healthy worker (forward step making
+        beats look ancient) nor keep a wedged one alive forever
+        (backward step making beats look eternally fresh) — the previous
+        ``time.time()`` arithmetic suffered both.
+        """
+        if now is None:
+            now = _time.monotonic()
+        stalled = []
+        for job in list(self._running):
+            if not job.spec.get("supervise") or job.attempt_started <= 0:
+                continue
+            path = heartbeat_path(self._hb_dir, job.digest)
+            try:
+                mtime = os.stat(path).st_mtime
+            except OSError:
+                mtime = None  # still spawning: attempt start anchors below
+            if mtime is not None and mtime != job.last_beat_mtime:
+                job.last_beat_mtime = mtime
+                job.last_beat_mono = now
+            # A retry may briefly see the killed attempt's stale beat
+            # file (same digest): anchoring on attempt start as well
+            # gives a fresh worker the full window to write its first.
+            anchor = max(job.last_beat_mono, job.attempt_started)
+            if now - anchor > self.stall_timeout:
+                stalled.append(job)
+        return stalled
 
     # -- execution ------------------------------------------------------------
 
@@ -784,7 +855,8 @@ class SimulationService:
             while True:
                 job.attempts += 1
                 job.spec["attempt"] = job.attempts
-                job.attempt_started = _time.time()
+                # Monotonic: feeds stall-window arithmetic, never display.
+                job.attempt_started = _time.monotonic()
                 self._stats.executed += 1
                 perf.counter("service.executed")
                 handle = asyncio.wrap_future(self._pool.submit(job.spec))
@@ -878,6 +950,7 @@ class SimulationService:
         latency = asyncio.get_running_loop().time() - job.submitted_at
         self._latency[job.priority.name].record(latency)
         self._stats.completed += 1
+        self._mark_drained()
         perf.counter("service.completed")
         if not job.future.done():
             job.future.set_result(result)
@@ -889,6 +962,7 @@ class SimulationService:
             clear_preempt_flag(self.snapshot_dir, job.digest)
         self._stats.failed += 1
         self._failures.append(failure)
+        self._mark_drained()
         perf.counter("service.failed")
         # Poison-job detection: the retries were exhausted by worker
         # *deaths*, not by a clean simulation error — this job takes its
@@ -953,12 +1027,7 @@ class SimulationService:
             return
         path = os.path.join(self.store.directory, STATS_FILENAME)
         try:
-            os.makedirs(self.store.directory, exist_ok=True)
-            tmp = "%s.tmp.%d" % (path, os.getpid())
-            with open(tmp, "w") as handle:
-                json.dump(self.status().as_dict(), handle, indent=2)
-                handle.write("\n")
-            os.replace(tmp, path)
+            atomic_write_json(path, self.status().as_dict())
         except OSError:
             pass
 
@@ -976,6 +1045,7 @@ class SimulationService:
         status.queue_depth = self._queued
         status.running = len(self._running)
         status.breaker_state = "open" if self._breaker_open else "closed"
+        status.retry_after_hint = round(self.retry_after_hint(), 3)
         status.failure_codes = dict(self._stats.failure_codes)
         status.latency = {
             name: agg.as_dict()

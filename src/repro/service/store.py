@@ -64,6 +64,7 @@ __all__ = [
     "ResultStore",
     "ScrubReport",
     "StoreStats",
+    "atomic_write_json",
 ]
 
 #: Bump when the envelope layout above changes incompatibly.
@@ -88,6 +89,34 @@ CODE_UNDECODABLE_RESULT = "undecodable_result"
 
 def _checksum(body: bytes) -> str:
     return hashlib.blake2b(body, digest_size=16).hexdigest()
+
+
+def atomic_write_json(path: str, tree) -> None:
+    """Write *tree* as JSON with the store's crash-safe idiom.
+
+    Same-directory temp file, fsync, then ``os.replace``: a reader (or a
+    scrub after a crash) only ever sees the old file, the new file, or a
+    stray ``*.tmp.<pid>`` it knows to ignore — never a torn JSON body.
+    Every JSON sidecar in the serving tier (quarantine reasons, poison-job
+    records, the stats sidecar) goes through here.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp = "%s.tmp.%d" % (path, os.getpid())
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(tree, handle, indent=2)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
 
 @dataclass
@@ -312,9 +341,7 @@ class ResultStore:
             ),
         }
         try:
-            with open(dest + ".reason.json", "w") as handle:
-                json.dump(sidecar, handle, indent=2)
-                handle.write("\n")
+            atomic_write_json(dest + ".reason.json", sidecar)
         except OSError:
             pass  # forensics are best-effort; the move already happened
         return dest

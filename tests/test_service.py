@@ -366,3 +366,83 @@ class TestClientSession:
         assert set(speedups) == {"b2c"}
         assert status.submitted == 2  # baseline + enhanced, via the service
         assert common._SPEEDUP_PROVIDER is None  # uninstalled on close
+
+
+class TestRetryAfterHint:
+    """QueueFull must tell the caller *when to come back*: the hint is
+    derived from the recent drain rate (completions+failures over the
+    last DRAIN_WINDOW seconds), bounded, and surfaced in the exception,
+    the status report, and its JSON form."""
+
+    def test_default_hint_without_drain_history(self, tmp_path):
+        async def scenario():
+            service = SimulationService(str(tmp_path / "cache"))
+            hint = service.retry_after_hint()
+            await service.shutdown()
+            return hint
+
+        assert _drive(scenario()) == 1.0
+
+    def test_hint_tracks_recent_drain_rate(self, tmp_path):
+        import time as _time
+
+        async def scenario():
+            service = SimulationService(str(tmp_path / "cache"))
+            now = _time.monotonic()
+            # 10 drains over the last second: ~10 jobs/sec -> ~0.1s hint.
+            service._drain_marks.extend(
+                now - 1.0 + 0.1 * i for i in range(11)
+            )
+            fast = service.retry_after_hint()
+            service._drain_marks.clear()
+            # Drains older than the window are ignored.
+            service._drain_marks.extend([now - 300.0, now - 299.0])
+            stale = service.retry_after_hint()
+            await service.shutdown()
+            return fast, stale
+
+        fast, stale = _drive(scenario())
+        assert 0.05 <= fast <= 0.2
+        assert stale == 1.0
+
+    def test_hint_is_bounded(self, tmp_path):
+        import time as _time
+
+        async def scenario():
+            service = SimulationService(str(tmp_path / "cache"))
+            now = _time.monotonic()
+            # Two drains a microsecond apart: a naive 1/rate would be
+            # ~1e-6; the floor keeps the hint sane.
+            service._drain_marks.extend([now - 1e-6, now])
+            floor = service.retry_after_hint()
+            service._drain_marks.clear()
+            # Two drains 50s apart: 1/rate = 50s, within the cap.
+            service._drain_marks.extend([now - 50.0, now])
+            slow = service.retry_after_hint()
+            await service.shutdown()
+            return floor, slow
+
+        floor, slow = _drive(scenario())
+        lo, hi = SimulationService.RETRY_AFTER_BOUNDS
+        assert floor == lo
+        assert lo <= slow <= hi
+
+    def test_queue_full_carries_the_hint(self, tmp_path):
+        async def scenario():
+            service = SimulationService(
+                str(tmp_path / "cache"), max_workers=1, max_pending=1
+            )
+            first = service.submit(_request(seed=1))
+            second = service.submit(_request(seed=2))
+            with pytest.raises(QueueFull) as excinfo:
+                service.submit(_request(seed=3))
+            await asyncio.gather(first.future, second.future)
+            status = service.status()
+            await service.shutdown()
+            return excinfo.value, status
+
+        rejection, status = _drive(scenario())
+        assert rejection.retry_after > 0
+        assert "retry in ~" in str(rejection)
+        assert status.retry_after_hint > 0
+        assert "retry_after_hint" in status.as_dict()

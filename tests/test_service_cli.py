@@ -261,3 +261,24 @@ class TestScrub:
         capsys.readouterr()
         assert main(["scrub", "--store", store]) == EXIT_CLEAN
         assert "3 ok" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_token_specs_parse_to_priority_map(self):
+        from repro.service.cli import _parse_tokens
+        from repro.service.request import Priority
+
+        tokens = _parse_tokens(["alice=interactive", "bot=sweep"])
+        assert tokens == {
+            "alice": Priority.INTERACTIVE,
+            "bot": Priority.SWEEP,
+        }
+        assert _parse_tokens(None) == {}
+
+    def test_malformed_token_spec_is_a_clean_error(self, capsys):
+        assert main(["serve", "--token", "no-equals-sign"]) == EXIT_ERROR
+        assert "TOKEN=PRIORITY" in capsys.readouterr().err
+
+    def test_bad_priority_in_token_spec_is_a_clean_error(self, capsys):
+        assert main(["serve", "--token", "alice=urgent"]) == EXIT_ERROR
+        assert "error" in capsys.readouterr().err

@@ -267,3 +267,80 @@ class TestScrub:
             handle.write(b"garbage")
         assert store.prune() == 1
         assert store.entries() == [DIGEST]
+
+
+class TestAtomicSidecars:
+    """Quarantine reason sidecars go through the same same-dir-temp +
+    fsync + os.replace idiom as entries: a crash mid-write must never
+    leave a *torn* sidecar (half a JSON document) behind."""
+
+    def test_atomic_write_json_replaces_and_cleans_temp(self, tmp_path):
+        from repro.service.store import atomic_write_json
+
+        path = str(tmp_path / "nested" / "doc.json")
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})  # overwrite is a replace
+        assert json.load(open(path)) == {"v": 2}
+        siblings = os.listdir(os.path.dirname(path))
+        assert siblings == ["doc.json"]  # no temp debris
+
+    def test_failed_write_preserves_previous_content(self, tmp_path):
+        from repro.service import store as store_module
+
+        path = str(tmp_path / "doc.json")
+        store_module.atomic_write_json(path, {"v": "good"})
+
+        class Torn:
+            """Serializes like a dict until json hits the poison value."""
+            def __init__(self):
+                self.boom = True
+
+        with pytest.raises(TypeError):
+            store_module.atomic_write_json(path, {"v": Torn()})
+        # The visible file still holds the last complete document and
+        # the aborted temp file was cleaned up.
+        assert json.load(open(path)) == {"v": "good"}
+        assert os.listdir(str(tmp_path)) == ["doc.json"]
+
+    def test_sidecar_crash_leaves_no_torn_json(self, store, monkeypatch):
+        """Simulated crash mid-sidecar-write: the quarantined entry
+        survives, and there is either a complete sidecar or none — never
+        a truncated one (the pre-fix bare ``json.dump`` failure mode)."""
+        from repro.service import store as store_module
+
+        real_dump = json.dump
+
+        def crashing_dump(tree, handle, **kwargs):
+            handle.write('{"code": "unre')  # half a document...
+            raise OSError(28, "No space left on device")  # ...then crash
+
+        store.put(DIGEST, 42)
+        with open(store.path(DIGEST), "wb") as handle:
+            handle.write(b"corrupted")
+        monkeypatch.setattr(store_module.json, "dump", crashing_dump)
+        assert store.get(DIGEST) is None  # degrades to a miss as ever
+        monkeypatch.setattr(store_module.json, "dump", real_dump)
+
+        names = os.listdir(store.quarantine_dir)
+        assert DIGEST + ".res" in names  # forensics preserved
+        assert not [n for n in names if ".tmp." in n]  # no debris
+        for name in names:
+            if name.endswith(".reason.json"):
+                # Any sidecar that exists must parse completely.
+                json.load(open(os.path.join(store.quarantine_dir, name)))
+
+    def test_torn_sidecar_is_counted_not_fatal(self, store):
+        """A torn sidecar from a pre-fix crash (or direct disk damage)
+        must not break the quarantine census: it counts as 'unknown'."""
+        store.put(DIGEST, "payload")
+        with open(store.path(DIGEST), "wb") as handle:
+            handle.write(b"corrupted")
+        assert store.get(DIGEST) is None
+        sidecar = os.path.join(
+            store.quarantine_dir, DIGEST + ".res.reason.json"
+        )
+        with open(sidecar, "w") as handle:
+            handle.write('{"code": "unre')  # tear it after the fact
+        summary = store.quarantine_summary()
+        assert summary["total"] == 1
+        assert summary["by_code"] == {"unknown": 1}

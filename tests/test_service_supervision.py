@@ -371,3 +371,101 @@ class TestStatsPersistence:
         assert data["failure_codes"].get(CODE_WORKER_CRASHED, 0) >= 2
         assert data["quarantined_jobs"] == 1
         assert data["worker_deaths"] >= 2
+
+
+class TestMonotonicStallDetection:
+    """The reaper must be immune to wall-clock steps.
+
+    Heartbeat file mtimes are inherently wall-clock, so the scheduler
+    uses them only for *change detection*; staleness itself is measured
+    on the monotonic clock (``Job.attempt_started`` /
+    ``Job.last_beat_mono``).  These tests drive ``_find_stalled`` with
+    explicit monotonic ``now`` values and deliberately absurd mtimes.
+    """
+
+    def _fake_running_job(self, service, loop, seed=1):
+        from repro.service.request import request_digest
+        from repro.service.scheduler import Job
+
+        request = _request(seed=seed)
+        job = Job(
+            request=request, digest=request_digest(request),
+            priority=Priority.SWEEP,
+            spec={"supervise": {"dir": service._hb_dir, "interval": 0.1}},
+            future=loop.create_future(), submitted_at=loop.time(),
+        )
+        service._running.add(job)
+        return job
+
+    def test_ancient_heartbeat_mtime_is_not_a_stall(self, tmp_path):
+        import time as _time
+
+        from repro.service.workers import heartbeat_path
+
+        async def scenario():
+            service = _service(tmp_path / "cache")
+            loop = asyncio.get_running_loop()
+            job = self._fake_running_job(service, loop)
+            now = _time.monotonic()
+            job.attempt_started = now
+            path = heartbeat_path(service._hb_dir, job.digest)
+            with open(path, "w"):
+                pass
+            os.utime(path, (0, 0))  # mtime = 1970: extreme wall skew
+            fresh = service._find_stalled(now=now + 0.5)
+            budget_spent = service._find_stalled(
+                now=now + service.stall_timeout + 1.0
+            )
+            service._running.discard(job)
+            await service.shutdown(drain=False)
+            return job, fresh, budget_spent
+
+        job, fresh, budget_spent = _drive(scenario())
+        # Under the old wall-clock math (now - mtime) this job would be
+        # reaped instantly; monotonically it has a full fresh budget.
+        assert fresh == []
+        # With no further beats the monotonic budget does run out.
+        assert budget_spent == [job]
+
+    def test_heartbeat_change_resets_monotonic_anchor(self, tmp_path):
+        from repro.service.workers import heartbeat_path
+
+        async def scenario():
+            service = _service(tmp_path / "cache")
+            loop = asyncio.get_running_loop()
+            job = self._fake_running_job(service, loop, seed=2)
+            timeout = service.stall_timeout
+            t0 = 1000.0  # arbitrary monotonic origin; only deltas matter
+            job.attempt_started = t0
+            path = heartbeat_path(service._hb_dir, job.digest)
+            with open(path, "w"):
+                pass
+            os.utime(path, (100.0, 100.0))
+            checks = [service._find_stalled(now=t0)]
+            t1 = t0 + timeout - 0.5
+            os.utime(path, (100.0, 101.0))  # the worker beat again
+            checks.append(service._find_stalled(now=t1))
+            # The beat bought a fresh monotonic budget anchored at t1:
+            checks.append(service._find_stalled(now=t1 + timeout - 0.1))
+            stalled = service._find_stalled(now=t1 + timeout + 0.1)
+            service._running.discard(job)
+            await service.shutdown(drain=False)
+            return checks, stalled, job
+
+        checks, stalled, job = _drive(scenario())
+        assert checks == [[], [], []]
+        assert stalled == [job]
+
+    def test_unsupervised_jobs_are_never_reaped(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path / "cache")
+            loop = asyncio.get_running_loop()
+            job = self._fake_running_job(service, loop, seed=3)
+            job.spec = {}  # thread-mode jobs carry no supervise block
+            job.attempt_started = 0.0
+            stalled = service._find_stalled(now=1e9)
+            service._running.discard(job)
+            await service.shutdown(drain=False)
+            return stalled
+
+        assert _drive(scenario()) == []
