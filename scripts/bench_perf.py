@@ -376,6 +376,123 @@ def bench_http(
     return asyncio.run(run())
 
 
+HTTP_CHAOS_DURATION = 2.0
+HTTP_CHAOS_CONCURRENCY = 4
+HTTP_CHAOS_POOL = 12
+#: Per-connection fault rate when measuring one fault family at a time.
+HTTP_CHAOS_RATE = 0.25
+
+
+def bench_http_chaos(
+    duration: float = HTTP_CHAOS_DURATION,
+    concurrency: int = HTTP_CHAOS_CONCURRENCY,
+    pool_size: int = HTTP_CHAOS_POOL,
+) -> dict:
+    """Served-requests/sec through the seeded TCP chaos proxy.
+
+    The network-degradation curve, next to ``service_chaos``'s
+    worker-kill curve: cached req/s with each fault family injected
+    alone at :data:`HTTP_CHAOS_RATE` per connection, then the
+    every-family storm (``net_storm``) in both regimes.  Retrying
+    clients with connection churn (fresh fault roll every few requests)
+    — the same harness ``scripts/soak_serve.py`` runs for minutes.
+    Digest verification in the client makes every served count a
+    *correct* result; the only degradation allowed is throughput.
+    Ungated: recorded for trajectory, not thresholded (fault timing on
+    a shared box is inherently noisy).
+    """
+    import asyncio
+    import shutil
+    import tempfile
+
+    from repro.faults.net import (
+        FAULT_FAMILIES,
+        ChaosTCPProxy,
+        NetChaosConfig,
+        net_storm,
+    )
+    from repro.service.client import AsyncServiceClient, RetryPolicy
+    from repro.service.http import ServiceHTTPServer
+    from repro.service.loadgen import generate_load, request_pool
+    from repro.service.scheduler import SimulationService
+
+    retry = RetryPolicy(
+        attempts=6, backoff=0.05, max_backoff=0.5,
+        request_timeout=2.0, seed=7,
+    )
+
+    async def run() -> dict:
+        clear_cache()
+        store = tempfile.mkdtemp(prefix="bench-http-chaos-")
+        try:
+            service = SimulationService(
+                store=store, max_workers=2, max_pending=512
+            )
+            server = ServiceHTTPServer(
+                service, port=0, header_timeout=0.5, body_timeout=0.5
+            )
+            await server.start()
+            try:
+                pool = request_pool(pool_size, scale=SERVICE_SCALE)
+                client = AsyncServiceClient(port=server.port)
+                for request in pool:  # pre-warm the cache
+                    await client.run(request)
+                await client.close()
+
+                async def cell(chaos, mode):
+                    proxy = ChaosTCPProxy("127.0.0.1", server.port, chaos)
+                    await proxy.start()
+                    try:
+                        return await generate_load(
+                            "127.0.0.1", proxy.port, profile="mixed",
+                            concurrency=concurrency, duration=duration,
+                            mode=mode, pool=pool, seed=7, retry=retry,
+                            stop_on_error=False, churn=4,
+                        )
+                    finally:
+                        await proxy.close()
+
+                clean = await cell(NetChaosConfig(seed=7), "cached")
+                by_fault = {}
+                for family in FAULT_FAMILIES:
+                    chaos = NetChaosConfig(
+                        seed=7, stall_seconds=0.3,
+                        **{family + "_rate": HTTP_CHAOS_RATE},
+                    )
+                    report = await cell(chaos, "cached")
+                    by_fault[family] = {
+                        "cached_served_per_sec":
+                            report["served_per_second"],
+                        "conn_errors": report["errors"],
+                    }
+                storm = net_storm(seed=7, stall_seconds=0.3)
+                storm_cached = await cell(storm, "cached")
+                storm_cold = await cell(storm, "cold")
+            finally:
+                await server.close()
+                await service.shutdown(drain=False)
+            return {
+                "duration_seconds": duration,
+                "concurrency": concurrency,
+                "fault_rate": HTTP_CHAOS_RATE,
+                "clean_cached_served_per_sec":
+                    clean["served_per_second"],
+                "by_fault": by_fault,
+                "storm": {
+                    "cached_served_per_sec":
+                        storm_cached["served_per_second"],
+                    "cold_served_per_sec":
+                        storm_cold["served_per_second"],
+                    "conn_errors":
+                        storm_cached["errors"] + storm_cold["errors"],
+                },
+            }
+        finally:
+            shutil.rmtree(store, ignore_errors=True)
+
+    return asyncio.run(run())
+
+
 #: Reduced-scale settings for the per-PR CI smoke run: the same gated
 #: metrics at a fraction of the wall clock.  Smoke runs are checked
 #: against the ``smoke_baseline`` section recorded at these same
@@ -388,6 +505,8 @@ SMOKE = {
     "chaos_jobs": 4,
     "http_duration": 1.0,
     "http_concurrency": 2,
+    "http_chaos_duration": 0.5,
+    "http_chaos_concurrency": 2,
 }
 
 
@@ -413,6 +532,12 @@ def measure(smoke: bool = False) -> dict:
             concurrency=SMOKE["http_concurrency"] if smoke
             else HTTP_CONCURRENCY,
         ),
+        "http_chaos": bench_http_chaos(
+            duration=SMOKE["http_chaos_duration"] if smoke
+            else HTTP_CHAOS_DURATION,
+            concurrency=SMOKE["http_chaos_concurrency"] if smoke
+            else HTTP_CHAOS_CONCURRENCY,
+        ),
         **bench_simulators(
             functional_scale=functional_scale, timing_scale=timing_scale
         ),
@@ -432,6 +557,12 @@ _GATED = [
 _HISTORY_EXTRA = [
     (("http", "cold_served_per_sec"), "http cold served/sec"),
     (("http", "cached_served_per_sec"), "http cached served/sec"),
+    (("http_chaos", "clean_cached_served_per_sec"),
+     "http chaos-harness clean cached served/sec"),
+    (("http_chaos", "storm", "cached_served_per_sec"),
+     "http storm cached served/sec"),
+    (("http_chaos", "storm", "cold_served_per_sec"),
+     "http storm cold served/sec"),
 ]
 
 

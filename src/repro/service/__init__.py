@@ -42,6 +42,7 @@ prove all of it.
 
 from repro.service.client import (
     AsyncServiceClient,
+    RetryPolicy,
     ServiceClient,
     ServiceHTTPError,
     ServiceSession,
@@ -62,6 +63,7 @@ from repro.service.request import (
     request_from_fingerprint,
 )
 from repro.service.scheduler import (
+    DeadlineExpired,
     Job,
     JobFailed,
     JobQuarantined,
@@ -84,6 +86,7 @@ __all__ = [
     "RESULT_SCHEMA_VERSION",
     "RESULT_STORE_VERSION",
     "AsyncServiceClient",
+    "DeadlineExpired",
     "Job",
     "JobExecutionError",
     "JobFailed",
@@ -91,6 +94,7 @@ __all__ = [
     "Priority",
     "QueueFull",
     "ResultStore",
+    "RetryPolicy",
     "ScrubReport",
     "ServiceClient",
     "ServiceClosed",

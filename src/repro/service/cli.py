@@ -4,6 +4,7 @@ Subcommands::
 
     repro-serve batch FILE [--store DIR] [--workers N] [...]
     repro-serve serve [--port P] [--store DIR] [--token TOKEN=PRIORITY] [...]
+    repro-serve jobs [--port P] [--state S] [--code C] [--limit N] [--json]
     repro-serve status [--store DIR] [--json]
     repro-serve scrub [--store DIR] [--repair] [--workers N] [--json]
 
@@ -43,6 +44,13 @@ result endpoints plus ``/health`` and Prometheus ``/metrics``.
 maps each token to its priority ceiling; with no tokens, auth is off and
 the request body's ``priority`` field is honoured.  The bound address is
 printed on startup (``--port 0`` picks a free port — handy under CI).
+Network hardening knobs: ``--max-connections``, ``--header-timeout`` /
+``--body-timeout`` (slowloris → 408), ``--rate-limit`` (per-token 429 +
+``Retry-After``).  SIGTERM *drains*: in-flight requests finish inside
+``--drain-grace`` seconds before teardown; SIGINT stops immediately.
+
+``jobs`` asks a *running* server for its operator job listing
+(``GET /v1/jobs``), filtered by ``--state`` / ``--code``, newest first.
 
 ``scrub`` sweeps every entry through full checksum validation, moving
 damaged ones to the quarantine directory (never deleting — forensics
@@ -212,7 +220,11 @@ def _cmd_serve(args) -> int:
             snapshot_every=args.snapshot_every,
         )
         server = ServiceHTTPServer(
-            service, host=args.host, port=args.port, tokens=tokens
+            service, host=args.host, port=args.port, tokens=tokens,
+            max_connections=args.max_connections,
+            header_timeout=args.header_timeout,
+            body_timeout=args.body_timeout,
+            rate_limit=args.rate_limit,
         )
         await server.start()
         print(
@@ -223,13 +235,26 @@ def _cmd_serve(args) -> int:
             flush=True,
         )
         stop = asyncio.Event()
+        draining = []  # SIGTERM drains; SIGINT still stops hard
         loop = asyncio.get_running_loop()
-        for signum in (signal.SIGINT, signal.SIGTERM):
+
+        def request_stop(drain: bool) -> None:
+            if drain:
+                draining.append(True)
+            stop.set()
+
+        for signum, drain in ((signal.SIGINT, False), (signal.SIGTERM, True)):
             try:
-                loop.add_signal_handler(signum, stop.set)
+                loop.add_signal_handler(
+                    signum, request_stop, drain
+                )
             except (NotImplementedError, RuntimeError):
                 pass  # platform without loop signal handlers
         await stop.wait()
+        if draining:
+            print("repro-serve: draining connections (%.0fs grace)"
+                  % args.drain_grace, flush=True)
+            await server.drain(grace=args.drain_grace)
         print("repro-serve: shutting down", flush=True)
         await server.close()
         await service.shutdown(drain=True)
@@ -239,6 +264,46 @@ def _cmd_serve(args) -> int:
         return asyncio.run(serve())
     except KeyboardInterrupt:
         return EXIT_CLEAN
+
+
+def _cmd_jobs(args) -> int:
+    """Query a running server's ``GET /v1/jobs`` operator listing."""
+    from repro.service.client import ServiceClient, ServiceHTTPError
+
+    client = ServiceClient(
+        host=args.host, port=args.port, token=args.token
+    )
+    try:
+        listing = client.list_jobs(
+            state=args.state, code=args.code, limit=args.limit
+        )
+    except ServiceHTTPError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_ERROR
+    except (ConnectionError, OSError) as exc:
+        print("error: cannot reach %s:%d: %s"
+              % (args.host, args.port, exc), file=sys.stderr)
+        return EXIT_ERROR
+    finally:
+        client.close()
+
+    if args.json:
+        json.dump(listing, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return EXIT_CLEAN
+
+    jobs = listing.get("jobs", [])
+    print("%d job%s (of %d records%s)"
+          % (len(jobs), "" if len(jobs) == 1 else "s",
+             listing.get("total_records", 0),
+             ", truncated" if listing.get("truncated") else ""))
+    for job in jobs:
+        failure = job.get("failure") or {}
+        detail = failure.get("code", "")
+        print("  %-16s %-8s %-11s %s"
+              % (job.get("digest", "")[:16], job.get("state", "?"),
+                 job.get("priority", "?"), detail))
+    return EXIT_CLEAN
 
 
 def _job_quarantine_records(store) -> list:
@@ -448,7 +513,61 @@ def main(argv=None) -> int:
         help="enable bearer auth; maps TOKEN to its priority ceiling "
              "(interactive or sweep); repeatable",
     )
+    serve.add_argument(
+        "--max-connections", type=int, default=256,
+        help="open-connection cap; beyond it new connections get an "
+             "immediate 503 + Retry-After (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--header-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="stalled header read -> 408 and drop (slowloris bound; "
+             "default: %(default)s)",
+    )
+    serve.add_argument(
+        "--body-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="stalled body read -> 408 and drop (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None, metavar="REQ_PER_SEC",
+        help="per-token (or per-anonymous-peer) request rate before a "
+             "429 + Retry-After; default: unlimited",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="SIGTERM drain window: finish in-flight requests, then "
+             "close (default: %(default)s)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    jobs = sub.add_parser(
+        "jobs", help="list a running server's jobs (GET /v1/jobs)"
+    )
+    jobs.add_argument("--host", default="127.0.0.1")
+    jobs.add_argument(
+        "--port", type=int, default=8140,
+        help="server port (default: %(default)s)",
+    )
+    jobs.add_argument(
+        "--token", default=None,
+        help="bearer token, when the server has auth enabled",
+    )
+    jobs.add_argument(
+        "--state", choices=("queued", "running", "done", "failed"),
+        default=None, help="only jobs in this state",
+    )
+    jobs.add_argument(
+        "--code", default=None, metavar="TAXONOMY_CODE",
+        help="only failed jobs with this failure-taxonomy code",
+    )
+    jobs.add_argument(
+        "--limit", type=int, default=None,
+        help="page size (server default 100, cap 1000)",
+    )
+    jobs.add_argument(
+        "--json", action="store_true",
+        help="emit the raw listing JSON",
+    )
+    jobs.set_defaults(func=_cmd_jobs)
 
     status = sub.add_parser(
         "status", help="inspect a result store and its quarantine"

@@ -24,7 +24,25 @@ Two layers:
   and notebooks).  Both speak the same wire format, decode results
   through :func:`repro.service.http.decode_result` (digest-verified),
   and raise :class:`ServiceHTTPError` carrying the failure-taxonomy
-  code and any ``Retry-After`` hint on non-2xx responses.
+  code, any ``Retry-After`` hint, and the attempt count on non-2xx
+  responses.
+
+Network resilience (both HTTP clients, opt-in via :class:`RetryPolicy`):
+
+* **capped jittered-backoff retries** across connection failures,
+  response corruption (any parse/digest failure), per-attempt timeouts,
+  and retryable statuses (429/503 by default) — honouring the server's
+  ``Retry-After`` hint when one is sent;
+* **deadline budgets** — a per-request wall-clock budget, propagated to
+  the server as ``X-Deadline-Ms`` (remaining milliseconds, recomputed
+  per attempt) so the server can shed work whose caller has already
+  given up; the client itself stops retrying when the budget is gone
+  and raises a typed ``deadline_expired`` error;
+* **hedged GETs** (:meth:`AsyncServiceClient.hedged_result`) — after a
+  quiet period, a second connection races the first for a cached
+  result; first intact answer wins.  Safe because results are
+  content-addressed and digest-verified: any byte-identical answer is
+  *the* answer, so duplicating a read can never return the wrong one.
 """
 
 from __future__ import annotations
@@ -32,8 +50,10 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import random
 import threading
 import time
+from dataclasses import dataclass
 
 from repro.experiments import common as _common
 from repro.params import MachineConfig
@@ -42,6 +62,7 @@ from repro.service.scheduler import SimulationService
 
 __all__ = [
     "AsyncServiceClient",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceHTTPError",
     "ServiceSession",
@@ -318,21 +339,86 @@ class ServiceHTTPError(Exception):
     ``code`` is the failure-taxonomy / rejection code from the response
     body (``queue_full``, ``quarantined``, ``unauthorized``, ...);
     ``retry_after`` is the server's backoff hint in seconds when one was
-    sent (429/503), else ``None``.
+    sent (429/503), else ``None``; ``attempts`` is how many attempts the
+    raising client spent before giving up (1 without a retry policy) —
+    uniform across both clients, so callers can tell a hard failure
+    from an exhausted retry budget.
     """
 
     def __init__(self, status: int, body: dict,
-                 retry_after: float | None = None) -> None:
+                 retry_after: float | None = None,
+                 attempts: int = 1) -> None:
         self.status = status
         self.body = body if isinstance(body, dict) else {"error": str(body)}
         self.code = self.body.get("code", "error")
         if retry_after is None:
             retry_after = self.body.get("retry_after")
         self.retry_after = retry_after
+        self.attempts = attempts
         super().__init__(
             "HTTP %d [%s]: %s"
             % (status, self.code, self.body.get("error", "request failed"))
         )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How an HTTP client survives a hostile network.
+
+    ``attempts`` caps total tries per logical request.  Between tries the
+    client sleeps a jittered exponential backoff —
+    ``backoff * 2^(attempt-1)``, capped at ``max_backoff``, stretched by
+    up to ``jitter`` — except when the server sent ``Retry-After``,
+    which is honoured verbatim (capped at ``max_backoff``).  Statuses in
+    ``statuses`` are retried; every transport failure (reset, truncation,
+    corruption caught by parse or digest verification, a stalled attempt
+    past ``request_timeout``) is always retried.  ``seed`` makes the
+    jitter deterministic for replayable tests.
+
+    Retrying a *submit* is idempotent by construction: requests are
+    content-addressed, so a duplicate submit joins the in-flight job or
+    hits the cache — it can never run the same work twice concurrently
+    or return a different answer.
+    """
+
+    attempts: int = 4
+    backoff: float = 0.1
+    max_backoff: float = 5.0
+    jitter: float = 0.5
+    statuses: tuple = (429, 503)
+    #: Per-attempt wall-clock cap (seconds); ``None`` trusts the socket.
+    request_timeout: float | None = None
+    seed: int | None = None
+
+    def rng(self) -> random.Random:
+        return random.Random(
+            "retry|%s" % self.seed if self.seed is not None else None
+        )
+
+    def delay(self, attempt: int, rng, retry_after=None) -> float:
+        """Sleep before attempt ``attempt + 1`` (1-based attempts)."""
+        if retry_after is not None:
+            return min(float(retry_after), self.max_backoff)
+        base = min(self.backoff * (2 ** (attempt - 1)), self.max_backoff)
+        return base * (1.0 + self.jitter * rng.random())
+
+
+#: What a retrying client treats as "the attempt died in transit":
+#: resets, short reads, OS errors, and any parse-level ValueError — a
+#: corrupted status line, header, or JSON body all land here.
+_TRANSPORT_ERRORS = (
+    ConnectionError, asyncio.IncompleteReadError, OSError,
+    ValueError, IndexError,
+)
+
+
+def _expired(attempts: int) -> ServiceHTTPError:
+    return ServiceHTTPError(
+        504,
+        {"error": "deadline budget exhausted client-side",
+         "code": "deadline_expired"},
+        attempts=attempts,
+    )
 
 
 def _request_body(request: SimRequest, priority) -> bytes:
@@ -347,6 +433,17 @@ def _decode_payload(payload: dict):
     return decode_result(payload)
 
 
+def _jobs_query(state, code, limit) -> str:
+    from urllib.parse import urlencode
+
+    params = [
+        (name, value)
+        for name, value in (("state", state), ("code", code), ("limit", limit))
+        if value is not None
+    ]
+    return "/v1/jobs" + ("?" + urlencode(params) if params else "")
+
+
 class AsyncServiceClient:
     """Asyncio client for the HTTP front end, one keep-alive connection.
 
@@ -357,10 +454,19 @@ class AsyncServiceClient:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8140,
-                 token: str | None = None) -> None:
+                 token: str | None = None,
+                 retry: RetryPolicy | None = None,
+                 deadline: float | None = None) -> None:
         self.host = host
         self.port = port
         self.token = token
+        #: ``None`` keeps the legacy behavior: reconnect once on a dead
+        #: keep-alive connection, no status retries.
+        self.retry = retry
+        #: Default per-request wall-clock budget in seconds (propagated
+        #: as ``X-Deadline-Ms``); ``None`` means no deadline.
+        self.deadline = deadline
+        self._rng = retry.rng() if retry is not None else random.Random()
         self._reader = None
         self._writer = None
 
@@ -384,7 +490,8 @@ class AsyncServiceClient:
             self.host, self.port
         )
 
-    async def _roundtrip(self, method: str, path: str, body: bytes):
+    async def _roundtrip(self, method: str, path: str, body: bytes,
+                         extra_headers: dict | None = None):
         headers = [
             "%s %s HTTP/1.1" % (method, path),
             "Host: %s:%d" % (self.host, self.port),
@@ -394,6 +501,8 @@ class AsyncServiceClient:
             headers.append("Authorization: Bearer %s" % self.token)
         if body:
             headers.append("Content-Type: application/json")
+        for name, value in (extra_headers or {}).items():
+            headers.append("%s: %s" % (name, value))
         raw = ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body
         self._writer.write(raw)
         await self._writer.drain()
@@ -414,37 +523,127 @@ class AsyncServiceClient:
         payload = await self._reader.readexactly(length) if length else b""
         return status, response_headers, payload
 
-    async def request(self, method: str, path: str, tree=None):
+    async def request(self, method: str, path: str, tree=None,
+                      deadline: float | None = None):
         """One JSON round trip; returns ``(status, headers, parsed_body)``.
 
-        Reconnects once on a dead keep-alive connection.  Raises
-        :class:`ServiceHTTPError` for status >= 400.
+        Without a :class:`RetryPolicy`, reconnects once on a dead
+        keep-alive connection (legacy behavior).  With one, survives
+        resets, corruption, stalls, and retryable statuses per the
+        policy.  Raises :class:`ServiceHTTPError` for status >= 400.
         """
         body = json.dumps(tree).encode() if tree is not None else b""
-        if self._writer is None:
-            await self._connect()
-        try:
-            status, headers, payload = await self._roundtrip(
-                method, path, body
-            )
-        except (ConnectionError, asyncio.IncompleteReadError, OSError):
-            await self.close()
-            await self._connect()
-            status, headers, payload = await self._roundtrip(
-                method, path, body
-            )
-        if headers.get("connection", "").lower() == "close":
-            await self.close()
+        loop = asyncio.get_running_loop()
+        budget = deadline if deadline is not None else self.deadline
+        deadline_at = None if budget is None else loop.time() + budget
+
+        def deadline_headers():
+            if deadline_at is None:
+                return {}
+            remaining = deadline_at - loop.time()
+            return {"X-Deadline-Ms": "%d" % max(1, int(remaining * 1000))}
+
+        if self.retry is None:
+            if deadline_at is not None and loop.time() >= deadline_at:
+                raise _expired(attempts=0)
+            if self._writer is None:
+                await self._connect()
+            try:
+                status, headers, payload = await self._roundtrip(
+                    method, path, body, deadline_headers()
+                )
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                await self.close()
+                await self._connect()
+                status, headers, payload = await self._roundtrip(
+                    method, path, body, deadline_headers()
+                )
+            return self._finish(status, headers, payload, attempts=1,
+                                close_cb=self._drop_connection)
+
+        attempt = 0
+        while True:
+            attempt += 1
+            if deadline_at is not None and loop.time() >= deadline_at:
+                raise _expired(attempts=attempt - 1)
+            try:
+                if self._writer is None:
+                    await self._connect()
+                coroutine = self._roundtrip(
+                    method, path, body, deadline_headers()
+                )
+                if self.retry.request_timeout is not None:
+                    status, headers, payload = await asyncio.wait_for(
+                        coroutine, self.retry.request_timeout
+                    )
+                else:
+                    status, headers, payload = await coroutine
+            except (asyncio.TimeoutError, *_TRANSPORT_ERRORS):
+                self._drop_connection()
+                if attempt >= self.retry.attempts:
+                    raise
+                pause = self._pause(attempt, None, deadline_at, loop.time())
+                if pause is None:
+                    raise  # the backoff itself would blow the deadline
+                await asyncio.sleep(pause)
+                continue
+            try:
+                return self._finish(status, headers, payload,
+                                    attempts=attempt,
+                                    close_cb=self._drop_connection)
+            except ServiceHTTPError as exc:
+                if exc.status not in self.retry.statuses \
+                        or attempt >= self.retry.attempts:
+                    raise
+                pause = self._pause(
+                    attempt, exc.retry_after, deadline_at, loop.time()
+                )
+                if pause is None:
+                    raise  # the backoff itself would blow the deadline
+                await asyncio.sleep(pause)
+            except ValueError:
+                # A complete-but-corrupted payload (body bytes flipped in
+                # flight) is a transport failure wearing a 200.
+                self._drop_connection()
+                if attempt >= self.retry.attempts:
+                    raise
+                pause = self._pause(attempt, None, deadline_at, loop.time())
+                if pause is None:
+                    raise
+                await asyncio.sleep(pause)
+
+    def _drop_connection(self) -> None:
+        """Synchronously abandon the connection (transport closes async)."""
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+            self._reader = self._writer = None
+
+    def _pause(self, attempt, retry_after, deadline_at, now):
+        """Backoff before the next attempt; ``None`` = budget exhausted."""
+        pause = self.retry.delay(attempt, self._rng, retry_after=retry_after)
+        if deadline_at is not None and now + pause >= deadline_at:
+            return None
+        return pause
+
+    def _finish(self, status, headers, payload, attempts, close_cb=None):
+        """Parse one response; raise typed errors, honour close headers."""
+        must_close = headers.get("connection", "").lower() == "close"
         content_type = headers.get("content-type", "")
         if content_type.startswith("application/json"):
             parsed = json.loads(payload.decode() or "null")
         else:
             parsed = payload.decode()
+        if must_close and close_cb is not None:
+            close_cb()
         if status >= 400:
             retry_after = headers.get("retry-after")
             raise ServiceHTTPError(
                 status, parsed,
                 retry_after=float(retry_after) if retry_after else None,
+                attempts=attempts,
             )
         return status, headers, parsed
 
@@ -466,13 +665,85 @@ class AsyncServiceClient:
         return body
 
     async def result(self, digest: str):
-        """The decoded (digest-verified) result; ``None`` while pending."""
-        status, _headers, body = await self.request(
-            "GET", "/v1/jobs/%s/result" % digest
+        """The decoded (digest-verified) result; ``None`` while pending.
+
+        With a retry policy, a payload that fails digest verification
+        (in-flight corruption the transport didn't catch) is treated
+        like any other transport failure: drop the connection, back
+        off, fetch again.
+        """
+        attempts = self.retry.attempts if self.retry is not None else 1
+        for attempt in range(1, attempts + 1):
+            status, _headers, body = await self.request(
+                "GET", "/v1/jobs/%s/result" % digest
+            )
+            if status == 202:
+                return None
+            try:
+                return _decode_payload(body)
+            except ValueError:
+                self._drop_connection()
+                if attempt >= attempts:
+                    raise
+                await asyncio.sleep(
+                    self.retry.delay(attempt, self._rng)
+                )
+
+    async def hedged_result(self, digest: str, hedge_after: float = 0.05):
+        """:meth:`result`, hedged: race a second connection after a wait.
+
+        For cached results behind a flaky network: if the primary
+        connection hasn't answered within ``hedge_after`` seconds, a
+        fresh connection issues the same GET and the first intact
+        answer wins.  Content addressing makes the race benign — both
+        connections can only return the byte-identical digest-verified
+        result.  The loser is cancelled and its connection dropped.
+        """
+        primary = asyncio.ensure_future(self.result(digest))
+
+        async def hedge():
+            await asyncio.sleep(hedge_after)
+            spare = AsyncServiceClient(
+                self.host, self.port, token=self.token, retry=self.retry
+            )
+            try:
+                return await spare.result(digest)
+            finally:
+                await spare.close()
+
+        backup = asyncio.ensure_future(hedge())
+        pending = {primary, backup}
+        last_exc = None
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    if task.cancelled():
+                        continue
+                    if task.exception() is None:
+                        return task.result()
+                    last_exc = task.exception()
+            raise last_exc
+        finally:
+            for task in (primary, backup):
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(primary, backup, return_exceptions=True)
+            if primary.cancelled():
+                # The primary was torn down mid-read; its keep-alive
+                # stream may hold a half response — never reuse it.
+                self._drop_connection()
+
+    async def list_jobs(self, state: str | None = None,
+                        code: str | None = None,
+                        limit: int | None = None) -> dict:
+        """``GET /v1/jobs`` operator listing (filtered, newest first)."""
+        _status, _headers, body = await self.request(
+            "GET", _jobs_query(state, code, limit)
         )
-        if status == 202:
-            return None
-        return _decode_payload(body)
+        return body
 
     async def run(self, request: SimRequest, priority=None,
                   poll_interval: float = 0.05, timeout: float = 300.0):
@@ -507,11 +778,18 @@ class ServiceClient:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8140,
-                 token: str | None = None, timeout: float = 60.0) -> None:
+                 token: str | None = None, timeout: float = 60.0,
+                 retry: RetryPolicy | None = None,
+                 deadline: float | None = None) -> None:
         self.host = host
         self.port = port
         self.token = token
         self.timeout = timeout
+        #: Same semantics as :class:`AsyncServiceClient` — ``None`` keeps
+        #: the legacy reconnect-once behavior.
+        self.retry = retry
+        self.deadline = deadline
+        self._rng = retry.rng() if retry is not None else random.Random()
         self._conn: http.client.HTTPConnection | None = None
 
     def close(self) -> None:
@@ -525,14 +803,20 @@ class ServiceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _roundtrip(self, method: str, path: str, body: bytes):
+    def _roundtrip(self, method: str, path: str, body: bytes,
+                   extra_headers: dict | None = None):
         if self._conn is None:
+            timeout = self.timeout
+            if self.retry is not None \
+                    and self.retry.request_timeout is not None:
+                timeout = min(timeout, self.retry.request_timeout)
             self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
+                self.host, self.port, timeout=timeout
             )
         headers = {"Content-Type": "application/json"} if body else {}
         if self.token:
             headers["Authorization"] = "Bearer %s" % self.token
+        headers.update(extra_headers or {})
         self._conn.request(method, path, body=body or None, headers=headers)
         response = self._conn.getresponse()
         payload = response.read()
@@ -541,13 +825,87 @@ class ServiceClient:
         }
         return response.status, response_headers, payload
 
-    def request(self, method: str, path: str, tree=None):
+    def request(self, method: str, path: str, tree=None,
+                deadline: float | None = None):
         body = json.dumps(tree).encode() if tree is not None else b""
-        try:
-            status, headers, payload = self._roundtrip(method, path, body)
-        except (ConnectionError, http.client.HTTPException, OSError):
+        budget = deadline if deadline is not None else self.deadline
+        deadline_at = None if budget is None else time.monotonic() + budget
+
+        def deadline_headers():
+            if deadline_at is None:
+                return {}
+            remaining = deadline_at - time.monotonic()
+            return {"X-Deadline-Ms": "%d" % max(1, int(remaining * 1000))}
+
+        # A stalled socket is a transport failure too: http.client raises
+        # socket.timeout (an OSError) once the connection timeout fires.
+        transport_errors = (
+            ConnectionError, http.client.HTTPException, OSError, ValueError,
+        )
+
+        if self.retry is None:
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                raise _expired(attempts=0)
+            try:
+                status, headers, payload = self._roundtrip(
+                    method, path, body, deadline_headers()
+                )
+            except transport_errors:
+                self.close()
+                status, headers, payload = self._roundtrip(
+                    method, path, body, deadline_headers()
+                )
+            return self._finish(status, headers, payload, attempts=1)
+
+        attempt = 0
+        while True:
+            attempt += 1
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                raise _expired(attempts=attempt - 1)
+            try:
+                status, headers, payload = self._roundtrip(
+                    method, path, body, deadline_headers()
+                )
+            except transport_errors:
+                self.close()
+                if attempt >= self.retry.attempts:
+                    raise
+                pause = self._pause(attempt, None, deadline_at)
+                if pause is None:
+                    raise
+                time.sleep(pause)
+                continue
+            try:
+                return self._finish(status, headers, payload,
+                                    attempts=attempt)
+            except ServiceHTTPError as exc:
+                if exc.status not in self.retry.statuses \
+                        or attempt >= self.retry.attempts:
+                    raise
+                pause = self._pause(attempt, exc.retry_after, deadline_at)
+                if pause is None:
+                    raise
+                time.sleep(pause)
+            except ValueError:
+                # Complete-but-corrupted payload: retry like a torn wire.
+                self.close()
+                if attempt >= self.retry.attempts:
+                    raise
+                pause = self._pause(attempt, None, deadline_at)
+                if pause is None:
+                    raise
+                time.sleep(pause)
+
+    def _pause(self, attempt, retry_after, deadline_at):
+        pause = self.retry.delay(attempt, self._rng, retry_after=retry_after)
+        if deadline_at is not None \
+                and time.monotonic() + pause >= deadline_at:
+            return None
+        return pause
+
+    def _finish(self, status, headers, payload, attempts):
+        if headers.get("connection", "").lower() == "close":
             self.close()
-            status, headers, payload = self._roundtrip(method, path, body)
         content_type = headers.get("content-type", "")
         if content_type.startswith("application/json"):
             parsed = json.loads(payload.decode() or "null")
@@ -558,6 +916,7 @@ class ServiceClient:
             raise ServiceHTTPError(
                 status, parsed,
                 retry_after=float(retry_after) if retry_after else None,
+                attempts=attempts,
             )
         return status, headers, parsed
 
@@ -574,12 +933,28 @@ class ServiceClient:
         return body
 
     def result(self, digest: str):
-        status, _headers, body = self.request(
-            "GET", "/v1/jobs/%s/result" % digest
+        attempts = self.retry.attempts if self.retry is not None else 1
+        for attempt in range(1, attempts + 1):
+            status, _headers, body = self.request(
+                "GET", "/v1/jobs/%s/result" % digest
+            )
+            if status == 202:
+                return None
+            try:
+                return _decode_payload(body)
+            except ValueError:
+                self.close()
+                if attempt >= attempts:
+                    raise
+                time.sleep(self.retry.delay(attempt, self._rng))
+
+    def list_jobs(self, state: str | None = None, code: str | None = None,
+                  limit: int | None = None) -> dict:
+        """``GET /v1/jobs`` operator listing (filtered, newest first)."""
+        _status, _headers, body = self.request(
+            "GET", _jobs_query(state, code, limit)
         )
-        if status == 202:
-            return None
-        return _decode_payload(body)
+        return body
 
     def run(self, request: SimRequest, priority=None,
             poll_interval: float = 0.05, timeout: float = 300.0):

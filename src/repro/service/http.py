@@ -12,6 +12,10 @@ Endpoints
 ``POST /v1/jobs``            Submit a request (the batch-file JSON shape);
                              returns its content digest.  ``200`` when served
                              from cache, ``202`` when accepted for computation.
+``GET /v1/jobs``             Operator listing of the jobs this server has
+                             seen: ``?state=`` (queued/running/done/failed),
+                             ``?code=`` (failure-taxonomy code), ``?limit=``
+                             (bounded page size), most recent first.
 ``GET /v1/jobs/{digest}``    Job status, including the failure-taxonomy code
                              when it failed.
 ``GET /v1/jobs/{d}/result``  The completed result as a JSON state tree plus its
@@ -42,6 +46,28 @@ auth is disabled (embedded/test mode) and the request body's
 ``priority`` field is honoured as in batch files.  ``/health`` and
 ``/metrics`` are never authenticated — probes and scrapers go first.
 
+**Network hardening** (the `repro.faults.net` chaos proxy is the proof
+harness for all of it):
+
+* a **connection cap** (``max_connections``) — connections beyond it get
+  an immediate 503 + ``Retry-After`` and are closed, so a connection
+  flood degrades into polite backpressure instead of fd exhaustion;
+* **header/body read timeouts** — a peer that opens a connection and
+  trickles bytes (slowloris) is answered 408 and dropped; a fully idle
+  keep-alive connection is reclaimed quietly after the same window;
+* **per-token rate limiting** (``rate_limit`` requests/sec, token
+  bucket with a burst allowance) wired into the existing typed-429 +
+  ``Retry-After`` path — keyed by bearer token, or by peer address when
+  auth is off;
+* **deadline propagation** — clients send ``X-Deadline-Ms`` (remaining
+  budget); an already-expired deadline is shed with a typed 504 before
+  any work happens, and the scheduler caps the job's wall-clock timeout
+  to the remaining budget (:class:`DeadlineExpired` end to end — expired
+  work is never silently computed);
+* **connection draining** — :meth:`ServiceHTTPServer.drain` (wired to
+  SIGTERM in ``repro-serve serve``) stops accepting, finishes in-flight
+  requests with ``Connection: close``, and only then tears down.
+
 Results cross the wire as JSON state trees with a blake2b state digest
 (:func:`encode_result` / :func:`decode_result`): the client rebuilds the
 result object and verifies the digest, so an HTTP round trip is
@@ -63,6 +89,7 @@ from repro.service.request import (
     request_digest,
 )
 from repro.service.scheduler import (
+    DeadlineExpired,
     JobFailed,
     JobQuarantined,
     QueueFull,
@@ -184,20 +211,54 @@ class HttpError(Exception):
 
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 401: "Unauthorized",
-    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
-    413: "Payload Too Large", 429: "Too Many Requests",
+    404: "Not Found", 405: "Method Not Allowed", 408: "Request Timeout",
+    409: "Conflict", 413: "Payload Too Large", 429: "Too Many Requests",
     500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
-async def _read_request(reader, max_body: int):
-    """One parsed request: ``(method, path, headers, body)`` or ``None``.
+#: Cap on header lines per request — far beyond any legitimate client,
+#: small enough that a header-spamming peer cannot balloon memory.
+MAX_HEADER_LINES = 100
 
-    ``None`` means the peer closed the connection between requests — the
-    normal end of a keep-alive session, not an error.
+
+async def _read_request(reader, max_body: int,
+                        header_timeout: float | None = None,
+                        body_timeout: float | None = None):
+    """One parsed request: ``(method, target, headers, body)`` or ``None``.
+
+    ``None`` means the peer closed the connection between requests (or
+    went silent before sending a request line) — the normal end of a
+    keep-alive session, not an error.  Once a request line has arrived,
+    a peer that stalls mid-headers or mid-body past the corresponding
+    timeout gets a typed 408 — the slowloris answer.  ``target`` keeps
+    its query string; the dispatcher splits it.
     """
+
+    async def timed(coroutine, timeout, what):
+        if timeout is None:
+            return await coroutine
+        try:
+            return await asyncio.wait_for(coroutine, timeout)
+        except asyncio.TimeoutError:
+            raise HttpError(
+                408, "%s stalled past %.1fs" % (what, timeout),
+                "request_timeout",
+            ) from None
+
     try:
-        line = await reader.readline()
+        # A silent peer here is idle, not stalled: reclaim the
+        # connection quietly instead of answering 408 to nobody.
+        if header_timeout is None:
+            line = await reader.readline()
+        else:
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), header_timeout
+                )
+            except asyncio.TimeoutError:
+                return None
     except (ConnectionError, asyncio.IncompleteReadError):
         return None
     if not line:
@@ -207,12 +268,19 @@ async def _read_request(reader, max_body: int):
     except ValueError:
         raise HttpError(400, "malformed request line", "bad_request")
     headers = {}
-    while True:
-        line = await reader.readline()
+    for _ in range(MAX_HEADER_LINES):
+        try:
+            line = await timed(
+                reader.readline(), header_timeout, "header read"
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
         if line in (b"\r\n", b"\n", b""):
             break
         name, _, value = line.decode("latin-1").partition(":")
         headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "too many header lines", "bad_request")
     try:
         length = int(headers.get("content-length", "0"))
     except ValueError:
@@ -222,11 +290,12 @@ async def _read_request(reader, max_body: int):
     body = b""
     if length:
         try:
-            body = await reader.readexactly(length)
-        except asyncio.IncompleteReadError:
+            body = await timed(
+                reader.readexactly(length), body_timeout, "body read"
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
             return None
-    path = target.split("?", 1)[0]
-    return method.upper(), path, headers, body
+    return method.upper(), target, headers, body
 
 
 def _render_response(status: int, body, headers: dict | None = None,
@@ -295,6 +364,11 @@ class ServiceHTTPServer:
         port: int = 0,
         tokens: dict | None = None,
         max_records: int = 4096,
+        max_connections: int = 256,
+        header_timeout: float | None = 10.0,
+        body_timeout: float | None = 10.0,
+        rate_limit: float | None = None,
+        rate_burst: float | None = None,
     ) -> None:
         self.service = service
         self.host = host
@@ -305,11 +379,29 @@ class ServiceHTTPServer:
             for token, priority in (tokens or {}).items()
         }
         self.max_records = max_records
+        self.max_connections = max_connections
+        self.header_timeout = header_timeout
+        self.body_timeout = body_timeout
+        #: Sustained requests/sec per token (or peer when auth is off);
+        #: ``None`` disables rate limiting.
+        self.rate_limit = rate_limit
+        self.rate_burst = rate_burst if rate_burst is not None else (
+            max(1.0, 2.0 * rate_limit) if rate_limit else 1.0
+        )
         self._jobs: dict = {}  # digest -> _JobRecord, insertion-ordered
         self._server: asyncio.AbstractServer | None = None
         self._connections: set = set()
         self._started = 0.0
+        self._draining = False
+        self._buckets: dict = {}  # rate-limit key -> (tokens, stamp)
         self._http_counts: dict = {}  # (method, status) -> count
+        #: Hardening event counters, exported by :meth:`render_metrics`.
+        self._hardening = {
+            "connections_refused": 0,  # over the connection cap
+            "request_timeouts": 0,     # 408s (slowloris defense)
+            "rate_limited": 0,         # 429s from the token bucket
+            "deadline_rejected": 0,    # 504s (expired before any work)
+        }
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -335,15 +427,58 @@ class ServiceHTTPServer:
             await self.start()
         await self._server.serve_forever()
 
+    async def drain(self, grace: float = 10.0) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight requests.
+
+        The SIGTERM path in ``repro-serve serve``.  New connections stop
+        being accepted immediately; requests already being served get
+        answered with ``Connection: close``; connections still open
+        after *grace* seconds are dropped.  The underlying service is
+        untouched — its own shutdown handles the job queue.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        give_up = loop.time() + grace
+        while self._connections and loop.time() < give_up:
+            await asyncio.sleep(0.05)
+        for writer in list(self._connections):
+            writer.close()
+
     # -- connection loop ----------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
+        if len(self._connections) >= self.max_connections:
+            # Over the cap: the flood answer is typed backpressure on a
+            # fresh socket, not a worker fd held hostage.
+            self._hardening["connections_refused"] += 1
+            try:
+                writer.write(_render_response(
+                    503,
+                    {"error": "connection limit reached", "code": "server_busy"},
+                    {"Retry-After": "1"}, keep_alive=False,
+                ))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                writer.close()
+            return
         self._connections.add(writer)
         try:
             while True:
                 try:
-                    parsed = await _read_request(reader, MAX_BODY_BYTES)
+                    parsed = await _read_request(
+                        reader, MAX_BODY_BYTES,
+                        header_timeout=self.header_timeout,
+                        body_timeout=self.body_timeout,
+                    )
                 except HttpError as exc:
+                    if exc.status == 408:
+                        self._hardening["request_timeouts"] += 1
                     writer.write(_render_response(
                         exc.status, exc.body, exc.headers, keep_alive=False
                     ))
@@ -351,10 +486,11 @@ class ServiceHTTPServer:
                     return
                 if parsed is None:
                     return
-                method, path, headers, body = parsed
+                method, target, headers, body = parsed
                 keep = headers.get("connection", "").lower() != "close"
+                keep = keep and not self._draining
                 status, payload, extra_headers = await self._dispatch(
-                    method, path, headers, body
+                    method, target, headers, body
                 )
                 key = (method, status)
                 self._http_counts[key] = self._http_counts.get(key, 0) + 1
@@ -374,8 +510,9 @@ class ServiceHTTPServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _dispatch(self, method, path, headers, body):
+    async def _dispatch(self, method, target, headers, body):
         """Route one request; returns ``(status, body, headers)``."""
+        path, _, query = target.partition("?")
         try:
             if path == "/health":
                 self._require(method, "GET")
@@ -383,13 +520,20 @@ class ServiceHTTPServer:
             if path == "/metrics":
                 self._require(method, "GET")
                 return 200, self.render_metrics().encode(), {}
+            deadline = self._parse_deadline(headers)
             if path == "/v1/jobs":
+                if method == "GET":
+                    self._authenticate(headers)
+                    self._rate_check(headers)
+                    return self._list_jobs(query)
                 self._require(method, "POST")
                 token_priority = self._authenticate(headers)
-                return self._submit(body, token_priority)
+                self._rate_check(headers)
+                return self._submit(body, token_priority, deadline)
             if path.startswith("/v1/jobs/"):
                 self._require(method, "GET")
                 self._authenticate(headers)
+                self._rate_check(headers)
                 rest = path[len("/v1/jobs/"):]
                 if rest.endswith("/result"):
                     return self._result(rest[: -len("/result")].rstrip("/"))
@@ -402,6 +546,56 @@ class ServiceHTTPServer:
                 "error": "%s: %s" % (type(exc).__name__, exc),
                 "code": "internal",
             }, {}
+
+    def _parse_deadline(self, headers) -> float | None:
+        """Remaining budget in *seconds* from ``X-Deadline-Ms``.
+
+        An already-expired budget is the one network-hardening case that
+        must never reach the scheduler: answering 504 here is cheaper
+        than computing a result nobody is waiting for.
+        """
+        raw = headers.get("x-deadline-ms")
+        if raw is None:
+            return None
+        try:
+            millis = float(raw)
+        except ValueError:
+            raise HttpError(
+                400, "X-Deadline-Ms is not a number: %r" % raw, "bad_request"
+            ) from None
+        if millis <= 0:
+            self._hardening["deadline_rejected"] += 1
+            raise HttpError(
+                504, "deadline budget already expired (%gms)" % millis,
+                "deadline_expired",
+            )
+        return millis / 1000.0
+
+    def _rate_check(self, headers) -> None:
+        """Token-bucket rate limiting per bearer token (429 + Retry-After)."""
+        if not self.rate_limit:
+            return
+        value = headers.get("authorization", "")
+        _, _, token = value.partition(" ")
+        key = token.strip() or "anonymous"
+        now = asyncio.get_running_loop().time()
+        tokens, stamp = self._buckets.get(key, (self.rate_burst, now))
+        tokens = min(self.rate_burst, tokens + (now - stamp) * self.rate_limit)
+        if tokens < 1.0:
+            self._buckets[key] = (tokens, now)
+            self._hardening["rate_limited"] += 1
+            wait = (1.0 - tokens) / self.rate_limit
+            raise HttpError(
+                429, "rate limit exceeded (%g req/s)" % self.rate_limit,
+                "rate_limited",
+                headers={"Retry-After": "%d" % max(1, round(wait))},
+                extra={"retry_after": wait},
+            )
+        self._buckets[key] = (tokens - 1.0, now)
+        if len(self._buckets) > 4096:  # forgotten tokens must not accrete
+            self._buckets = dict(
+                sorted(self._buckets.items(), key=lambda kv: kv[1][1])[-2048:]
+            )
 
     @staticmethod
     def _require(method: str, expected: str) -> None:
@@ -426,7 +620,8 @@ class ServiceHTTPServer:
 
     # -- endpoint handlers ---------------------------------------------------
 
-    def _submit(self, body: bytes, token_priority: Priority | None):
+    def _submit(self, body: bytes, token_priority: Priority | None,
+                deadline: float | None = None):
         try:
             data = json.loads(body.decode() or "null")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -445,7 +640,12 @@ class ServiceHTTPServer:
         priority = asked if token_priority is None else \
             Priority(max(int(token_priority), int(asked)))
         try:
-            job = self.service.submit(request, priority)
+            job = self.service.submit(request, priority, deadline=deadline)
+        except DeadlineExpired as exc:
+            self._hardening["deadline_rejected"] += 1
+            raise HttpError(
+                504, str(exc), exc.code, extra={"digest": exc.digest},
+            )
         except QueueFull as exc:
             raise HttpError(
                 429, str(exc), exc.code,
@@ -479,6 +679,64 @@ class ServiceHTTPServer:
         record = self._lookup(digest)
         return 200, record.status_body(), {}
 
+    def _list_jobs(self, query: str):
+        """Operator listing: ``?state=&code=&limit=``, most recent first."""
+        from urllib.parse import parse_qs
+
+        params = parse_qs(query, keep_blank_values=True)
+
+        def single(name):
+            values = params.get(name)
+            if not values:
+                return None
+            return values[-1]
+
+        state = single("state")
+        if state is not None and state not in (
+            "queued", "running", "done", "failed"
+        ):
+            raise HttpError(
+                400, "unknown state filter: %r "
+                "(queued|running|done|failed)" % state, "bad_request",
+            )
+        code = single("code")
+        raw_limit = single("limit")
+        limit = 100
+        if raw_limit is not None:
+            try:
+                limit = int(raw_limit)
+            except ValueError:
+                raise HttpError(
+                    400, "limit is not an integer: %r" % raw_limit,
+                    "bad_request",
+                ) from None
+            if limit < 1:
+                raise HttpError(400, "limit must be >= 1", "bad_request")
+        limit = min(limit, 1000)  # page-size bound, not a preference
+
+        jobs = []
+        truncated = False
+        # The registry dict is insertion-ordered with completed jobs
+        # re-inserted on touch, so reverse iteration is most-recent-first.
+        for digest in reversed(list(self._jobs)):
+            record = self._jobs[digest]
+            if state is not None and record.state != state:
+                continue
+            if code is not None:
+                failure = record.failure or {}
+                if failure.get("code") != code:
+                    continue
+            if len(jobs) >= limit:
+                truncated = True
+                break
+            jobs.append(record.status_body())
+        return 200, {
+            "jobs": jobs,
+            "count": len(jobs),
+            "total_records": len(self._jobs),
+            "truncated": truncated,
+        }, {}
+
     def _result(self, digest: str):
         record = self._lookup(digest)
         if record.state == "failed":
@@ -507,8 +765,11 @@ class ServiceHTTPServer:
         status = service.status()
         loop_now = asyncio.get_running_loop().time()
         return {
-            "status": "closed" if service.closed else "ok",
+            "status": "draining" if self._draining
+            else ("closed" if service.closed else "ok"),
             "uptime_seconds": round(max(0.0, loop_now - self._started), 3),
+            "connections": len(self._connections),
+            "max_connections": self.max_connections,
             "workers": status.workers,
             "worker_mode": status.worker_mode,
             "queue_depth": status.queue_depth,
@@ -645,6 +906,7 @@ class ServiceHTTPServer:
             ("worker_deaths", "worker processes that died"),
             ("reaped", "workers killed by the heartbeat reaper"),
             ("shed", "sweep submissions shed while the breaker was open"),
+            ("deadline_shed", "deadline-expired work shed before completion"),
             ("quarantine_rejections", "submissions refused as poison"),
             ("breaker_opened", "times the circuit breaker opened"),
         ):
@@ -705,6 +967,21 @@ class ServiceHTTPServer:
             quarantine = store.quarantine_summary()
             metric("store_quarantined_entries", quarantine["total"],
                    "damaged entries moved to quarantine")
+
+        metric("connections", len(self._connections),
+               "HTTP connections currently open")
+        metric("connections_limit", self.max_connections,
+               "connection cap before refusal")
+        metric("draining", 1 if self._draining else 0,
+               "1 while the server is draining connections")
+        for name, help_text in (
+            ("connections_refused", "connections refused over the cap"),
+            ("request_timeouts", "requests answered 408 for stalled reads"),
+            ("rate_limited", "requests answered 429 by the rate limiter"),
+            ("deadline_rejected", "requests shed with an expired deadline"),
+        ):
+            metric("http_%s_total" % name, self._hardening[name], help_text,
+                   kind="counter")
 
         first = True
         for (method, code), count in sorted(self._http_counts.items()):

@@ -93,6 +93,10 @@ async def generate_load(
     seed: int = 1,
     benchmark: str = "b2c",
     scale: float = 0.02,
+    retry=None,
+    deadline: float | None = None,
+    stop_on_error: bool = True,
+    churn: int | None = None,
 ) -> dict:
     """Drive one ``profile × concurrency × duration`` cell; returns the
     report dict (see module docs for the regimes).
@@ -100,6 +104,17 @@ async def generate_load(
     ``cached`` mode round-robins over *pool* (pre-warm it first — e.g.
     by running the pool through the server once); ``cold`` mode draws
     globally unique seeds so every request computes.
+
+    ``retry`` (a :class:`~repro.service.client.RetryPolicy`) and
+    ``deadline`` are handed to each worker's client — how the generator
+    is pointed *through* a chaos proxy and survives it.  With
+    ``stop_on_error=False`` a worker records a connection-level failure
+    and carries on with a fresh connection instead of dying — the storm
+    regime, where resets are traffic, not a stop condition.  ``churn``
+    drops each worker's connection every N requests; against a chaos
+    proxy that decides one fault per *connection*, churn is what turns
+    a long soak into many independent fault rolls instead of a handful
+    of lucky keep-alive streams.
     """
     if profile not in PROFILES:
         raise ValueError(
@@ -126,7 +141,10 @@ async def generate_load(
 
     async def worker(worker_index: int) -> None:
         rng = random.Random(seed * 1000 + worker_index)
-        client = AsyncServiceClient(host=host, port=port, token=token)
+        client = AsyncServiceClient(
+            host=host, port=port, token=token,
+            retry=retry, deadline=deadline,
+        )
         position = worker_index  # stagger the round-robin starts
         try:
             while loop.time() < stop_at:
@@ -156,11 +174,19 @@ async def generate_load(
                         )
                     else:
                         errors.append("%s: %s" % (exc.code, exc))
-                except (ConnectionError, OSError, TimeoutError) as exc:
+                except (ConnectionError, OSError, TimeoutError,
+                        ValueError, asyncio.IncompleteReadError) as exc:
                     errors.append("%s: %s" % (type(exc).__name__, exc))
-                    return  # server went away; stop this worker
+                    if stop_on_error:
+                        return  # server went away; stop this worker
+                    # Storm regime: the connection died, the worker
+                    # doesn't — reconnect and keep offering load.
+                    client._drop_connection()
+                    await asyncio.sleep(min(0.05 + rng.random() * 0.1, 0.2))
                 else:
                     served.append(loop.time() - started)
+                    if churn and len(served) % churn == 0:
+                        client._drop_connection()
         finally:
             await client.close()
 

@@ -107,6 +107,8 @@ from repro.service.workers import (
 )
 
 __all__ = [
+    "CODE_DEADLINE",
+    "DeadlineExpired",
     "Job",
     "JobFailed",
     "JobQuarantined",
@@ -118,6 +120,11 @@ __all__ = [
     "SimulationService",
     "STATS_FILENAME",
 ]
+
+#: Taxonomy code for work shed because its caller's deadline passed.
+#: Not an infrastructure code: expired deadlines are the *caller's*
+#: budget running out, so they never trip the circuit breaker.
+CODE_DEADLINE = "deadline_expired"
 
 #: Filename (under the store root) the service persists its final
 #: status counters to at shutdown, for ``repro-serve status``.
@@ -186,6 +193,26 @@ class JobQuarantined(ServiceRejected):
         self.record_path = record_path
 
 
+class DeadlineExpired(ServiceRejected):
+    """This request's deadline budget is gone; the work was shed.
+
+    Raised at submission when the propagated budget is already spent,
+    and set on a job's future when its deadline passes while it is
+    queued (or mid-run, via :class:`JobFailed` with the same code).
+    The contract: deadline-expired work is *never* silently computed —
+    the caller always sees this typed outcome.
+    """
+
+    code = CODE_DEADLINE
+
+    def __init__(self, digest: str, where: str = "at submission") -> None:
+        super().__init__(
+            "deadline expired %s; request %s shed" % (where, digest[:12])
+        )
+        self.digest = digest
+        self.where = where
+
+
 class ServiceDegraded(ServiceRejected):
     """The breaker is open: sweep-class load is shed, interactive flows."""
 
@@ -236,6 +263,10 @@ class Job:
     deaths: int = 0
     #: Per-attempt failure records: {"attempt", "code", "error"}.
     failure_history: list = field(default_factory=list)
+    #: Monotonic instant this job's caller stops caring (``None`` = no
+    #: deadline).  Dedup joins widen it; expiry sheds the job with a
+    #: typed :class:`DeadlineExpired` instead of computing for nobody.
+    deadline: float | None = None
     #: Monotonic start of the current attempt (heartbeat grace anchor).
     #: Durations are always monotonic arithmetic — a wall-clock step
     #: (NTP, DST, operator) must never fake or hide a stall.
@@ -309,6 +340,9 @@ class ServiceStatus:
     quarantine_rejections: int = 0
     #: Sweep submissions shed while the breaker was open.
     shed: int = 0
+    #: Jobs shed (at submit, in queue, or mid-run) because their
+    #: propagated deadline expired before the result could matter.
+    deadline_shed: int = 0
     #: "closed" or "open" (open = degraded: sweep load is shed).
     breaker_state: str = "closed"
     #: Times the breaker has opened since construction.
@@ -333,7 +367,8 @@ class ServiceStatus:
                 "preempt_requests", "preempted", "resumed", "queue_depth",
                 "queue_high_water", "running", "workers", "worker_mode",
                 "closed", "worker_deaths", "reaped", "quarantined_jobs",
-                "quarantine_rejections", "shed", "breaker_state",
+                "quarantine_rejections", "shed", "deadline_shed",
+                "breaker_state",
                 "breaker_opened", "retry_after_hint",
             )
         }
@@ -367,6 +402,10 @@ class ServiceStatus:
                 % (self.worker_deaths, self.reaped, self.quarantined_jobs,
                    self.quarantine_rejections,
                    "" if self.quarantine_rejections == 1 else "s")
+            )
+        if self.deadline_shed:
+            lines.append(
+                "  deadline-expired work shed: %d" % self.deadline_shed
             )
         if self.breaker_state != "closed" or self.breaker_opened:
             lines.append(
@@ -632,17 +671,24 @@ class SimulationService:
     # -- submission -----------------------------------------------------------
 
     def submit(
-        self, request: SimRequest, priority: Priority = Priority.SWEEP
+        self, request: SimRequest, priority: Priority = Priority.SWEEP,
+        deadline: float | None = None,
     ) -> Job:
         """Schedule *request*; returns its (possibly shared) :class:`Job`.
 
         Must be called on the service's event loop.  Raises
         :class:`ServiceClosed` after shutdown began, :class:`QueueFull`
         under backpressure, :class:`JobQuarantined` for poison digests,
-        and :class:`ServiceDegraded` for sweep requests while the
-        breaker is open.  ``job.source`` tells the caller how this
-        submission was satisfied: ``"cache"``, ``"dedup"``, or
-        ``"computed"``.
+        :class:`DeadlineExpired` when *deadline* is already spent, and
+        :class:`ServiceDegraded` for sweep requests while the breaker
+        is open.  ``job.source`` tells the caller how this submission
+        was satisfied: ``"cache"``, ``"dedup"``, or ``"computed"``.
+
+        *deadline* is the caller's remaining budget in **seconds** (the
+        HTTP tier feeds it from the ``X-Deadline-Ms`` header).  A job
+        whose deadline passes while queued or running is shed with a
+        typed error — it is never silently computed — and a running
+        attempt's wall-clock timeout is capped to the remaining budget.
         """
         if self._closed:
             raise ServiceClosed("service is shut down; submission refused")
@@ -650,11 +696,26 @@ class SimulationService:
         loop = asyncio.get_running_loop()
         digest = request_digest(request)
         self._stats.submitted += 1
+        if deadline is not None and deadline <= 0:
+            self._stats.deadline_shed += 1
+            self._stats.rejected += 1
+            perf.counter("service.deadline_shed")
+            raise DeadlineExpired(digest)
+        deadline_at = (
+            _time.monotonic() + deadline if deadline is not None else None
+        )
 
         existing = self._inflight.get(digest)
         if existing is not None:
             self._stats.dedup_hits += 1
             perf.counter("service.dedup_hit")
+            # A dedup join can only *widen* the job's deadline: the most
+            # patient caller keeps the work alive.
+            if existing.deadline is not None:
+                existing.deadline = (
+                    None if deadline_at is None
+                    else max(existing.deadline, deadline_at)
+                )
             if existing.state == "queued" and priority < existing.priority:
                 # Boost: re-push under the new class; the stale heap
                 # entry is skipped at pop time.
@@ -703,6 +764,7 @@ class SimulationService:
             request=request, digest=digest, priority=priority,
             spec=make_job_spec(request, digest, snapshot),
             future=loop.create_future(), submitted_at=loop.time(),
+            deadline=deadline_at,
         )
         if self._supervised:
             job.spec["supervise"] = {
@@ -758,6 +820,13 @@ class SimulationService:
             job = self._pop_job()
             if job is None:
                 break
+            if (job.deadline is not None
+                    and _time.monotonic() >= job.deadline):
+                # The caller's budget ran out while this job queued:
+                # shed it with a typed error instead of burning a
+                # worker computing a result nobody is waiting for.
+                self._shed_expired(job, where="while queued")
+                continue
             self._free_workers -= 1
             job.state = "running"
             job.attempts = 0
@@ -768,6 +837,16 @@ class SimulationService:
             task = loop.create_task(self._execute(job))
             self._tasks.add(task)
             task.add_done_callback(self._tasks.discard)
+
+    def _shed_expired(self, job: Job, where: str) -> None:
+        """Fail *job* with the typed deadline error; never compute it."""
+        job.state = "failed"
+        self._inflight.pop(job.digest, None)
+        self._stats.deadline_shed += 1
+        self._mark_drained()
+        perf.counter("service.deadline_shed")
+        if not job.future.done():
+            job.future.set_exception(DeadlineExpired(job.digest, where))
 
     def _maybe_preempt(self) -> None:
         """Steal a worker for a waiting interactive job, if possible."""
@@ -857,24 +936,42 @@ class SimulationService:
                 job.spec["attempt"] = job.attempts
                 # Monotonic: feeds stall-window arithmetic, never display.
                 job.attempt_started = _time.monotonic()
+                # The attempt's wall-clock budget: the service timeout,
+                # further capped by the caller's remaining deadline.
+                timeout = self.job_timeout
+                if job.deadline is not None:
+                    remaining = job.deadline - _time.monotonic()
+                    if remaining <= 0:
+                        self._shed_expired(job, where="before execution")
+                        return
+                    timeout = (
+                        remaining if timeout is None
+                        else min(timeout, remaining)
+                    )
                 self._stats.executed += 1
                 perf.counter("service.executed")
                 handle = asyncio.wrap_future(self._pool.submit(job.spec))
                 try:
-                    if self.job_timeout is not None:
-                        outcome = await asyncio.wait_for(
-                            handle, self.job_timeout
-                        )
+                    if timeout is not None:
+                        outcome = await asyncio.wait_for(handle, timeout)
                     else:
                         outcome = await handle
                 except asyncio.TimeoutError:
-                    error = "timed out after %.1fs" % self.job_timeout
-                    code = CODE_TIMEOUT
+                    deadline_hit = (
+                        job.deadline is not None
+                        and _time.monotonic() >= job.deadline
+                    )
+                    if deadline_hit:
+                        error = "deadline budget exhausted mid-run"
+                        code = CODE_DEADLINE
+                    else:
+                        error = "timed out after %.1fs" % timeout
+                        code = CODE_TIMEOUT
                     # A timed-out process worker is killed, not leaked:
                     # its tardy result must never land, and its seat
                     # frees immediately.  (Thread workers cannot be
                     # killed; their results are simply discarded.)
-                    if self._pool.kill(job.digest, CODE_TIMEOUT):
+                    if self._pool.kill(job.digest, code):
                         self._stats.worker_deaths += 1
                         job.deaths += 1
                     handle.add_done_callback(_swallow)
@@ -901,11 +998,22 @@ class SimulationService:
                 })
                 self._record_failure_code(code)
                 perf.counter("service.attempt_failed")
-                if job.attempts <= self.retries:
+                if job.attempts <= self.retries and code != CODE_DEADLINE:
+                    delay = backoff_delay(self.backoff, job.attempts)
+                    if (job.deadline is not None
+                            and _time.monotonic() + delay >= job.deadline):
+                        # No budget left for another attempt: fail now
+                        # with the deadline code, not a wasted retry.
+                        self._fail(job, JobFailure(
+                            job.request.benchmark,
+                            "deadline expired before retry %d"
+                            % (job.attempts + 1),
+                            job.attempts, code=CODE_DEADLINE,
+                        ))
+                        self._stats.deadline_shed += 1
+                        return
                     self._stats.retried += 1
-                    await asyncio.sleep(
-                        backoff_delay(self.backoff, job.attempts)
-                    )
+                    await asyncio.sleep(delay)
                     continue
                 self._fail(
                     job,

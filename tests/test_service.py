@@ -446,3 +446,78 @@ class TestRetryAfterHint:
         assert "retry in ~" in str(rejection)
         assert status.retry_after_hint > 0
         assert "retry_after_hint" in status.as_dict()
+
+
+class TestDeadlineShedding:
+    """Propagated deadline budgets: shed typed, never silently computed."""
+
+    def test_spent_budget_is_rejected_at_submission(self, tmp_path):
+        from repro.service import DeadlineExpired
+
+        async def scenario():
+            service = SimulationService(str(tmp_path / "cache"))
+            with pytest.raises(DeadlineExpired) as excinfo:
+                service.submit(_request(), deadline=0.0)
+            status = service.status()
+            await service.shutdown()
+            return excinfo.value, status
+
+        error, status = _drive(scenario())
+        assert error.code == "deadline_expired"
+        assert error.digest
+        assert status.deadline_shed == 1
+        assert status.executed == 0  # nothing was computed for nobody
+
+    def test_queued_job_is_shed_when_its_deadline_passes(self, tmp_path):
+        from repro.service import DeadlineExpired
+
+        async def scenario():
+            service = SimulationService(
+                str(tmp_path / "cache"), max_workers=1
+            )
+            first = service.submit(_request(seed=1))  # takes the worker
+            doomed = service.submit(_request(seed=2), deadline=0.01)
+            with pytest.raises(DeadlineExpired) as excinfo:
+                await doomed.future
+            await first.future
+            status = service.status()
+            await service.shutdown()
+            return excinfo.value, status
+
+        error, status = _drive(scenario())
+        assert error.code == "deadline_expired"
+        assert "shed" in str(error)
+        assert status.deadline_shed == 1
+        assert status.executed == 1  # only the undoomed job ran
+
+    def test_generous_deadline_computes_normally(self, tmp_path):
+        async def scenario():
+            service = SimulationService(str(tmp_path / "cache"))
+            job = service.submit(_request(), deadline=60.0)
+            result = await job.future
+            status = service.status()
+            await service.shutdown()
+            return result, status
+
+        result, status = _drive(scenario())
+        assert result.uops > 0
+        assert status.deadline_shed == 0
+
+    def test_dedup_join_widens_the_deadline(self, tmp_path):
+        async def scenario():
+            service = SimulationService(
+                str(tmp_path / "cache"), max_workers=1
+            )
+            service.submit(_request(seed=1))  # occupy the worker
+            tight = service.submit(_request(seed=2), deadline=30.0)
+            joined = service.submit(_request(seed=2))  # no deadline: patient
+            widened = joined.deadline
+            shared = joined is tight
+            result = await joined.future
+            await service.shutdown()
+            return shared, widened, result
+
+        shared, widened, result = _drive(scenario())
+        assert shared
+        assert widened is None  # the most patient caller keeps it alive
+        assert result.uops > 0

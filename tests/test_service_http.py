@@ -156,7 +156,7 @@ class TestHTTPRoundTrip:
                     "POST", "/v1/jobs", {"benchmark": "b2c", "bogus": 1}
                 )
             with pytest.raises(ServiceHTTPError) as wrong_method:
-                await client.request("GET", "/v1/jobs")
+                await client.request("PUT", "/v1/jobs")
             await _teardown(service, server, client)
             return missing.value, malformed.value, wrong_method.value
 
