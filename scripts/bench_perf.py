@@ -18,6 +18,12 @@ root:
   and cached (every cell served from the content-addressed store; this
   is the per-request overhead of digesting, scheduling, and one store
   read, so it is gated).
+* ``fabric`` — cold sweep jobs/sec through the persistent-worker
+  fabric at 1/2/4/all-cores pool sizes against a per-job-spawn
+  single-process baseline, plus the pre-warm hit rate of a sequential
+  sweep (the fraction of cells speculation had ready before they were
+  asked for).  Recorded in history, not gated (multiprocess scheduling
+  noise).
 * ``http`` — served-requests/sec through the full HTTP front end
   (``repro-serve serve``): the loopback server driven by the
   profile-based load generator (:mod:`repro.service.loadgen`, mixed
@@ -301,6 +307,123 @@ def bench_service_chaos(seed: int = 1, jobs: int = CHAOS_JOBS) -> dict:
     return {"jobs": jobs, "scale": SERVICE_SCALE, **curve}
 
 
+FABRIC_JOBS = 16
+#: Fabric pool sizes for the scaling curve; the machine's core count is
+#: appended as the "all cores" point when it isn't already listed.
+FABRIC_WORKER_COUNTS = (1, 2, 4)
+
+
+def bench_fabric(seed: int = 1, jobs: int = FABRIC_JOBS) -> dict:
+    """Fabric sweep throughput vs worker count, plus pre-warm hit rate.
+
+    The scaling curve runs one sweep-shaped batch (one workload family,
+    distinct seeds — what the affinity router spreads across cells)
+    cold through the persistent-worker fabric at each pool size, against
+    a per-job-spawn single process-worker baseline: the number the
+    fabric exists to beat, since a per-job pool pays interpreter start
+    and workload build on every job.  The pre-warm figure runs the same
+    sweep *sequentially* (the queue empties between cells, which is
+    when speculation is allowed to run) and reports how many cells the
+    pre-warmer had ready before the sweep asked.  Recorded for
+    trajectory, not gated — multiprocess scheduling on a shared box is
+    too noisy to threshold.
+    """
+    import asyncio
+    import dataclasses
+    import shutil
+    import tempfile
+
+    from repro.experiments.fig9 import WIDTHS
+    from repro.params import MachineConfig
+    from repro.service import SimRequest
+    from repro.service.client import ServiceSession
+    from repro.service.scheduler import SimulationService
+
+    requests = [
+        SimRequest(
+            machine=MachineConfig(), benchmark=SIM_BENCHMARK,
+            scale=SERVICE_SCALE, seed=seed + i, mode="functional",
+        )
+        for i in range(jobs)
+    ]
+    # The pre-warm sweep walks the figure 9 window axis in lattice
+    # order — the canonical config sweep, and the axis the pre-warmer
+    # predicts first when its issue budget is tight.
+    base = MachineConfig()
+    sweep_cells = [
+        SimRequest(
+            machine=dataclasses.replace(
+                base,
+                content=dataclasses.replace(
+                    base.content, prev_lines=prev, next_lines=nxt
+                ),
+            ),
+            benchmark=SIM_BENCHMARK, scale=SERVICE_SCALE, seed=seed,
+            mode="functional",
+        )
+        for prev, nxt in WIDTHS
+    ]
+
+    def cold_run(**session_kwargs) -> float:
+        clear_cache()
+        store = tempfile.mkdtemp(prefix="bench-fabric-")
+        try:
+            with ServiceSession(
+                store_dir=store, max_pending=jobs + 8, **session_kwargs
+            ) as session:
+                started = time.perf_counter()
+                session.run_batch(requests)
+                return jobs / (time.perf_counter() - started)
+        finally:
+            shutil.rmtree(store, ignore_errors=True)
+
+    out = {
+        "jobs": jobs,
+        "scale": SERVICE_SCALE,
+        "all_cores": os.cpu_count() or 1,
+        "process_1_jobs_per_sec": round(
+            cold_run(max_workers=1, worker_mode="process"), 2
+        ),
+    }
+    counts = list(FABRIC_WORKER_COUNTS)
+    if out["all_cores"] not in counts:
+        counts.append(out["all_cores"])
+    for count in counts:
+        rate = cold_run(max_workers=count, worker_mode="fabric")
+        out["fabric_%d_jobs_per_sec" % count] = round(rate, 2)
+
+    async def prewarm_sweep() -> dict:
+        clear_cache()
+        store = tempfile.mkdtemp(prefix="bench-prewarm-")
+        try:
+            service = SimulationService(
+                store, max_workers=2, worker_mode="fabric",
+            )
+            warm = service.enable_prewarm(max_inflight=4)
+            started = time.perf_counter()
+            for request in sweep_cells:
+                await service.run(request)
+            elapsed = time.perf_counter() - started
+            stats = warm.stats_dict()
+            await service.shutdown()
+            return {
+                "sweep_cells": len(sweep_cells),
+                "sequential_jobs_per_sec": round(
+                    len(sweep_cells) / elapsed, 2
+                ),
+                "predicted": stats["predicted"],
+                "issued": stats["issued"],
+                "useful": stats["useful"],
+                "wasted": stats["wasted"],
+                "hit_rate": round(stats["useful"] / len(sweep_cells), 4),
+            }
+        finally:
+            shutil.rmtree(store, ignore_errors=True)
+
+    out["prewarm"] = asyncio.run(prewarm_sweep())
+    return out
+
+
 HTTP_DURATION = 2.0
 HTTP_CONCURRENCY = 4
 HTTP_POOL = 16
@@ -507,6 +630,7 @@ SMOKE = {
     "http_concurrency": 2,
     "http_chaos_duration": 0.5,
     "http_chaos_concurrency": 2,
+    "fabric_jobs": 6,
 }
 
 
@@ -526,6 +650,9 @@ def measure(smoke: bool = False) -> dict:
         ),
         "service_chaos": bench_service_chaos(
             jobs=SMOKE["chaos_jobs"] if smoke else CHAOS_JOBS
+        ),
+        "fabric": bench_fabric(
+            jobs=SMOKE["fabric_jobs"] if smoke else FABRIC_JOBS
         ),
         "http": bench_http(
             duration=SMOKE["http_duration"] if smoke else HTTP_DURATION,
@@ -555,6 +682,10 @@ _GATED = [
 #: Ungated metrics that still belong in the history trajectory (too
 #: scheduler-noisy to threshold, too load-bearing to lose).
 _HISTORY_EXTRA = [
+    (("fabric", "process_1_jobs_per_sec"),
+     "per-job-spawn 1-process cold jobs/sec"),
+    (("fabric", "fabric_4_jobs_per_sec"), "fabric 4-worker cold jobs/sec"),
+    (("fabric", "prewarm", "hit_rate"), "fabric pre-warm hit rate"),
     (("http", "cold_served_per_sec"), "http cold served/sec"),
     (("http", "cached_served_per_sec"), "http cached served/sec"),
     (("http_chaos", "clean_cached_served_per_sec"),

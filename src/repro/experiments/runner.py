@@ -222,7 +222,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--service-workers", type=int, default=1, metavar="N",
-        help="worker threads for --service-store (default: 1)",
+        help="worker count for --service-store (default: 1)",
+    )
+    parser.add_argument(
+        "--service-mode", choices=("thread", "process", "fabric"),
+        default="thread",
+        help="worker tier for --service-store: in-process threads, "
+             "per-job processes, or the persistent multi-process fabric "
+             "(default: thread)",
     )
     parser.add_argument(
         "--chart", action="store_true",
@@ -276,6 +283,7 @@ def main(argv=None) -> int:
         session = ServiceSession(
             store_dir=args.service_store,
             max_workers=args.service_workers,
+            worker_mode=args.service_mode,
             max_pending=4096,
         ).start()
         session.install()

@@ -55,6 +55,7 @@ __all__ = [
     "arm_worker_chaos",
     "chaos_action",
     "corrupt_entry",
+    "fabric_action",
     "infra_storm",
 ]
 
@@ -75,6 +76,12 @@ class InfraChaosConfig:
     kill_delay: tuple = (0.01, 0.08)
     heartbeat_stall_rate: float = 0.0
     kill_seeds: tuple = ()
+    #: Per-job death rate keyed by the executing fabric *cell* (the
+    #: coordinator stamps ``worker``/``worker_jobs`` into the chaos
+    #: payload), not by the job: the same digest survives on the
+    #: respawned worker, modelling a flaky host rather than a poison
+    #: request.  Zero outside fabric mode.
+    fabric_kill_rate: float = 0.0
     store_corrupt_rate: float = 0.0
     #: Fraction of injected store corruptions that truncate the file
     #: (unreadable, unrepairable) instead of bit-flipping the body
@@ -85,13 +92,14 @@ class InfraChaosConfig:
         """The picklable ``spec["chaos"]`` payload, or ``None`` if this
         profile injects no worker faults."""
         if (self.worker_kill_rate <= 0 and self.heartbeat_stall_rate <= 0
-                and not self.kill_seeds):
+                and self.fabric_kill_rate <= 0 and not self.kill_seeds):
             return None
         return {
             "seed": int(self.seed),
             "kill_rate": float(self.worker_kill_rate),
             "kill_delay": tuple(self.kill_delay),
             "stall_rate": float(self.heartbeat_stall_rate),
+            "fabric_kill_rate": float(self.fabric_kill_rate),
             "kill_seeds": tuple(int(s) for s in self.kill_seeds),
         }
 
@@ -136,6 +144,30 @@ def chaos_action(chaos: dict, digest: str, attempt: int,
     return (None, 0.0)
 
 
+def fabric_action(chaos: dict, attempt: int = 1) -> tuple:
+    """The per-*cell* fault (if any) for one fabric job hand-out.
+
+    Keyed by ``(chaos seed, worker name, jobs completed on that worker,
+    attempt)`` — the cell identity the coordinator stamps into the
+    payload plus the scheduler's retry counter.  The worker/jobs pair
+    makes the fault a property of the flaky host; the attempt makes
+    every retry a fresh roll even when it lands back on the same cell
+    at the same position (a respawned cell keeps its name and count),
+    so storms converge instead of re-killing one job forever.  Pure and
+    replayable like :func:`chaos_action`.
+    """
+    rate = chaos.get("fabric_kill_rate", 0.0)
+    worker = chaos.get("worker")
+    if rate <= 0 or worker is None:
+        return (None, 0.0)
+    rng = _rng(chaos["seed"], "fabric", worker,
+               chaos.get("worker_jobs", 0), attempt)
+    if rng.random() < rate:
+        low, high = chaos.get("kill_delay", (0.01, 0.08))
+        return ("kill", rng.uniform(low, high))
+    return (None, 0.0)
+
+
 def arm_worker_chaos(spec: dict) -> None:
     """Apply this attempt's fault decision inside a worker process.
 
@@ -146,11 +178,15 @@ def arm_worker_chaos(spec: dict) -> None:
     already silenced (the heartbeat thread is never started for a
     stalled worker: :func:`execute_job` arms chaos *after* writing the
     initial beat, so the reaper sees one beat and then silence).
+    Fabric cells additionally roll :func:`fabric_action` against their
+    own identity; either decision alone is enough to arm the kill.
     """
     chaos = spec["chaos"]
     action, delay = chaos_action(
         chaos, spec["digest"], int(spec.get("attempt", 1)), spec["seed"]
     )
+    if action is None:
+        action, delay = fabric_action(chaos, int(spec.get("attempt", 1)))
     if action == "kill":
         def die() -> None:
             os.kill(os.getpid(), signal.SIGKILL)

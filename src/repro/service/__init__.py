@@ -25,6 +25,18 @@ the substrate the ROADMAP's "heavy traffic" north star builds on:
   result transport, and Prometheus ``/metrics`` + ``/health``.
 * :mod:`repro.service.loadgen` — profile-driven load generator for the
   HTTP tier (named traffic mixes × concurrency × duration).
+* :mod:`repro.service.fabric` — :class:`FabricCoordinator`: a pool of
+  persistent worker *processes* fed from per-worker queues with
+  content-affinity routing, work stealing, crash respawn, and graceful
+  per-worker drain (``repro-serve ... --fabric-workers N``).
+* :mod:`repro.service.shardmap` — :class:`ShardMap` /
+  :class:`ShardedResultStore`: the result cache consistent-hash-sharded
+  over replicated store nodes, with checksummed reads falling back
+  across replicas and a bounded-movement ``rebalance``
+  (``repro-serve rebalance``).
+* :mod:`repro.service.prewarm` — :class:`Prewarmer`: speculative
+  pre-computation of neighbouring sweep cells at a background priority
+  class, with prefetcher-style predicted/issued/useful/wasted counters.
 * :mod:`repro.service.cli` — the ``repro-serve`` command.
 
 The tier is *crash-only* (PR 6): process workers are supervised by
@@ -49,11 +61,13 @@ from repro.service.client import (
     sweep_requests,
     sweep_speedups,
 )
+from repro.service.fabric import FABRIC_MODE, FabricCoordinator
 from repro.service.http import (
     ServiceHTTPServer,
     decode_result,
     encode_result,
 )
+from repro.service.prewarm import LatticeAxis, Prewarmer, neighbours
 from repro.service.request import (
     RESULT_SCHEMA_VERSION,
     Priority,
@@ -73,6 +87,13 @@ from repro.service.scheduler import (
     ServiceRejected,
     ServiceStatus,
     SimulationService,
+    merge_stats_trees,
+)
+from repro.service.shardmap import (
+    RebalanceReport,
+    ShardedResultStore,
+    ShardMap,
+    open_store,
 )
 from repro.service.store import (
     RESULT_STORE_VERSION,
@@ -83,16 +104,21 @@ from repro.service.store import (
 from repro.service.workers import JobExecutionError, WorkerCrashed
 
 __all__ = [
+    "FABRIC_MODE",
     "RESULT_SCHEMA_VERSION",
     "RESULT_STORE_VERSION",
     "AsyncServiceClient",
     "DeadlineExpired",
+    "FabricCoordinator",
     "Job",
     "JobExecutionError",
     "JobFailed",
     "JobQuarantined",
+    "LatticeAxis",
+    "Prewarmer",
     "Priority",
     "QueueFull",
+    "RebalanceReport",
     "ResultStore",
     "RetryPolicy",
     "ScrubReport",
@@ -104,6 +130,8 @@ __all__ = [
     "ServiceRejected",
     "ServiceSession",
     "ServiceStatus",
+    "ShardMap",
+    "ShardedResultStore",
     "SimRequest",
     "SimulationService",
     "StoreStats",
@@ -111,6 +139,9 @@ __all__ = [
     "canonical_request_tree",
     "decode_result",
     "encode_result",
+    "merge_stats_trees",
+    "neighbours",
+    "open_store",
     "request_digest",
     "request_from_fingerprint",
     "sweep_requests",

@@ -7,6 +7,8 @@ Subcommands::
     repro-serve jobs [--port P] [--state S] [--code C] [--limit N] [--json]
     repro-serve status [--store DIR] [--json]
     repro-serve scrub [--store DIR] [--repair] [--workers N] [--json]
+    repro-serve rebalance [--store DIR] [--add-node NAME]
+                          [--remove-node NAME] [--json]
 
 ``batch`` runs a JSON request file through a :class:`SimulationService`
 and prints one line per request plus the service status report.  A batch
@@ -56,6 +58,18 @@ Network hardening knobs: ``--max-connections``, ``--header-timeout`` /
 damaged ones to the quarantine directory (never deleting — forensics
 first).  With ``--repair``, entries whose fingerprint survived are
 recomputed through a local service and verified back into the store.
+
+Distribution (:mod:`repro.service.fabric` / ``shardmap``): ``--fabric-workers N``
+on ``batch`` and ``serve`` runs jobs through the multi-process fabric
+coordinator (shorthand for ``--worker-mode fabric --workers N``);
+``--store-nodes N`` shards the result store across N consistent-hash
+nodes (``--replication R`` keeps R copies of every entry); ``--prewarm``
+turns on the sweep-cell pre-warmer; ``--adaptive-rate`` lets the HTTP
+rate limiter track the scheduler's drain rate under backlog.
+``rebalance`` adds/removes store nodes and moves the bounded set of
+keys whose placement changed (the runbook lives in
+docs/architecture.md).  ``status`` and ``scrub`` open sharded and
+plain stores alike.
 
 Exit codes: 0 — all requests served (``batch``) / store clean or fully
 repaired (``scrub``); 2 — bad invocation or malformed batch file; 3 —
@@ -122,6 +136,30 @@ def _result_line(result) -> str:
     return type(result).__name__
 
 
+def _resolve_pool(args):
+    """``(workers, worker_mode)`` after the ``--fabric-workers`` shorthand."""
+    if getattr(args, "fabric_workers", None):
+        return args.fabric_workers, "fabric"
+    return args.workers, args.worker_mode
+
+
+def _prepare_store(args) -> None:
+    """Shard the store up front when ``--store-nodes`` asks for it.
+
+    Constructing the sharded store persists its ``shardmap.json``; from
+    then on every opener (this process's scheduler, a later ``status``
+    or ``scrub``) sees the same membership.  A store that is already
+    sharded keeps its persisted map — the flags never re-shard.
+    """
+    if getattr(args, "store_nodes", None):
+        from repro.service.shardmap import ShardedResultStore
+
+        ShardedResultStore(
+            args.store, nodes=args.store_nodes,
+            replication=args.replication,
+        )
+
+
 def _cmd_batch(args) -> int:
     from repro.service.client import ServiceSession
     from repro.service.request import request_digest
@@ -132,10 +170,12 @@ def _cmd_batch(args) -> int:
         print("error: %s" % exc, file=sys.stderr)
         return EXIT_ERROR
 
+    workers, worker_mode = _resolve_pool(args)
+    _prepare_store(args)
     session = ServiceSession(
         store_dir=args.store,
-        max_workers=args.workers,
-        worker_mode=args.worker_mode,
+        max_workers=workers,
+        worker_mode=worker_mode,
         max_pending=args.max_pending,
         job_timeout=args.timeout,
         retries=args.retries,
@@ -208,29 +248,35 @@ def _cmd_serve(args) -> int:
         print("error: %s" % exc, file=sys.stderr)
         return EXIT_ERROR
 
+    workers, worker_mode = _resolve_pool(args)
+    _prepare_store(args)
+
     async def serve() -> int:
         service = SimulationService(
             store=args.store,
-            max_workers=args.workers,
-            worker_mode=args.worker_mode,
+            max_workers=workers,
+            worker_mode=worker_mode,
             max_pending=args.max_pending,
             job_timeout=args.timeout,
             retries=args.retries,
             stall_timeout=args.stall_timeout,
             snapshot_every=args.snapshot_every,
         )
+        if args.prewarm:
+            service.enable_prewarm()
         server = ServiceHTTPServer(
             service, host=args.host, port=args.port, tokens=tokens,
             max_connections=args.max_connections,
             header_timeout=args.header_timeout,
             body_timeout=args.body_timeout,
             rate_limit=args.rate_limit,
+            adaptive_rate=args.adaptive_rate,
         )
         await server.start()
         print(
             "repro-serve: http://%s:%d (store %s, %d %s worker%s, auth %s)"
-            % (server.host, server.port, args.store, args.workers,
-               args.worker_mode, "" if args.workers == 1 else "s",
+            % (server.host, server.port, args.store, workers,
+               worker_mode, "" if workers == 1 else "s",
                "on" if tokens else "off"),
             flush=True,
         )
@@ -336,9 +382,10 @@ def _last_run_stats(store) -> dict | None:
 
 
 def _cmd_status(args) -> int:
-    from repro.service.store import ResultStore
+    from repro.service.shardmap import open_store
 
-    store = ResultStore(args.store)
+    store = open_store(args.store)
+    shard_map = getattr(store, "map", None)
     entries = store.entries()
     quarantine = store.quarantine_summary()
     jobs = _job_quarantine_records(store)
@@ -350,6 +397,10 @@ def _cmd_status(args) -> int:
                 "store": {
                     "directory": store.directory,
                     "entries": len(entries),
+                    "nodes": list(shard_map.nodes) if shard_map else None,
+                    "replication": (
+                        shard_map.replication if shard_map else None
+                    ),
                 },
                 "quarantine": {
                     "entries": quarantine,
@@ -364,6 +415,11 @@ def _cmd_status(args) -> int:
 
     print("result store %s: %d cached result%s"
           % (store.directory, len(entries), "" if len(entries) == 1 else "s"))
+    if shard_map is not None:
+        print("sharded across %d node%s (replication %d): %s"
+              % (len(shard_map.nodes),
+                 "" if len(shard_map.nodes) == 1 else "s",
+                 shard_map.replication, ", ".join(shard_map.nodes)))
     for digest in entries[: args.limit]:
         print("  %s" % digest)
     if len(entries) > args.limit:
@@ -389,10 +445,10 @@ def _cmd_status(args) -> int:
 
 
 def _cmd_scrub(args) -> int:
-    from repro.service.store import ResultStore
+    from repro.service.shardmap import open_store
 
     if not args.repair:
-        store = ResultStore(args.store)
+        store = open_store(args.store)
         report = store.scrub()
     else:
         from repro.service.client import ServiceSession
@@ -411,6 +467,32 @@ def _cmd_scrub(args) -> int:
     else:
         print(report.render())
     return EXIT_PARTIAL if report.unrepaired else EXIT_CLEAN
+
+
+def _cmd_rebalance(args) -> int:
+    from repro.service.shardmap import ShardedResultStore, open_store
+
+    store = open_store(args.store)
+    if not isinstance(store, ShardedResultStore):
+        print("error: %s is not a sharded store (no shardmap.json); "
+              "create one with batch/serve --store-nodes" % args.store,
+              file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        for name in args.add_node or []:
+            store.add_node(name)
+        for name in args.remove_node or []:
+            store.remove_node(name)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_ERROR
+    report = store.rebalance()
+    if args.json:
+        json.dump(report.as_dict(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(report.render())
+    return EXIT_PARTIAL if report.unreadable else EXIT_CLEAN
 
 
 def main(argv=None) -> int:
@@ -434,8 +516,23 @@ def main(argv=None) -> int:
         help="worker count (default: 1)",
     )
     batch.add_argument(
-        "--worker-mode", choices=("thread", "process"), default="thread",
+        "--worker-mode", choices=("thread", "process", "fabric"),
+        default="thread",
         help="worker tier kind (default: thread)",
+    )
+    batch.add_argument(
+        "--fabric-workers", type=int, default=None, metavar="N",
+        help="shorthand for --worker-mode fabric --workers N: run jobs "
+             "through a pool of N persistent worker processes",
+    )
+    batch.add_argument(
+        "--store-nodes", type=int, default=None, metavar="N",
+        help="shard the result store across N consistent-hash nodes "
+             "(ignored if the store is already sharded)",
+    )
+    batch.add_argument(
+        "--replication", type=int, default=1, metavar="R",
+        help="replica count per entry when sharding (default: 1)",
     )
     batch.add_argument(
         "--max-pending", type=int, default=256,
@@ -452,7 +549,7 @@ def main(argv=None) -> int:
     batch.add_argument(
         "--stall-timeout", type=float, default=None, metavar="SECONDS",
         help="kill and retry a process worker whose heartbeat goes "
-             "silent this long (process mode only)",
+             "silent this long (process/fabric modes)",
     )
     batch.add_argument(
         "--snapshot-every", type=int, default=None, metavar="N",
@@ -485,8 +582,28 @@ def main(argv=None) -> int:
         help="worker count (default: 2)",
     )
     serve.add_argument(
-        "--worker-mode", choices=("thread", "process"), default="thread",
+        "--worker-mode", choices=("thread", "process", "fabric"),
+        default="thread",
         help="worker tier kind (default: thread)",
+    )
+    serve.add_argument(
+        "--fabric-workers", type=int, default=None, metavar="N",
+        help="shorthand for --worker-mode fabric --workers N: run jobs "
+             "through a pool of N persistent worker processes",
+    )
+    serve.add_argument(
+        "--store-nodes", type=int, default=None, metavar="N",
+        help="shard the result store across N consistent-hash nodes "
+             "(ignored if the store is already sharded)",
+    )
+    serve.add_argument(
+        "--replication", type=int, default=1, metavar="R",
+        help="replica count per entry when sharding (default: 1)",
+    )
+    serve.add_argument(
+        "--prewarm", action="store_true",
+        help="speculatively pre-compute neighbouring sweep cells at "
+             "background priority",
     )
     serve.add_argument(
         "--max-pending", type=int, default=256,
@@ -502,7 +619,7 @@ def main(argv=None) -> int:
     )
     serve.add_argument(
         "--stall-timeout", type=float, default=None, metavar="SECONDS",
-        help="heartbeat reaper threshold (process mode only)",
+        help="heartbeat reaper threshold (process/fabric modes)",
     )
     serve.add_argument(
         "--snapshot-every", type=int, default=None, metavar="N",
@@ -531,6 +648,12 @@ def main(argv=None) -> int:
         "--rate-limit", type=float, default=None, metavar="REQ_PER_SEC",
         help="per-token (or per-anonymous-peer) request rate before a "
              "429 + Retry-After; default: unlimited",
+    )
+    serve.add_argument(
+        "--adaptive-rate", action="store_true",
+        help="under backlog, refill the rate-limit bucket at the "
+             "scheduler's observed drain rate (--rate-limit stays the "
+             "ceiling)",
     )
     serve.add_argument(
         "--drain-grace", type=float, default=10.0, metavar="SECONDS",
@@ -604,7 +727,8 @@ def main(argv=None) -> int:
         help="worker count for --repair recomputation (default: 1)",
     )
     scrub.add_argument(
-        "--worker-mode", choices=("thread", "process"), default="thread",
+        "--worker-mode", choices=("thread", "process", "fabric"),
+        default="thread",
         help="worker tier kind for --repair (default: thread)",
     )
     scrub.add_argument(
@@ -612,6 +736,30 @@ def main(argv=None) -> int:
         help="emit the scrub report as JSON",
     )
     scrub.set_defaults(func=_cmd_scrub)
+
+    rebalance = sub.add_parser(
+        "rebalance",
+        help="move sharded-store keys to their mapped nodes "
+             "(optionally changing membership first)",
+    )
+    rebalance.add_argument(
+        "--store", default=DEFAULT_STORE,
+        help="sharded result-store directory (default: %(default)s)",
+    )
+    rebalance.add_argument(
+        "--add-node", action="append", metavar="NAME",
+        help="join NAME to the ring before rebalancing; repeatable",
+    )
+    rebalance.add_argument(
+        "--remove-node", action="append", metavar="NAME",
+        help="drop NAME from the ring before rebalancing (its directory "
+             "is drained, not deleted); repeatable",
+    )
+    rebalance.add_argument(
+        "--json", action="store_true",
+        help="emit the rebalance report as JSON",
+    )
+    rebalance.set_defaults(func=_cmd_rebalance)
 
     args = parser.parse_args(argv)
     return args.func(args)

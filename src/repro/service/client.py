@@ -42,7 +42,12 @@ Network resilience (both HTTP clients, opt-in via :class:`RetryPolicy`):
   quiet period, a second connection races the first for a cached
   result; first intact answer wins.  Safe because results are
   content-addressed and digest-verified: any byte-identical answer is
-  *the* answer, so duplicating a read can never return the wrong one.
+  *the* answer, so duplicating a read can never return the wrong one;
+* **hedged submits** (``hedged_submit`` on both clients) — the same
+  race for ``POST /v1/jobs``.  Safe for the same reason one layer up:
+  a submit is idempotent by content address, so when both POSTs land
+  the second simply joins the first's in-flight job (or hits the
+  cache) and both acceptance bodies name the same digest.
 """
 
 from __future__ import annotations
@@ -658,6 +663,56 @@ class AsyncServiceClient:
         )
         return body
 
+    async def hedged_submit(self, request: SimRequest, priority=None,
+                            hedge_after: float = 0.05) -> dict:
+        """:meth:`submit`, hedged: race a second connection after a wait.
+
+        The write-side twin of :meth:`hedged_result`.  If the primary
+        connection hasn't carried the acceptance within ``hedge_after``
+        seconds, a fresh connection POSTs the same request and the
+        first answer wins.  Content addressing makes the duplicate POST
+        idempotent: the slower submit joins the faster one's in-flight
+        job (or hits the cache), so both acceptance bodies name the
+        same digest and the job runs once.  The loser is cancelled and
+        its connection dropped.
+        """
+        primary = asyncio.ensure_future(self.submit(request, priority))
+
+        async def hedge():
+            await asyncio.sleep(hedge_after)
+            spare = AsyncServiceClient(
+                self.host, self.port, token=self.token, retry=self.retry
+            )
+            try:
+                return await spare.submit(request, priority)
+            finally:
+                await spare.close()
+
+        backup = asyncio.ensure_future(hedge())
+        pending = {primary, backup}
+        last_exc = None
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    if task.cancelled():
+                        continue
+                    if task.exception() is None:
+                        return task.result()
+                    last_exc = task.exception()
+            raise last_exc
+        finally:
+            for task in (primary, backup):
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(primary, backup, return_exceptions=True)
+            if primary.cancelled():
+                # Torn down mid-write/read: the keep-alive stream may
+                # hold a half response — never reuse it.
+                self._drop_connection()
+
     async def job_status(self, digest: str) -> dict:
         _status, _headers, body = await self.request(
             "GET", "/v1/jobs/%s" % digest
@@ -927,6 +982,62 @@ class ServiceClient:
             "POST", "/v1/jobs", request_to_wire(request, priority)
         )
         return body
+
+    def hedged_submit(self, request: SimRequest, priority=None,
+                      hedge_after: float = 0.05) -> dict:
+        """:meth:`submit`, hedged: race a spare connection after a wait.
+
+        Thread-based twin of :meth:`AsyncServiceClient.hedged_submit`,
+        safe for the same reason: a submit is idempotent by content
+        address, so the slower POST joins the faster one's job (or
+        hits the cache) and both acceptance bodies name the same
+        digest.  If the primary hasn't answered within ``hedge_after``
+        seconds a fresh connection issues the same POST; the first
+        answer wins and the loser's connection is closed (aborting its
+        blocked I/O) rather than waited for.
+        """
+        import concurrent.futures as cf
+
+        spare = ServiceClient(self.host, self.port, token=self.token,
+                              timeout=self.timeout, retry=self.retry)
+        skip_hedge = threading.Event()
+
+        def hedge():
+            if skip_hedge.wait(hedge_after):
+                return None  # primary answered first; never fired
+            return spare.submit(request, priority)
+
+        pool = cf.ThreadPoolExecutor(max_workers=2)
+        primary = pool.submit(self.submit, request, priority)
+        backup = pool.submit(hedge)
+        pending = {primary, backup}
+        winner = None
+        last_exc = None
+        try:
+            while pending and winner is None:
+                done, pending = cf.wait(
+                    pending, return_when=cf.FIRST_COMPLETED
+                )
+                for task in done:
+                    if task.exception() is None:
+                        body = task.result()
+                        if body is not None:
+                            winner = (task, body)
+                            break
+                    else:
+                        last_exc = task.exception()
+            if winner is None:
+                raise last_exc
+            return winner[1]
+        finally:
+            skip_hedge.set()
+            if winner is None or winner[0] is not primary:
+                # The primary lost (or everything failed) — its
+                # keep-alive stream may hold a half response; closing
+                # it also unblocks the straggler thread's read.
+                self.close()
+            spare.close()
+            pool.shutdown(wait=False)
 
     def job_status(self, digest: str) -> dict:
         _status, _headers, body = self.request("GET", "/v1/jobs/%s" % digest)

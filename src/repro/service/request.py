@@ -51,10 +51,17 @@ _MODES = ("timing", "functional")
 
 
 class Priority(enum.IntEnum):
-    """Scheduling class; lower values are served first."""
+    """Scheduling class; lower values are served first.
+
+    ``PREWARM`` is the background class the sweep-cell pre-warmer
+    (:mod:`repro.service.prewarm`) submits at: it sorts behind every
+    interactive and explicit-sweep job in the queue and is always
+    preemptible, so speculation can never delay real work.
+    """
 
     INTERACTIVE = 0
     SWEEP = 1
+    PREWARM = 2
 
 
 @dataclass(frozen=True)
@@ -184,7 +191,8 @@ def parse_priority(value) -> Priority:
             return Priority[value.upper()]
         except KeyError:
             raise ValueError(
-                "unknown priority %r (use 'interactive' or 'sweep')" % value
+                "unknown priority %r (use 'interactive', 'sweep', or "
+                "'prewarm')" % value
             ) from None
     if isinstance(value, int) and not isinstance(value, bool):
         return Priority(value)

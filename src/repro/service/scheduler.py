@@ -70,8 +70,10 @@ from __future__ import annotations
 
 import asyncio
 import collections
+import contextlib
 import heapq
 import itertools
+import json
 import os
 import shutil
 import tempfile
@@ -95,6 +97,8 @@ from repro.service.request import (
     canonical_request_tree,
     request_digest,
 )
+from repro.service.fabric import FABRIC_MODE, FabricCoordinator
+from repro.service.shardmap import open_store
 from repro.service.store import ResultStore, atomic_write_json
 from repro.service.workers import (
     JobExecutionError,
@@ -119,6 +123,7 @@ __all__ = [
     "ServiceStatus",
     "SimulationService",
     "STATS_FILENAME",
+    "merge_stats_trees",
 ]
 
 #: Taxonomy code for work shed because its caller's deadline passed.
@@ -129,6 +134,173 @@ CODE_DEADLINE = "deadline_expired"
 #: Filename (under the store root) the service persists its final
 #: status counters to at shutdown, for ``repro-serve status``.
 STATS_FILENAME = "service-stats.json"
+
+# -- cross-process stats aggregation ------------------------------------------
+#
+# Several service processes can share one store (fabric smoke runs, an
+# HTTP server plus a batch, concurrent experiment sessions), and each
+# flushes its counters at shutdown.  A plain overwrite makes the sidecar
+# last-writer-wins — every other process's failure codes silently vanish
+# — so flushes are an atomic read-merge-write serialized by an
+# O_CREAT|O_EXCL lock file.  The sidecar therefore holds *lifetime*
+# counters for the store (summed across flushes, ``runs`` counting
+# them), with point-in-time gauges taken from the newest writer.
+
+#: Counter fields summed across flushes.
+_SUM_FIELDS = (
+    "submitted", "cache_hits", "dedup_hits", "executed", "completed",
+    "failed", "rejected", "retried", "preempt_requests", "preempted",
+    "resumed", "worker_deaths", "reaped", "quarantine_rejections",
+    "shed", "deadline_shed", "breaker_opened",
+)
+#: Gauge fields taken from the newest flush.
+_LAST_FIELDS = (
+    "queue_depth", "running", "workers", "worker_mode", "closed",
+    "breaker_state", "retry_after_hint", "quarantined_jobs",
+)
+#: Oldest failure strings kept after a merge (forensics, not a log).
+_MAX_MERGED_FAILURES = 50
+
+#: Lock-file acquisition budget and staleness: a holder that died
+#: mid-flush (crash-only, always possible) leaves its lock behind, so a
+#: lock older than the stale window is broken, not waited on.
+_STATS_LOCK_TIMEOUT = 5.0
+_STATS_LOCK_STALE = 10.0
+
+
+@contextlib.contextmanager
+def _stats_lock(path: str):
+    """Exclusive advisory lock for read-merge-write on *path*.
+
+    ``O_CREAT | O_EXCL`` is the only primitive this needs — atomic on
+    every filesystem the repo targets, no fcntl semantics to reason
+    about across NFS/containers.  Raises ``TimeoutError`` when the lock
+    stays contended past the budget (the caller treats a failed flush
+    as best-effort, like every other sidecar write).
+    """
+    lock_path = path + ".lock"
+    deadline = _time.monotonic() + _STATS_LOCK_TIMEOUT
+    while True:
+        try:
+            fd = os.open(lock_path,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            break
+        except FileExistsError:
+            try:
+                age = _time.time() - os.stat(lock_path).st_mtime
+                if age > _STATS_LOCK_STALE:
+                    os.unlink(lock_path)  # holder died mid-flush
+                    continue
+            except OSError:
+                continue  # lock released between stat and unlink: retry
+            if _time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "stats lock %s held past %.1fs"
+                    % (lock_path, _STATS_LOCK_TIMEOUT)
+                )
+            _time.sleep(0.01)
+    try:
+        os.write(fd, b"%d\n" % os.getpid())
+        os.close(fd)
+        yield
+    finally:
+        try:
+            os.unlink(lock_path)
+        except OSError:
+            pass
+
+
+def _merge_latency(left: dict, right: dict) -> dict:
+    merged = {}
+    for name in set(left) | set(right):
+        a, b = left.get(name), right.get(name)
+        if a is None or b is None:
+            merged[name] = dict(a or b)
+            continue
+        count = a["count"] + b["count"]
+        mean = (
+            (a["count"] * a["mean_seconds"] + b["count"] * b["mean_seconds"])
+            / count if count else 0.0
+        )
+        merged[name] = {
+            "count": count,
+            "mean_seconds": round(mean, 6),
+            "max_seconds": max(a["max_seconds"], b["max_seconds"]),
+        }
+    return merged
+
+
+def _sum_dicts(left: dict, right: dict) -> dict:
+    return {
+        key: left.get(key, 0) + right.get(key, 0)
+        for key in set(left) | set(right)
+    }
+
+
+def merge_stats_trees(existing: dict, update: dict) -> dict:
+    """Merge one status flush into the persisted sidecar tree.
+
+    Counters sum, ``queue_high_water`` takes the max, gauges follow the
+    newest writer, per-code failure counts and store counters sum
+    per-key, and latency aggregates merge count-weighted.  Both inputs
+    are ``ServiceStatus.as_dict()`` trees (*existing* possibly already
+    merged, carrying ``runs``).
+    """
+    merged = dict(update)
+    for field_name in _SUM_FIELDS:
+        merged[field_name] = (
+            existing.get(field_name, 0) + update.get(field_name, 0)
+        )
+    merged["queue_high_water"] = max(
+        existing.get("queue_high_water", 0),
+        update.get("queue_high_water", 0),
+    )
+    for field_name in _LAST_FIELDS:
+        if field_name not in update and field_name in existing:
+            merged[field_name] = existing[field_name]
+    merged["failure_codes"] = _sum_dicts(
+        existing.get("failure_codes") or {},
+        update.get("failure_codes") or {},
+    )
+    merged["latency"] = _merge_latency(
+        existing.get("latency") or {}, update.get("latency") or {}
+    )
+    old_store = existing.get("store")
+    new_store = update.get("store")
+    if old_store and new_store:
+        store = _sum_dicts(
+            {k: v for k, v in old_store.items()
+             if isinstance(v, (int, float)) and k != "hit_rate"},
+            {k: v for k, v in new_store.items()
+             if isinstance(v, (int, float)) and k != "hit_rate"},
+        )
+        store["quarantined"] = _sum_dicts(
+            old_store.get("quarantined") or {},
+            new_store.get("quarantined") or {},
+        )
+        lookups = store.get("hits", 0) + store.get("misses", 0)
+        store["hit_rate"] = (
+            round(store.get("hits", 0) / lookups, 4) if lookups else 0.0
+        )
+        merged["store"] = store
+    else:
+        merged["store"] = new_store or old_store
+    old_prewarm = existing.get("prewarm")
+    new_prewarm = update.get("prewarm")
+    if old_prewarm and new_prewarm:
+        merged["prewarm"] = _sum_dicts(old_prewarm, new_prewarm)
+        merged["prewarm"]["inflight"] = new_prewarm.get("inflight", 0)
+    else:
+        merged["prewarm"] = new_prewarm or old_prewarm
+    failures = list(existing.get("failures") or [])
+    failures.extend(update.get("failures") or [])
+    merged["failures"] = failures[-_MAX_MERGED_FAILURES:]
+    submitted = merged["submitted"]
+    merged["cache_hit_rate"] = (
+        round(merged["cache_hits"] / submitted, 4) if submitted else 0.0
+    )
+    merged["runs"] = existing.get("runs", 1) + 1
+    return merged
 
 
 class ServiceRejected(Exception):
@@ -352,6 +524,9 @@ class ServiceStatus:
     retry_after_hint: float = 1.0
     latency: dict = field(default_factory=dict)
     store: dict | None = None
+    #: Pre-warmer counters (predicted/issued/useful/wasted/dropped)
+    #: when speculation is enabled, else ``None``.
+    prewarm: dict | None = None
     failures: list = field(default_factory=list)
 
     @property
@@ -376,6 +551,9 @@ class ServiceStatus:
         data["failure_codes"] = dict(self.failure_codes)
         data["latency"] = dict(self.latency)
         data["store"] = self.store
+        data["prewarm"] = (
+            dict(self.prewarm) if self.prewarm is not None else None
+        )
         data["failures"] = list(self.failures)
         return data
 
@@ -434,6 +612,12 @@ class ServiceStatus:
                 "  store: %(hits)d hits / %(misses)d misses "
                 "(%(puts)d writes, %(invalidated)d invalidated)" % self.store
             )
+        if self.prewarm is not None:
+            lines.append(
+                "  prewarm: %(predicted)d predicted, %(issued)d issued, "
+                "%(useful)d useful, %(wasted)d wasted, %(dropped)d dropped"
+                % self.prewarm
+            )
         for failure in self.failures:
             lines.append("  FAILED %s" % failure)
         return "\n".join(lines)
@@ -445,10 +629,17 @@ class SimulationService:
     Parameters
     ----------
     store:
-        A :class:`ResultStore`, a directory path for one, or ``None``
-        to serve without a cache (dedup and scheduling still apply).
+        A :class:`ResultStore` (or
+        :class:`~repro.service.shardmap.ShardedResultStore`), a
+        directory path, or ``None`` to serve without a cache (dedup and
+        scheduling still apply).  A path whose root carries a
+        ``shardmap.json`` opens as a sharded store automatically.
     max_workers / worker_mode:
-        Size and kind of the worker tier (``"thread"`` or ``"process"``).
+        Size and kind of the worker tier: ``"thread"``, ``"process"``
+        (one supervised process per job), or ``"fabric"`` (N persistent
+        pull-based worker processes behind a
+        :class:`~repro.service.fabric.FabricCoordinator` — same failure
+        taxonomy, amortised spawn and workload-build cost).
     max_pending:
         Bound on *queued* (not yet running) jobs; beyond it submissions
         raise :class:`QueueFull`.
@@ -496,7 +687,7 @@ class SimulationService:
         snapshot_dir: str | None = None,
     ) -> None:
         if isinstance(store, str):
-            store = ResultStore(store)
+            store = open_store(store)
         self.store = store
         if max_pending <= 0:
             raise ValueError("max_pending must be positive")
@@ -525,8 +716,15 @@ class SimulationService:
         if chaos is not None and hasattr(chaos, "worker_spec"):
             chaos = chaos.worker_spec()
         self._chaos = chaos
-        self._pool = WorkerPool(max_workers=max_workers, mode=worker_mode)
-        self._supervised = worker_mode == "process" and stall_timeout
+        if worker_mode == FABRIC_MODE:
+            self._pool = FabricCoordinator(max_workers=max_workers)
+        else:
+            self._pool = WorkerPool(
+                max_workers=max_workers, mode=worker_mode
+            )
+        self._supervised = (
+            worker_mode in ("process", FABRIC_MODE) and stall_timeout
+        )
         self._hb_dir = None
         if self._supervised:
             # Heartbeats are transient runtime state, never persisted
@@ -558,6 +756,21 @@ class SimulationService:
         # Monotonic instants of recent job settlements (done or failed),
         # for the QueueFull retry-after estimate.
         self._drain_marks: collections.deque = collections.deque(maxlen=32)
+        #: Optional sweep-cell speculation (see :meth:`enable_prewarm`).
+        self.prewarmer = None
+
+    def enable_prewarm(self, **kwargs):
+        """Attach a :class:`~repro.service.prewarm.Prewarmer` and return it.
+
+        Keyword arguments go to the prewarmer constructor
+        (``max_inflight``, ``max_per_request``, ``axes``, ...).  Real
+        submissions then speculate their lattice neighbours into the
+        cache at :data:`Priority.PREWARM`.
+        """
+        from repro.service.prewarm import Prewarmer
+
+        self.prewarmer = Prewarmer(self, **kwargs)
+        return self.prewarmer
 
     # -- poison-job quarantine ------------------------------------------------
 
@@ -705,6 +918,15 @@ class SimulationService:
             _time.monotonic() + deadline if deadline is not None else None
         )
 
+        if self.prewarmer is not None and priority != Priority.PREWARM:
+            # A real request landing on a speculated digest makes that
+            # speculation useful (full hit from cache, partial hit via
+            # the dedup join below); and every real request is a fresh
+            # lattice position to speculate from.  Prediction is
+            # deferred so it can never re-enter this submit.
+            self.prewarmer.note_real_request(digest)
+            loop.call_soon(self.prewarmer.on_request, request, digest)
+
         existing = self._inflight.get(digest)
         if existing is not None:
             self._stats.dedup_hits += 1
@@ -775,8 +997,8 @@ class SimulationService:
             job.spec["chaos"] = dict(self._chaos)
         self._inflight[digest] = job
         self._enqueue(job)
-        if priority == Priority.INTERACTIVE:
-            self._maybe_preempt()
+        if priority != Priority.PREWARM:
+            self._maybe_preempt(priority)
         self._ensure_reaper(loop)
         self._pump(loop)
         return job
@@ -848,21 +1070,33 @@ class SimulationService:
         if not job.future.done():
             job.future.set_exception(DeadlineExpired(job.digest, where))
 
-    def _maybe_preempt(self) -> None:
-        """Steal a worker for a waiting interactive job, if possible."""
+    def _maybe_preempt(
+        self, for_priority: Priority = Priority.INTERACTIVE
+    ) -> None:
+        """Steal a worker for a waiting higher-class job, if possible.
+
+        An interactive submit may preempt sweep and prewarm work; a
+        sweep submit may preempt prewarm speculation only.  Strictly
+        class-ordered, so speculation never holds a worker against real
+        work but real classes never preempt each other sideways.
+        """
         if self._free_workers > 0 or self.snapshot_every is None:
             return
         candidates = [
             job for job in self._running
-            if job.priority == Priority.SWEEP
+            if job.priority > for_priority
             and job.spec.get("snapshot") is not None
             and not job.preempt_requested
         ]
         if not candidates:
             return
-        # The most recently started sweep cell has the least work at risk
-        # (and, resuming from its snapshot, loses none of it anyway).
-        victim = max(candidates, key=lambda job: job.started_seq)
+        # The lowest class loses first; among equals, the most recently
+        # started cell has the least work at risk (and, resuming from
+        # its snapshot, loses none of it anyway).
+        victim = max(
+            candidates,
+            key=lambda job: (job.priority, job.started_seq),
+        )
         victim.preempt_requested = True
         raise_preempt_flag(self.snapshot_dir, victim.digest)
         self._stats.preempt_requests += 1
@@ -1125,18 +1359,38 @@ class SimulationService:
         self._persist_stats()
 
     def _persist_stats(self) -> None:
-        """Best-effort final counters sidecar for ``repro-serve status``.
+        self.flush_stats()
 
-        Crash-only: the file is advisory observability, written
-        atomically, and its absence (the process died before shutdown)
-        is handled by every reader.
+    def flush_stats(self) -> None:
+        """Merge this service's counters into the store's stats sidecar.
+
+        Best-effort and crash-only: the file is advisory observability,
+        written atomically, and its absence (the process died before
+        shutdown) is handled by every reader.  The write is a locked
+        read-merge-write (:func:`merge_stats_trees`), so concurrent
+        services sharing one store — fabric smoke runs, a server plus a
+        batch — *accumulate* counters instead of overwriting each
+        other; the sidecar reports store-lifetime totals with gauges
+        from the newest flush.
         """
         if self.store is None:
             return
         path = os.path.join(self.store.directory, STATS_FILENAME)
+        update = self.status().as_dict()
         try:
-            atomic_write_json(path, self.status().as_dict())
-        except OSError:
+            with _stats_lock(path):
+                existing = None
+                try:
+                    with open(path) as handle:
+                        existing = json.load(handle)
+                except (OSError, ValueError):
+                    existing = None
+                if isinstance(existing, dict):
+                    tree = merge_stats_trees(existing, update)
+                else:
+                    tree = dict(update, runs=1)
+                atomic_write_json(path, tree)
+        except (OSError, TimeoutError):
             pass
 
     @property
@@ -1162,6 +1416,10 @@ class SimulationService:
         }
         status.store = (
             self.store.stats.as_dict() if self.store is not None else None
+        )
+        status.prewarm = (
+            self.prewarmer.stats_dict()
+            if self.prewarmer is not None else None
         )
         status.failures = [
             "%s: %s (after %d attempt%s, %s)"

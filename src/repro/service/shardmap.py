@@ -1,0 +1,565 @@
+"""Consistent-hash sharding of the result cache over store nodes.
+
+The content-addressed design of :mod:`repro.service.store` makes results
+location-independent: an entry is valid wherever it sits, because the
+digest in its envelope — not its path — names it.  This module exploits
+that to spread one logical cache over N *store nodes* (directories
+today, hosts later) without any central index:
+
+* :class:`ShardMap` is a classic consistent-hash ring.  Each node
+  contributes ``vnodes`` virtual points (``blake2b(node + "|" + i)``),
+  and a digest is placed on the first ``replication`` distinct nodes
+  clockwise from its own ring position.  Adding or removing one node
+  therefore moves only ~K/N of K keys — the property the hypothesis
+  test in ``tests/test_shardmap.py`` pins down.
+
+* :class:`ShardedResultStore` wraps one plain :class:`ResultStore` per
+  node and presents the same surface the scheduler already consumes
+  (``get`` / ``put`` / ``scrub`` / ``entries`` / ``stats`` /
+  ``quarantine_summary`` / ``__contains__`` / ``directory``).  Reads
+  validate checksums exactly as before and *fall back to replicas*: a
+  damaged or missing copy is quarantined at its node while a surviving
+  replica serves the request and heals the bad copy in place.
+
+* :meth:`ShardedResultStore.rebalance` moves keys to their mapped
+  nodes after membership changes, strictly copy-then-delete: a copy is
+  atomic (the store's temp+fsync+replace idiom) and a source entry is
+  removed only after every mapped node verifiably holds the key.  A
+  SIGKILL mid-rebalance can only leave *extra* valid copies on
+  unmapped nodes — invisible to reads, swept up by the next rebalance
+  — never a missing or torn one.
+
+Ring membership is persisted as ``shardmap.json`` under the store root,
+which makes the root self-describing: :func:`open_store` returns a
+sharded store for such a root and a plain one otherwise, so every
+existing entry point (serve, batch, status, scrub, sessions) works on
+either layout without new plumbing.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+
+from .store import (
+    ResultStore,
+    ScrubReport,
+    StoreStats,
+    atomic_write_json,
+)
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "NODES_DIRNAME",
+    "RebalanceReport",
+    "SHARD_MAP_FILENAME",
+    "SHARD_MAP_VERSION",
+    "ShardMap",
+    "ShardedResultStore",
+    "open_store",
+]
+
+#: Membership file under the store root; its presence marks the root as
+#: a sharded store for :func:`open_store`.
+SHARD_MAP_FILENAME = "shardmap.json"
+
+#: Bump when the membership-file layout changes incompatibly.
+SHARD_MAP_VERSION = 1
+
+#: Virtual points each node contributes to the ring.  More vnodes mean
+#: a smoother share per node (and proportional placement churn closer
+#: to the ideal K/N) at slightly higher placement cost.
+DEFAULT_VNODES = 64
+
+#: Subdirectory of the store root holding one directory per node.
+NODES_DIRNAME = "nodes"
+
+
+def _ring_position(key: str) -> int:
+    """A stable 64-bit ring position for *key* (hash-seed independent)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardMap:
+    """Immutable consistent-hash placement of digests onto named nodes."""
+
+    def __init__(self, nodes, replication: int = 1,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        names = list(dict.fromkeys(nodes))  # dedupe, keep order
+        if not names:
+            raise ValueError("a ShardMap needs at least one node")
+        if any(not name or "/" in name or os.sep in name for name in names):
+            raise ValueError("node names must be non-empty path segments")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self._nodes = tuple(sorted(names))
+        self.replication = int(replication)
+        self.vnodes = int(vnodes)
+        ring = []
+        for name in self._nodes:
+            for point in range(self.vnodes):
+                ring.append((_ring_position("%s|%d" % (name, point)), name))
+        ring.sort()
+        self._ring = ring
+        self._positions = [pos for pos, _ in ring]
+
+    # -- placement ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple:
+        return self._nodes
+
+    @property
+    def effective_replication(self) -> int:
+        """Distinct copies actually placed (capped by the node count)."""
+        return min(self.replication, len(self._nodes))
+
+    def nodes_for(self, digest: str, count: int | None = None) -> tuple:
+        """The distinct nodes holding *digest*, primary first.
+
+        Walks the ring clockwise from the digest's position, collecting
+        the first *count* (default: the configured replication) distinct
+        nodes.
+        """
+        want = self.effective_replication if count is None else (
+            min(int(count), len(self._nodes))
+        )
+        start = bisect.bisect_right(
+            self._positions, _ring_position("key|%s" % digest)
+        )
+        placed: list = []
+        for step in range(len(self._ring)):
+            _, name = self._ring[(start + step) % len(self._ring)]
+            if name not in placed:
+                placed.append(name)
+                if len(placed) == want:
+                    break
+        return tuple(placed)
+
+    def primary(self, digest: str) -> str:
+        return self.nodes_for(digest, count=1)[0]
+
+    # -- membership -----------------------------------------------------------
+
+    def with_node(self, name: str) -> "ShardMap":
+        if name in self._nodes:
+            raise ValueError("node %r already on the ring" % (name,))
+        return ShardMap(self._nodes + (name,), self.replication, self.vnodes)
+
+    def without_node(self, name: str) -> "ShardMap":
+        if name not in self._nodes:
+            raise ValueError("node %r not on the ring" % (name,))
+        remaining = tuple(n for n in self._nodes if n != name)
+        return ShardMap(remaining, self.replication, self.vnodes)
+
+    # -- persistence ----------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "shard_map_version": SHARD_MAP_VERSION,
+            "nodes": list(self._nodes),
+            "replication": self.replication,
+            "vnodes": self.vnodes,
+        }
+
+    @classmethod
+    def from_dict(cls, tree: dict) -> "ShardMap":
+        version = tree.get("shard_map_version")
+        if version != SHARD_MAP_VERSION:
+            raise ValueError(
+                "shard map version %r (this build reads %d)"
+                % (version, SHARD_MAP_VERSION)
+            )
+        return cls(
+            tree["nodes"],
+            replication=int(tree.get("replication", 1)),
+            vnodes=int(tree.get("vnodes", DEFAULT_VNODES)),
+        )
+
+
+@dataclass
+class RebalanceReport:
+    """Outcome of one :meth:`ShardedResultStore.rebalance` pass."""
+
+    keys: int = 0
+    #: Keys already resident exactly where the map places them.
+    stable: int = 0
+    #: Replica copies written onto newly-mapped nodes.
+    copied: int = 0
+    #: Source copies removed from no-longer-mapped nodes (only ever
+    #: after every mapped node verifiably held the key).
+    removed: int = 0
+    #: Keys whose every on-disk copy failed validation: left for scrub.
+    unreadable: int = 0
+    moved_digests: list = field(default_factory=list)
+
+    @property
+    def moved(self) -> int:
+        return len(self.moved_digests)
+
+    def as_dict(self) -> dict:
+        return {
+            "keys": self.keys,
+            "stable": self.stable,
+            "moved": self.moved,
+            "copied": self.copied,
+            "removed": self.removed,
+            "unreadable": self.unreadable,
+        }
+
+    def render(self) -> str:
+        return (
+            "rebalance: %d keys, %d stable, %d moved "
+            "(%d copies written, %d stale copies removed, %d unreadable)"
+            % (self.keys, self.stable, self.moved,
+               self.copied, self.removed, self.unreadable)
+        )
+
+
+class ShardedResultStore:
+    """One logical result cache spread over per-node :class:`ResultStore`\\ s.
+
+    *directory* is the fabric root: node stores live under
+    ``<root>/nodes/<name>/`` and ring membership in
+    ``<root>/shardmap.json``.  A root that already carries a membership
+    file wins over the constructor arguments (the layout on disk is the
+    truth); otherwise the store is initialised with *nodes* (an int —
+    ``node00`` … ``nodeNN`` — or explicit names) and the membership is
+    persisted immediately.
+
+    Non-entry state the scheduler keeps under ``store.directory``
+    (poison-job quarantine, snapshots, the stats sidecar) stays at the
+    root, unsharded: only result entries are placed on the ring.
+    """
+
+    def __init__(self, directory: str, nodes=2, replication: int = 1,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        self.directory = os.path.abspath(directory)
+        self.stats = StoreStats()
+        map_path = os.path.join(self.directory, SHARD_MAP_FILENAME)
+        if os.path.exists(map_path):
+            with open(map_path) as handle:
+                self.map = ShardMap.from_dict(json.load(handle))
+        else:
+            if isinstance(nodes, int):
+                if nodes < 1:
+                    raise ValueError("need at least one store node")
+                nodes = ["node%02d" % i for i in range(nodes)]
+            self.map = ShardMap(nodes, replication=replication,
+                                vnodes=vnodes)
+            self._persist_map()
+        self._stores: dict = {}
+        for name in self.map.nodes:
+            self._stores[name] = ResultStore(self._node_dir(name))
+
+    def _node_dir(self, name: str) -> str:
+        return os.path.join(self.directory, NODES_DIRNAME, name)
+
+    def _persist_map(self) -> None:
+        atomic_write_json(
+            os.path.join(self.directory, SHARD_MAP_FILENAME),
+            self.map.as_dict(),
+        )
+
+    @property
+    def nodes(self) -> tuple:
+        return self.map.nodes
+
+    def node_store(self, name: str) -> ResultStore:
+        return self._stores[name]
+
+    def path(self, digest: str) -> str:
+        """The primary replica's path (where a fresh write lands first)."""
+        return self._stores[self.map.primary(digest)].path(digest)
+
+    def __contains__(self, digest: str) -> bool:
+        return any(
+            digest in self._stores[name]
+            for name in self.map.nodes_for(digest)
+        )
+
+    # -- lookups --------------------------------------------------------------
+
+    def _count_quarantine(self, code: str, detail: str) -> None:
+        self.stats.invalidated += 1
+        self.stats.quarantined[code] = (
+            self.stats.quarantined.get(code, 0) + 1
+        )
+        self.stats.errors.append(detail)
+
+    def get(self, digest: str, fingerprint: dict | None = None):
+        """The cached result, falling back across replicas on damage.
+
+        Each replica read is fully validated (version, key, checksum,
+        fingerprint).  A replica that fails validation is quarantined at
+        its node and the next one is tried; when any replica survives,
+        the damaged or missing copies ahead of it are *healed* by
+        re-writing the intact envelope, so one flaky disk does not
+        erode replication over time.
+        """
+        order = self.map.nodes_for(digest)
+        heal: list = []
+        for name in order:
+            store = self._stores[name]
+            envelope, code, reason = store._load(digest, fingerprint)
+            if envelope is None and code is None:
+                heal.append(name)  # missing here; a replica may have it
+                continue
+            if code is not None:
+                store._quarantine(store.path(digest), code, reason)
+                self._count_quarantine(
+                    code, "%s@%s: %s" % (digest[:12], name, reason)
+                )
+                heal.append(name)
+                continue
+            try:
+                result = pickle.loads(envelope["result"])
+            except Exception as exc:  # noqa: BLE001
+                store._quarantine(
+                    store.path(digest), "undecodable_result",
+                    "result bytes undecodable: %s" % exc,
+                )
+                self._count_quarantine(
+                    "undecodable_result",
+                    "%s@%s: undecodable" % (digest[:12], name),
+                )
+                heal.append(name)
+                continue
+            self.stats.hits += 1
+            for bad in heal:
+                try:
+                    self._stores[bad].put(
+                        digest, result,
+                        fingerprint=envelope.get("fingerprint"),
+                        meta=envelope.get("meta"),
+                    )
+                except OSError:
+                    pass  # healing is best-effort; the read succeeded
+            return result
+        self.stats.misses += 1
+        return None
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, digest: str, result, fingerprint: dict | None = None,
+            meta: dict | None = None) -> str:
+        """Write *result* to every mapped replica; returns the primary path."""
+        paths = [
+            self._stores[name].put(
+                digest, result, fingerprint=fingerprint, meta=meta
+            )
+            for name in self.map.nodes_for(digest)
+        ]
+        self.stats.puts += 1
+        return paths[0]
+
+    def invalidate(self, digest: str) -> bool:
+        dropped = False
+        for name in self.map.nodes_for(digest):
+            dropped = self._stores[name].invalidate(digest) or dropped
+        return dropped
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _all_node_stores(self) -> dict:
+        """Mapped node stores plus any decommissioned node dirs on disk.
+
+        Rebalance must keep reading nodes that have left the ring (their
+        keys still need moving off), so the sweep is directory-driven,
+        not membership-driven.
+        """
+        stores = dict(self._stores)
+        nodes_dir = os.path.join(self.directory, NODES_DIRNAME)
+        if os.path.isdir(nodes_dir):
+            for name in sorted(os.listdir(nodes_dir)):
+                if name not in stores and os.path.isdir(
+                        os.path.join(nodes_dir, name)):
+                    stores[name] = ResultStore(self._node_dir(name))
+        return stores
+
+    def entries(self) -> list:
+        found: set = set()
+        for store in self._all_node_stores().values():
+            found.update(store.entries())
+        return sorted(found)
+
+    @property
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.directory, "quarantine")
+
+    def quarantine_summary(self) -> dict:
+        """Aggregate quarantine census over the root and every node."""
+        total = 0
+        by_code: dict = {}
+        summaries = [ResultStore(self.directory).quarantine_summary()]
+        summaries.extend(
+            store.quarantine_summary()
+            for store in self._all_node_stores().values()
+        )
+        for summary in summaries:
+            total += summary["total"]
+            for code, count in summary["by_code"].items():
+                by_code[code] = by_code.get(code, 0) + count
+        return {"total": total, "by_code": by_code}
+
+    def _refill_from_replicas(self, target: ResultStore,
+                              digest: str) -> bool:
+        """Re-write *digest* into *target* from any intact replica."""
+        for name in self.map.nodes_for(digest):
+            store = self._stores[name]
+            if store.directory == target.directory:
+                continue
+            envelope, code, _ = store._load(digest)
+            if envelope is None or code is not None:
+                continue
+            try:
+                result = pickle.loads(envelope["result"])
+            except Exception:  # noqa: BLE001
+                continue
+            try:
+                target.put(
+                    digest, result,
+                    fingerprint=envelope.get("fingerprint"),
+                    meta=envelope.get("meta"),
+                )
+                return True
+            except OSError:
+                return False
+        return False
+
+    def scrub(self, repair=None) -> ScrubReport:
+        """Scrub every node; repair from replicas first, *repair* second.
+
+        Damage that any sibling replica survived is refilled from that
+        replica (cheap, no recomputation).  Only damage with no intact
+        copy anywhere falls through to the caller's *repair* callback
+        (the service's recompute-by-fingerprint path).
+        """
+        report = ScrubReport()
+        for name, store in sorted(self._all_node_stores().items()):
+            def node_repair(digest, fingerprint, _store=store):
+                if self._refill_from_replicas(_store, digest):
+                    return True
+                if repair is not None:
+                    return repair(digest, fingerprint)
+                return False
+
+            sub = store.scrub(repair=node_repair)
+            # A truncated entry recovers no fingerprint, so the node
+            # scrub never called node_repair for it — but a sibling
+            # replica may still hold an intact copy.  Retry those here.
+            for entry in sub.entries:
+                if entry["repaired"]:
+                    continue
+                if self._refill_from_replicas(store, entry["digest"]):
+                    entry["repaired"] = True
+                    sub.repaired += 1
+                    sub.unrepaired -= 1
+            report.scanned += sub.scanned
+            report.ok += sub.ok
+            report.repaired += sub.repaired
+            report.unrepaired += sub.unrepaired
+            for code, count in sub.quarantined.items():
+                report.quarantined[code] = (
+                    report.quarantined.get(code, 0) + count
+                )
+            for entry in sub.entries:
+                report.entries.append(dict(entry, node=name))
+        return report
+
+    def prune(self) -> int:
+        return self.scrub().corrupt
+
+    # -- membership + rebalance -----------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        """Join *name* to the ring and persist membership (then rebalance)."""
+        self.map = self.map.with_node(name)
+        self._persist_map()
+        self._stores[name] = ResultStore(self._node_dir(name))
+
+    def remove_node(self, name: str) -> None:
+        """Drop *name* from the ring and persist membership.
+
+        The node's directory is left in place: the next
+        :meth:`rebalance` reads it as a decommissioned source and moves
+        its keys to their new homes; deleting the emptied directory is
+        an explicit operator action afterwards.
+        """
+        self.map = self.map.without_node(name)
+        self._persist_map()
+        self._stores.pop(name, None)
+
+    def rebalance(self) -> RebalanceReport:
+        """Move every key to exactly its mapped nodes, copy-then-delete.
+
+        Safe to interrupt at any point (including SIGKILL) and re-run:
+        copies are atomic writes, and a source copy is deleted only
+        after *every* mapped node verifiably holds the key.  An
+        interrupted pass can therefore leave surplus valid copies on
+        unmapped nodes — never a missing or partial one — and the next
+        pass finishes the job.  Movement is bounded by the ring: a
+        single-node membership change relocates ~K/N of K keys.
+        """
+        report = RebalanceReport()
+        all_stores = self._all_node_stores()
+        holders: dict = {}
+        for name, store in all_stores.items():
+            for digest in store.entries():
+                holders.setdefault(digest, set()).add(name)
+        for digest in sorted(holders):
+            holding = holders[digest]
+            desired = set(self.map.nodes_for(digest))
+            report.keys += 1
+            if holding == desired:
+                report.stable += 1
+                continue
+            # Prefer reading from a node that keeps the key (it is both
+            # a holder and mapped), else any current holder.
+            sources = sorted(holding & desired) + sorted(holding - desired)
+            envelope = None
+            for name in sources:
+                candidate, code, _ = all_stores[name]._load(digest)
+                if candidate is not None and code is None:
+                    envelope = candidate
+                    break
+            if envelope is None:
+                report.unreadable += 1
+                continue  # every copy is damaged; scrub owns that case
+            try:
+                result = pickle.loads(envelope["result"])
+            except Exception:  # noqa: BLE001
+                report.unreadable += 1
+                continue
+            for name in sorted(desired - holding):
+                self._stores[name].put(
+                    digest, result,
+                    fingerprint=envelope.get("fingerprint"),
+                    meta=envelope.get("meta"),
+                )
+                report.copied += 1
+            if all(digest in self._stores[name] for name in desired):
+                for name in sorted(holding - desired):
+                    if all_stores[name].invalidate(digest):
+                        report.removed += 1
+            report.moved_digests.append(digest)
+        return report
+
+
+def open_store(directory: str):
+    """The store for *directory*: sharded if its root says so, else plain.
+
+    ``shardmap.json`` under the root marks a sharded layout, so one
+    path string works across every entry point — serve, batch, status,
+    scrub, and sessions — without each caller growing layout flags.
+    """
+    if os.path.exists(os.path.join(directory, SHARD_MAP_FILENAME)):
+        return ShardedResultStore(directory)
+    return ResultStore(directory)

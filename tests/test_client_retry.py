@@ -391,3 +391,88 @@ class TestListJobs:
         # Newest first: the failed submit is the most recent record.
         assert everything["jobs"][0]["state"] == "failed"
         assert bad_state.status == 400
+
+
+class TestHedgedSubmit:
+    def test_async_hedged_submit_runs_the_job_exactly_once(self, tmp_path):
+        async def scenario():
+            service = SimulationService(str(tmp_path / "cache"))
+            server = ServiceHTTPServer(service, port=0)
+            await server.start()
+            client = AsyncServiceClient(port=server.port, retry=FAST)
+            body = await client.hedged_submit(_request(), hedge_after=0.0)
+            for _ in range(400):
+                status = await client.job_status(body["digest"])
+                if status["state"] == "done":
+                    break
+                await asyncio.sleep(0.05)
+            result = await client.result(body["digest"])
+            # A plain run of the same request must be served from cache
+            # with the identical result body.
+            plain = await client.run(_request())
+            # The racing submits are idempotent by content address: the
+            # loser joined the winner's job instead of starting its own.
+            executed = service.status().executed
+            health = await client.health()
+            await client.close()
+            await server.close()
+            await service.shutdown(drain=False)
+            return body, result, plain, executed, health
+
+        body, result, plain, executed, health = _drive(scenario())
+        assert body["digest"] == request_digest(_request())
+        assert encode_result(result)["digest"] == encode_result(plain)["digest"]
+        assert executed == 1
+        assert health["status"] == "ok"
+
+    def test_blocking_hedged_submit_from_a_plain_thread(self, tmp_path):
+        import threading
+
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def runner():
+            asyncio.set_event_loop(loop)
+            ready.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        ready.wait()
+
+        def call(coroutine):
+            return asyncio.run_coroutine_threadsafe(coroutine, loop).result(60)
+
+        async def boot():
+            service = SimulationService(str(tmp_path / "cache"))
+            server = ServiceHTTPServer(service, port=0)
+            await server.start()
+            return service, server
+
+        try:
+            service, server = call(boot())
+            with ServiceClient(port=server.port, retry=FAST) as client:
+                body = client.hedged_submit(_request(seed=3), hedge_after=0.0)
+                assert body["digest"] == request_digest(_request(seed=3))
+                for _ in range(400):
+                    if client.job_status(body["digest"])["state"] == "done":
+                        break
+                    import time
+                    time.sleep(0.05)
+                result = client.result(body["digest"])
+                plain = client.run(_request(seed=3))
+                assert (encode_result(result)["digest"]
+                        == encode_result(plain)["digest"])
+                # The client connection survives the hedge race.
+                assert client.health()["status"] == "ok"
+            assert call(_snap_executed(service)) == 1
+            call(server.close())
+            call(service.shutdown(drain=False))
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join()
+            loop.close()
+
+
+async def _snap_executed(service):
+    return service.status().executed

@@ -1,0 +1,191 @@
+"""Consistent-hash shard map and sharded result store.
+
+The hypothesis properties are the ring's actual contract:
+
+* **placement stability** — adding one node to an N-node ring moves
+  roughly K/N of K keys (bounded well below a full reshuffle), and
+  every unmoved key keeps its exact replica set;
+* **replica separation** — a key's replicas land on *distinct* nodes,
+  always (co-located replicas are one disk failure, not R);
+* **determinism** — placement is a pure function of the persisted map:
+  a map rebuilt from its own ``as_dict`` places every key identically.
+
+The store-level tests cover replica fallback + healing on damaged
+primaries, crash-safe copy-then-delete rebalance, and ``open_store``
+dispatch.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.shardmap import (
+    SHARD_MAP_FILENAME,
+    ShardedResultStore,
+    ShardMap,
+    open_store,
+)
+from repro.service.store import ResultStore
+from repro.snapshot.digest import state_digest
+
+KEYS = [state_digest({"key": index}) for index in range(400)]
+
+node_counts = st.integers(min_value=2, max_value=6)
+replications = st.integers(min_value=1, max_value=3)
+
+
+class TestShardMapPlacement:
+    def test_replicas_are_distinct_and_primary_first(self):
+        ring = ShardMap(["a", "b", "c"], replication=2)
+        for digest in KEYS[:50]:
+            placed = ring.nodes_for(digest)
+            assert len(placed) == 2
+            assert len(set(placed)) == 2
+            assert placed[0] == ring.primary(digest)
+
+    def test_replication_is_capped_by_node_count(self):
+        ring = ShardMap(["a", "b"], replication=5)
+        assert ring.effective_replication == 2
+        assert len(ring.nodes_for(KEYS[0])) == 2
+
+    def test_membership_validation(self):
+        with pytest.raises(ValueError):
+            ShardMap([])
+        with pytest.raises(ValueError):
+            ShardMap(["ok", "bad/name"])
+        with pytest.raises(ValueError):
+            ShardMap(["a"], replication=0)
+        ring = ShardMap(["a", "b"])
+        with pytest.raises(ValueError):
+            ring.with_node("a")
+        with pytest.raises(ValueError):
+            ring.without_node("c")
+
+    @given(node_counts, replications)
+    @settings(max_examples=25, deadline=None)
+    def test_adding_a_node_moves_about_k_over_n_keys(self, nodes, repl):
+        before = ShardMap(["n%d" % i for i in range(nodes)],
+                          replication=repl)
+        after = before.with_node("n%d" % nodes)
+        moved = sum(
+            1 for digest in KEYS
+            if before.nodes_for(digest) != after.nodes_for(digest)
+        )
+        # Ideal movement is K * repl/(N+1) placements touched; allow a
+        # generous constant for vnode variance, but stay far below the
+        # full reshuffle a modulo-hash scheme would produce.
+        ideal = len(KEYS) * min(repl, nodes) / (nodes + 1)
+        assert moved <= 3.0 * ideal
+        assert moved >= 1  # the new node must actually take keys
+
+    @given(node_counts)
+    @settings(max_examples=25, deadline=None)
+    def test_replicas_never_co_located(self, nodes):
+        ring = ShardMap(["n%d" % i for i in range(nodes)], replication=2)
+        for digest in KEYS[:100]:
+            placed = ring.nodes_for(digest)
+            assert len(placed) == len(set(placed)) == 2
+
+    @given(node_counts, replications)
+    @settings(max_examples=25, deadline=None)
+    def test_placement_survives_persistence_roundtrip(self, nodes, repl):
+        ring = ShardMap(["n%d" % i for i in range(nodes)],
+                        replication=repl)
+        rebuilt = ShardMap.from_dict(
+            json.loads(json.dumps(ring.as_dict()))
+        )
+        for digest in KEYS[:100]:
+            assert ring.nodes_for(digest) == rebuilt.nodes_for(digest)
+
+    def test_version_gate_on_load(self):
+        with pytest.raises(ValueError):
+            ShardMap.from_dict({"shard_map_version": 999, "nodes": ["a"]})
+
+
+class TestShardedResultStore:
+    def _fill(self, store, count=12):
+        digests = []
+        for index in range(count):
+            digest = state_digest({"entry": index})
+            store.put(digest, {"value": index},
+                      fingerprint={"entry": index})
+            digests.append(digest)
+        return digests
+
+    def test_put_writes_every_replica_and_get_reads_back(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path), nodes=3, replication=2)
+        digests = self._fill(store)
+        for index, digest in enumerate(digests):
+            holders = [
+                name for name in store.nodes
+                if digest in store.node_store(name)
+            ]
+            assert sorted(holders) == sorted(store.map.nodes_for(digest))
+            assert store.get(digest) == {"value": index}
+
+    def test_persisted_membership_wins_over_ctor_args(self, tmp_path):
+        ShardedResultStore(str(tmp_path), nodes=3, replication=2)
+        reopened = ShardedResultStore(str(tmp_path), nodes=7, replication=1)
+        assert len(reopened.nodes) == 3
+        assert reopened.map.replication == 2
+
+    def test_damaged_primary_falls_back_and_heals(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path), nodes=3, replication=2)
+        digest = state_digest({"entry": "victim"})
+        store.put(digest, {"value": 41}, fingerprint={"entry": "victim"})
+        primary = store.map.primary(digest)
+        os.remove(store.node_store(primary).path(digest))
+        assert digest not in store.node_store(primary)
+        # The read falls back to the surviving replica ...
+        assert store.get(digest) == {"value": 41}
+        # ... and heals the missing copy back onto the primary.
+        assert digest in store.node_store(primary)
+
+    def test_rebalance_moves_keys_to_new_node_and_is_idempotent(
+        self, tmp_path
+    ):
+        store = ShardedResultStore(str(tmp_path), nodes=2, replication=1)
+        digests = self._fill(store, count=30)
+        store.add_node("node02")
+        report = store.rebalance()
+        assert report.keys == 30
+        assert report.unreadable == 0
+        assert 1 <= report.moved <= 30 * 3 // 3  # bounded, nonzero
+        for digest in digests:
+            holders = [
+                name for name in store.nodes
+                if digest in store.node_store(name)
+            ]
+            assert holders == list(store.map.nodes_for(digest))
+        again = store.rebalance()
+        assert again.moved == 0 and again.stable == 30
+
+    def test_remove_node_drains_into_survivors(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path), nodes=3, replication=1)
+        digests = self._fill(store, count=20)
+        store.remove_node("node02")
+        store.rebalance()
+        for digest in digests:
+            assert store.get(digest) is not None
+            assert digest in store.node_store(store.map.primary(digest))
+
+    def test_scrub_covers_every_node(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path), nodes=3, replication=2)
+        self._fill(store, count=10)
+        report = store.scrub()
+        assert report.corrupt == 0
+        assert report.scanned == 20  # 10 entries x 2 replicas
+
+
+class TestOpenStore:
+    def test_dispatches_on_the_membership_file(self, tmp_path):
+        plain_dir = tmp_path / "plain"
+        sharded_dir = tmp_path / "sharded"
+        ResultStore(str(plain_dir))
+        ShardedResultStore(str(sharded_dir), nodes=2)
+        assert isinstance(open_store(str(plain_dir)), ResultStore)
+        assert isinstance(open_store(str(sharded_dir)), ShardedResultStore)
+        assert os.path.exists(str(sharded_dir / SHARD_MAP_FILENAME))

@@ -1,0 +1,174 @@
+"""Cross-process stats merging for the ``service-stats.json`` sidecar.
+
+Unit tests pin the merge algebra (counters sum, gauges follow the
+newest writer, high-water marks take the max, nested per-key maps sum,
+derived rates are recomputed, forensics lists stay bounded).  The
+regression test is the one that matters operationally: N services
+sharing one store flush concurrently through the lock file, and the
+sidecar must end up with the *sum* of their work — before the locked
+read-merge-write, the last flusher silently overwrote everyone else.
+"""
+
+import asyncio
+import json
+import multiprocessing
+import os
+
+from repro.params import MachineConfig
+from repro.service import SimRequest, SimulationService, merge_stats_trees
+from repro.service.scheduler import STATS_FILENAME
+
+SCALE = 0.02
+
+
+def _tree(**overrides):
+    base = {
+        "submitted": 0, "cache_hits": 0, "executed": 0, "completed": 0,
+        "failed": 0, "queue_high_water": 0,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestMergeAlgebra:
+    def test_counters_sum_and_runs_increment(self):
+        merged = merge_stats_trees(
+            _tree(submitted=3, completed=2, executed=2),
+            _tree(submitted=5, completed=1, executed=1),
+        )
+        assert merged["submitted"] == 8
+        assert merged["completed"] == 3
+        assert merged["executed"] == 3
+        assert merged["runs"] == 2  # un-stamped existing counts as one run
+        again = merge_stats_trees(dict(merged, runs=5), _tree())
+        assert again["runs"] == 6
+
+    def test_high_water_takes_the_max_not_the_sum(self):
+        merged = merge_stats_trees(
+            _tree(queue_high_water=7), _tree(queue_high_water=4)
+        )
+        assert merged["queue_high_water"] == 7
+
+    def test_gauges_follow_newest_writer_with_fallback(self):
+        merged = merge_stats_trees(
+            _tree(worker_mode="thread", queue_depth=9),
+            _tree(worker_mode="fabric", queue_depth=0),
+        )
+        assert merged["worker_mode"] == "fabric"
+        assert merged["queue_depth"] == 0
+        # A writer that omits a gauge inherits the persisted one.
+        merged = merge_stats_trees(_tree(worker_mode="fabric"), _tree())
+        assert merged["worker_mode"] == "fabric"
+
+    def test_failure_codes_sum_per_key(self):
+        merged = merge_stats_trees(
+            _tree(failure_codes={"worker_crashed": 2, "job_timeout": 1}),
+            _tree(failure_codes={"worker_crashed": 3}),
+        )
+        assert merged["failure_codes"] == {
+            "worker_crashed": 5, "job_timeout": 1,
+        }
+
+    def test_store_counters_sum_and_hit_rate_recomputes(self):
+        merged = merge_stats_trees(
+            _tree(store={"hits": 3, "misses": 1, "puts": 4,
+                         "hit_rate": 0.75, "quarantined": {"flip": 1}}),
+            _tree(store={"hits": 1, "misses": 3, "puts": 1,
+                         "hit_rate": 0.25, "quarantined": {"torn": 2}}),
+        )
+        assert merged["store"]["hits"] == 4
+        assert merged["store"]["puts"] == 5
+        assert merged["store"]["hit_rate"] == 0.5  # recomputed, not summed
+        assert merged["store"]["quarantined"] == {"flip": 1, "torn": 2}
+        one_sided = merge_stats_trees(
+            _tree(store={"hits": 1, "misses": 0, "hit_rate": 1.0}), _tree()
+        )
+        assert one_sided["store"]["hits"] == 1
+
+    def test_prewarm_counters_sum_with_live_inflight(self):
+        merged = merge_stats_trees(
+            _tree(prewarm={"predicted": 4, "issued": 2, "useful": 1,
+                           "wasted": 1, "dropped": 2, "inflight": 3}),
+            _tree(prewarm={"predicted": 2, "issued": 1, "useful": 0,
+                           "wasted": 1, "dropped": 1, "inflight": 0}),
+        )
+        assert merged["prewarm"]["predicted"] == 6
+        assert merged["prewarm"]["useful"] == 1
+        assert merged["prewarm"]["inflight"] == 0  # gauge: newest writer
+
+    def test_latency_merges_count_weighted(self):
+        merged = merge_stats_trees(
+            _tree(latency={"execute": {
+                "count": 3, "mean_seconds": 1.0, "max_seconds": 2.0}}),
+            _tree(latency={"execute": {
+                "count": 1, "mean_seconds": 5.0, "max_seconds": 6.0}}),
+        )
+        execute = merged["latency"]["execute"]
+        assert execute["count"] == 4
+        assert execute["mean_seconds"] == 2.0  # (3*1 + 1*5) / 4
+        assert execute["max_seconds"] == 6.0
+
+    def test_failures_concat_and_stay_bounded(self):
+        merged = merge_stats_trees(
+            _tree(failures=["old-%d" % i for i in range(45)]),
+            _tree(failures=["new-%d" % i for i in range(10)]),
+        )
+        assert len(merged["failures"]) == 50
+        assert merged["failures"][-1] == "new-9"
+        assert "old-5" in merged["failures"]  # newest survive, oldest drop
+        assert "old-4" not in merged["failures"]
+
+    def test_cache_hit_rate_recomputes_over_lifetime_totals(self):
+        merged = merge_stats_trees(
+            _tree(submitted=4, cache_hits=0),
+            _tree(submitted=4, cache_hits=4),
+        )
+        assert merged["cache_hit_rate"] == 0.5
+
+
+def _flush_worker(directory, seed, barrier):
+    """One child service: run one job, rendezvous, flush on shutdown."""
+
+    async def go():
+        service = SimulationService(
+            directory, max_workers=1, worker_mode="thread",
+        )
+        request = SimRequest(
+            machine=MachineConfig(), benchmark="b2c", scale=SCALE,
+            seed=seed, mode="functional",
+        )
+        await service.run(request)
+        # Line every child up so the flushes genuinely race on the
+        # lock file instead of arriving politely spaced out.
+        barrier.wait(timeout=120)
+        await service.shutdown()
+
+    asyncio.run(go())
+
+
+class TestConcurrentFlush:
+    def test_racing_flushes_accumulate_instead_of_overwriting(
+        self, tmp_path
+    ):
+        directory = str(tmp_path)
+        children = 4
+        barrier = multiprocessing.Barrier(children)
+        processes = [
+            multiprocessing.Process(
+                target=_flush_worker, args=(directory, seed, barrier)
+            )
+            for seed in range(1, children + 1)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=300)
+            assert process.exitcode == 0
+        with open(os.path.join(directory, STATS_FILENAME)) as handle:
+            tree = json.load(handle)
+        # Every child's work is in the sidecar: distinct seeds, so four
+        # executions — a lost update would leave completed == 1.
+        assert tree["runs"] == children
+        assert tree["completed"] == children
+        assert tree["executed"] == children
+        assert tree["submitted"] == children
